@@ -1,0 +1,111 @@
+// Package cilkm is the top-level facade of this reproduction of
+// "Memory-Mapping Support for Reducer Hyperobjects" (Lee, Shafi, Leiserson,
+// SPAA 2012).
+//
+// It re-exports the pieces a typical application needs — a work-stealing
+// fork-join session, the two reducer mechanisms, and constructors for the
+// common reducer types — so that user code reads much like Cilk code:
+//
+//	s := cilkm.NewSession(cilkm.MemoryMapped, 8)
+//	defer s.Close()
+//	sum := cilkm.NewAdd[int](s.Engine())
+//	_ = s.Run(func(c *cilkm.Context) {
+//	    c.ParallelFor(0, n, func(c *cilkm.Context, i int) { sum.Add(c, 1) })
+//	})
+//	fmt.Println(sum.Value())
+//
+// The building blocks live in the internal packages:
+//
+//   - internal/sched    — the work-stealing scheduler (Fork, ParallelFor).
+//   - internal/core     — the memory-mapped reducer mechanism (Cilk-M).
+//   - internal/hypermap — the hypermap baseline (Cilk Plus).
+//   - internal/tlmm     — the modelled thread-local memory mapping substrate.
+//   - internal/spa      — the sparse-accumulator view maps.
+//   - internal/reducers — the typed reducer library.
+//   - internal/pbfs     — the PBFS application benchmark.
+//   - internal/bench    — the harness that regenerates the paper's figures.
+package cilkm
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+	"repro/internal/reducers"
+	"repro/internal/sched"
+)
+
+// Context is the execution context handed to parallel code; it provides
+// Fork, ForkN and ParallelFor.
+type Context = sched.Context
+
+// Session couples a work-stealing scheduler with a reducer engine.
+type Session = core.Session
+
+// Engine is a reducer mechanism (memory-mapped or hypermap).
+type Engine = core.Engine
+
+// Monoid defines a reducer's algebra.
+type Monoid = core.Monoid
+
+// Reducer is an untyped reducer handle.
+type Reducer = core.Reducer
+
+// Mechanism selects the reducer implementation.
+type Mechanism = reducers.Mechanism
+
+// Reducer mechanisms.
+const (
+	// MemoryMapped is the paper's contribution (Cilk-M).
+	MemoryMapped = reducers.MemoryMapped
+	// Hypermap is the Cilk Plus baseline.
+	Hypermap = reducers.Hypermap
+)
+
+// EngineOptions tunes engine construction (instrumentation, address-space
+// modelling).
+type EngineOptions = reducers.EngineOptions
+
+// NewSession creates a session with the given mechanism and worker count.
+func NewSession(m Mechanism, workers int) *Session {
+	return reducers.NewSession(m, workers, EngineOptions{})
+}
+
+// NewSessionWithOptions creates a session with explicit engine options.
+func NewSessionWithOptions(m Mechanism, workers int, opts EngineOptions) *Session {
+	return reducers.NewSession(m, workers, opts)
+}
+
+// NewEngine creates a stand-alone reducer engine (useful with
+// core.NewSessionWithConfig for custom scheduler settings).
+func NewEngine(m Mechanism, workers int, opts EngineOptions) Engine {
+	return reducers.NewEngine(m, workers, opts)
+}
+
+// NewAdd registers a sum reducer.
+func NewAdd[T reducers.Number](eng Engine) *reducers.Add[T] { return reducers.NewAdd[T](eng) }
+
+// NewMin registers a minimum reducer.
+func NewMin[T cmp.Ordered](eng Engine) *reducers.Min[T] { return reducers.NewMin[T](eng) }
+
+// NewMax registers a maximum reducer.
+func NewMax[T cmp.Ordered](eng Engine) *reducers.Max[T] { return reducers.NewMax[T](eng) }
+
+// NewList registers a list-append reducer.
+func NewList[T any](eng Engine) *reducers.List[T] { return reducers.NewList[T](eng) }
+
+// NewAnd registers a logical-AND reducer.
+func NewAnd(eng Engine) *reducers.And { return reducers.NewAnd(eng) }
+
+// NewOr registers a logical-OR reducer.
+func NewOr(eng Engine) *reducers.Or { return reducers.NewOr(eng) }
+
+// NewString registers a string-concatenation reducer.
+func NewString(eng Engine) *reducers.String { return reducers.NewString(eng) }
+
+// NewMapOf registers a map-union reducer with the given combiner.
+func NewMapOf[K comparable, V any](eng Engine, combine func(V, V) V) *reducers.MapOf[K, V] {
+	return reducers.NewMapOf[K, V](eng, combine)
+}
+
+// NewCustom registers a reducer over an arbitrary monoid.
+func NewCustom(eng Engine, m Monoid) *reducers.Custom { return reducers.NewCustom(eng, m) }

@@ -1,0 +1,96 @@
+package cilkm_test
+
+import (
+	"testing"
+
+	cilkm "repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	for _, mech := range []cilkm.Mechanism{cilkm.MemoryMapped, cilkm.Hypermap} {
+		s := cilkm.NewSession(mech, 2)
+		sum := cilkm.NewAdd[int](s.Engine())
+		list := cilkm.NewList[string](s.Engine())
+		mn := cilkm.NewMin[int](s.Engine())
+		mx := cilkm.NewMax[int](s.Engine())
+		and := cilkm.NewAnd(s.Engine())
+		or := cilkm.NewOr(s.Engine())
+		str := cilkm.NewString(s.Engine())
+		hist := cilkm.NewMapOf[int, int](s.Engine(), func(a, b int) int { return a + b })
+
+		const n = 2000
+		err := s.Run(func(c *cilkm.Context) {
+			c.ParallelFor(0, n, func(c *cilkm.Context, i int) {
+				sum.Add(c, i)
+				mn.Update(c, i)
+				mx.Update(c, i)
+				and.Update(c, i >= 0)
+				or.Update(c, i == 1234)
+				hist.Update(c, i%3, 1)
+			})
+			list.PushBack(c, "a")
+			str.Append(c, "x")
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if got := sum.Value(); got != n*(n-1)/2 {
+			t.Fatalf("%v: sum = %d", mech, got)
+		}
+		if v, ok := mn.Value(); !ok || v != 0 {
+			t.Fatalf("%v: min = %d/%v", mech, v, ok)
+		}
+		if v, ok := mx.Value(); !ok || v != n-1 {
+			t.Fatalf("%v: max = %d/%v", mech, v, ok)
+		}
+		if !and.Value() || !or.Value() {
+			t.Fatalf("%v: and/or wrong", mech)
+		}
+		if len(list.Value()) != 1 || str.Value() != "x" {
+			t.Fatalf("%v: list/string reducers wrong", mech)
+		}
+		if hist.Value()[0]+hist.Value()[1]+hist.Value()[2] != n {
+			t.Fatalf("%v: histogram wrong", mech)
+		}
+		s.Close()
+	}
+}
+
+func TestFacadeCustomAndEngineOptions(t *testing.T) {
+	eng := cilkm.NewEngine(cilkm.MemoryMapped, 2, cilkm.EngineOptions{Timing: true, ModelAddressSpace: true})
+	s := cilkm.NewSessionWithOptions(cilkm.Hypermap, 2, cilkm.EngineOptions{CountLookups: true})
+	defer s.Close()
+	if eng.Name() == s.Engine().Name() {
+		t.Fatal("expected two different mechanisms")
+	}
+	cu := cilkm.NewCustom(s.Engine(), facadeMonoid{})
+	if err := s.Run(func(c *cilkm.Context) {
+		c.ParallelFor(0, 100, func(c *cilkm.Context, i int) {
+			p := cu.View(c).(*pair)
+			p.a++
+			p.b += i
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := cu.Value().(*pair)
+	if got.a != 100 || got.b != 99*100/2 {
+		t.Fatalf("custom reducer = %+v", got)
+	}
+	if s.Engine().Lookups() == 0 {
+		t.Fatal("lookup counting should be enabled")
+	}
+}
+
+type pair struct{ a, b int }
+
+type facadeMonoid struct{}
+
+func (facadeMonoid) Identity() any { return &pair{} }
+func (facadeMonoid) Reduce(l, r any) any {
+	lv := l.(*pair)
+	rv := r.(*pair)
+	lv.a += rv.a
+	lv.b += rv.b
+	return lv
+}

@@ -1,0 +1,158 @@
+package cilkm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	cilkm "repro"
+)
+
+// opTree is a randomly generated fork structure used to check that both
+// reducer mechanisms produce exactly the serial result for a
+// non-commutative reduction, whatever the shape of the parallelism.
+type opTree struct {
+	label    int
+	children []*opTree
+}
+
+// genTree builds a random tree with at most maxNodes nodes.
+func genTree(rng *rand.Rand, maxNodes int) *opTree {
+	counter := 0
+	var build func(depth int) *opTree
+	build = func(depth int) *opTree {
+		counter++
+		n := &opTree{label: counter}
+		if depth >= 6 || counter >= maxNodes {
+			return n
+		}
+		kids := rng.Intn(3)
+		for i := 0; i < kids && counter < maxNodes; i++ {
+			n.children = append(n.children, build(depth+1))
+		}
+		return n
+	}
+	return build(0)
+}
+
+// serialTrace produces the reference preorder label sequence.
+func serialTrace(n *opTree, out *[]int) {
+	if n == nil {
+		return
+	}
+	*out = append(*out, n.label)
+	for _, c := range n.children {
+		serialTrace(c, out)
+	}
+}
+
+// parallelTrace walks the tree with ForkN, appending to a list reducer.
+func parallelTrace(c *cilkm.Context, list interface {
+	PushBack(*cilkm.Context, int)
+}, n *opTree, slow bool) {
+	if n == nil {
+		return
+	}
+	if slow {
+		// A short sleep yields the processor so that steals occur even on
+		// a single-CPU host, exercising view creation and hypermerges.
+		time.Sleep(5 * time.Microsecond)
+	}
+	list.PushBack(c, n.label)
+	branches := make([]func(*cilkm.Context), len(n.children))
+	for i, child := range n.children {
+		child := child
+		branches[i] = func(c *cilkm.Context) { parallelTrace(c, list, child, slow) }
+	}
+	c.ForkN(branches...)
+}
+
+// TestPropertyMechanismsMatchSerialOnRandomTrees is the repository's
+// end-to-end determinism property: for random fork trees, the list built by
+// parallel execution equals the serial preorder under both mechanisms.
+func TestPropertyMechanismsMatchSerialOnRandomTrees(t *testing.T) {
+	sessions := map[cilkm.Mechanism]*cilkm.Session{
+		cilkm.MemoryMapped: cilkm.NewSession(cilkm.MemoryMapped, 3),
+		cilkm.Hypermap:     cilkm.NewSession(cilkm.Hypermap, 3),
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := genTree(rng, 120)
+		var want []int
+		serialTrace(tree, &want)
+		for mech, s := range sessions {
+			list := cilkm.NewList[int](s.Engine())
+			err := s.Run(func(c *cilkm.Context) {
+				parallelTrace(c, list, tree, true)
+			})
+			if err != nil {
+				t.Logf("%v: run failed: %v", mech, err)
+				return false
+			}
+			got := list.Value()
+			list.Close()
+			if len(got) != len(want) {
+				t.Logf("%v: length %d, want %d", mech, len(got), len(want))
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("%v: position %d: got %d, want %d", mech, i, got[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMechanismsAgreeOnAggregates cross-checks that both mechanisms compute
+// identical sums, minima and maxima for the same deterministic workload.
+func TestMechanismsAgreeOnAggregates(t *testing.T) {
+	type answer struct {
+		sum      int64
+		min, max uint64
+	}
+	answers := make(map[cilkm.Mechanism]answer)
+	const n = 50_000
+	for _, mech := range []cilkm.Mechanism{cilkm.MemoryMapped, cilkm.Hypermap} {
+		s := cilkm.NewSession(mech, 4)
+		sum := cilkm.NewAdd[int64](s.Engine())
+		mn := cilkm.NewMin[uint64](s.Engine())
+		mx := cilkm.NewMax[uint64](s.Engine())
+		err := s.Run(func(c *cilkm.Context) {
+			c.ParallelFor(0, n, func(c *cilkm.Context, i int) {
+				v := uint64(i)*0x9E3779B97F4A7C15 + 7
+				sum.Add(c, int64(v%1000))
+				mn.Update(c, v)
+				mx.Update(c, v)
+			})
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		a := answer{sum: sum.Value()}
+		a.min, _ = mn.Value()
+		a.max, _ = mx.Value()
+		answers[mech] = a
+		s.Close()
+	}
+	if answers[cilkm.MemoryMapped] != answers[cilkm.Hypermap] {
+		t.Fatalf("mechanisms disagree: %+v vs %+v",
+			answers[cilkm.MemoryMapped], answers[cilkm.Hypermap])
+	}
+	if fmt.Sprintf("%v", answers[cilkm.MemoryMapped]) == "" {
+		t.Fatal("unreachable")
+	}
+}

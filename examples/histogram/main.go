@@ -1,0 +1,91 @@
+// Histogram example: compute summary statistics (count, sum, min, max and a
+// bucketed histogram) over a stream of synthetic measurements in one
+// parallel pass, using one reducer per statistic.
+//
+// It demonstrates combining several reducer types — add, min, max and a
+// custom map-union reducer — in the same parallel region, which is exactly
+// the situation where per-lookup overhead starts to matter and where the
+// memory-mapping mechanism earns its keep.
+//
+// Run it with:
+//
+//	go run ./examples/histogram -n 5000000 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/reducers"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 5_000_000, "number of synthetic measurements")
+		workers = flag.Int("workers", 8, "number of workers")
+		buckets = flag.Int("buckets", 20, "number of histogram buckets")
+	)
+	flag.Parse()
+
+	session := reducers.NewSession(reducers.MemoryMapped, *workers, reducers.EngineOptions{})
+	defer session.Close()
+	eng := session.Engine()
+
+	var (
+		count = reducers.NewAdd[int64](eng)
+		sum   = reducers.NewAdd[float64](eng)
+		mini  = reducers.NewMin[float64](eng)
+		maxi  = reducers.NewMax[float64](eng)
+		hist  = reducers.NewMapOf[int, int64](eng, func(a, b int64) int64 { return a + b })
+	)
+
+	// A deterministic synthetic "sensor": a noisy sawtooth in [0, 100).
+	sample := func(i int) float64 {
+		x := uint64(i)*6364136223846793005 + 1442695040888963407
+		x ^= x >> 33
+		return float64(x%10000) / 100.0
+	}
+
+	start := time.Now()
+	err := session.Run(func(c *sched.Context) {
+		c.ParallelFor(0, *n, func(c *sched.Context, i int) {
+			v := sample(i)
+			count.Add(c, 1)
+			sum.Add(c, v)
+			mini.Update(c, v)
+			maxi.Update(c, v)
+			hist.Update(c, int(v)*(*buckets)/100, 1)
+		})
+	})
+	if err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	mn, _ := mini.Value()
+	mx, _ := maxi.Value()
+	fmt.Printf("samples: %d   elapsed: %v on %d workers\n", count.Value(), elapsed.Round(time.Millisecond), *workers)
+	fmt.Printf("mean: %.3f   min: %.2f   max: %.2f\n", sum.Value()/float64(count.Value()), mn, mx)
+
+	h := hist.Value()
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != int64(*n) {
+		log.Fatalf("histogram total %d does not match sample count %d", total, *n)
+	}
+	fmt.Println("histogram:")
+	for b := 0; b < *buckets; b++ {
+		cnt := h[b]
+		bar := int(cnt * 50 * int64(*buckets) / int64(*n))
+		fmt.Printf("  [%3d-%3d) %8d ", b*100 / *buckets, (b+1)*100 / *buckets, cnt)
+		for i := 0; i < bar; i++ {
+			fmt.Print("#")
+		}
+		fmt.Println()
+	}
+}

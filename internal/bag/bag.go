@@ -1,0 +1,267 @@
+// Package bag implements the bag data structure of Leiserson and Schardl's
+// work-efficient parallel breadth-first search (SPAA 2010), which the paper
+// uses as its application benchmark: PBFS keeps the current and next
+// frontier in bags declared as reducers so that logically parallel branches
+// can insert discovered vertices without races.
+//
+// A bag is a list of "pennants" indexed by rank, where a pennant of rank k
+// holds exactly 2^k elements: its root holds one element and points at a
+// complete binary tree of 2^k−1 further elements.  Insertion works like
+// incrementing a binary counter, union like binary addition, and split like
+// a right shift, all in O(log n) pennant operations.
+package bag
+
+// node is one pennant node holding a single element.
+type node[T any] struct {
+	elem        T
+	left, right *node[T]
+}
+
+// Pennant is a tree of exactly 2^rank elements.
+type Pennant[T any] struct {
+	root *node[T]
+	rank int
+}
+
+// Rank returns the pennant's rank; the pennant holds 2^rank elements.
+func (p *Pennant[T]) Rank() int { return p.rank }
+
+// Len returns the number of elements in the pennant.
+func (p *Pennant[T]) Len() int { return 1 << p.rank }
+
+// singleton creates a rank-0 pennant holding one element.
+func singleton[T any](v T) *Pennant[T] {
+	return &Pennant[T]{root: &node[T]{elem: v}, rank: 0}
+}
+
+// union combines two pennants of equal rank into one of rank+1 in O(1).
+func union[T any](x, y *Pennant[T]) *Pennant[T] {
+	if x.rank != y.rank {
+		panic("bag: union of pennants with different ranks")
+	}
+	y.root.right = x.root.left
+	x.root.left = y.root
+	x.rank++
+	return x
+}
+
+// split undoes union: it reduces x to rank−1 and returns the split-off
+// pennant of the same rank.
+func split[T any](x *Pennant[T]) *Pennant[T] {
+	if x.rank == 0 {
+		panic("bag: split of a rank-0 pennant")
+	}
+	y := &Pennant[T]{root: x.root.left, rank: x.rank - 1}
+	x.root.left = y.root.right
+	y.root.right = nil
+	x.rank--
+	return y
+}
+
+// Walk calls fn for every element in the pennant, in an unspecified order.
+func (p *Pennant[T]) Walk(fn func(T)) {
+	if p == nil || p.root == nil {
+		return
+	}
+	fn(p.root.elem)
+	walkTree(p.root.left, fn)
+}
+
+// walkTree walks the complete binary tree hanging off a pennant root.
+func walkTree[T any](n *node[T], fn func(T)) {
+	if n == nil {
+		return
+	}
+	fn(n.elem)
+	walkTree(n.left, fn)
+	walkTree(n.right, fn)
+}
+
+// Spine exposes the pennant's root element and subtrees so that callers
+// (PBFS) can descend the tree in parallel: it returns the root element and
+// the two subtrees of the root's child tree along with the child tree's
+// root element.  For a rank-0 pennant ok is false and only elem is valid.
+func (p *Pennant[T]) Spine() (elem T, childElem T, left, right *Subtree[T], ok bool) {
+	elem = p.root.elem
+	if p.root.left == nil {
+		return elem, childElem, nil, nil, false
+	}
+	c := p.root.left
+	return elem, c.elem, &Subtree[T]{n: c.left}, &Subtree[T]{n: c.right}, true
+}
+
+// Subtree is a complete binary tree fragment of a pennant, used for
+// parallel traversal.
+type Subtree[T any] struct {
+	n *node[T]
+}
+
+// Empty reports whether the subtree holds no nodes.
+func (s *Subtree[T]) Empty() bool { return s == nil || s.n == nil }
+
+// Element returns the root element of the subtree; it must not be empty.
+func (s *Subtree[T]) Element() T { return s.n.elem }
+
+// Children returns the left and right subtrees.
+func (s *Subtree[T]) Children() (left, right *Subtree[T]) {
+	return &Subtree[T]{n: s.n.left}, &Subtree[T]{n: s.n.right}
+}
+
+// Walk calls fn for every element in the subtree.
+func (s *Subtree[T]) Walk(fn func(T)) {
+	if s == nil {
+		return
+	}
+	walkTree(s.n, fn)
+}
+
+// MaxRank bounds the number of pennant slots in a bag; 2^64 elements can
+// never be exceeded.
+const MaxRank = 64
+
+// Bag is an unordered multiset supporting O(1) amortised insertion,
+// O(log n) union and split, and linear traversal.
+type Bag[T any] struct {
+	pennants [MaxRank]*Pennant[T]
+	size     int
+}
+
+// New returns an empty bag.
+func New[T any]() *Bag[T] { return &Bag[T]{} }
+
+// Len returns the number of elements in the bag.
+func (b *Bag[T]) Len() int { return b.size }
+
+// IsEmpty reports whether the bag holds no elements.
+func (b *Bag[T]) IsEmpty() bool { return b.size == 0 }
+
+// Insert adds one element, like incrementing a binary counter.
+func (b *Bag[T]) Insert(v T) {
+	p := singleton(v)
+	k := 0
+	for b.pennants[k] != nil {
+		p = union(b.pennants[k], p)
+		b.pennants[k] = nil
+		k++
+	}
+	b.pennants[k] = p
+	b.size++
+}
+
+// Union merges other into b, emptying other, like binary addition with
+// carries.
+func (b *Bag[T]) Union(other *Bag[T]) {
+	if other == nil || other.size == 0 {
+		return
+	}
+	var carry *Pennant[T]
+	for k := 0; k < MaxRank; k++ {
+		x, y := b.pennants[k], other.pennants[k]
+		other.pennants[k] = nil
+		b.pennants[k], carry = fullAdd(x, y, carry)
+	}
+	b.size += other.size
+	other.size = 0
+}
+
+// fullAdd combines up to three pennants of rank k into a result of rank k
+// and a carry of rank k+1, exactly like a binary full adder.
+func fullAdd[T any](x, y, carry *Pennant[T]) (sum, carryOut *Pennant[T]) {
+	present := 0
+	if x != nil {
+		present++
+	}
+	if y != nil {
+		present++
+	}
+	if carry != nil {
+		present++
+	}
+	switch present {
+	case 0:
+		return nil, nil
+	case 1:
+		if x != nil {
+			return x, nil
+		}
+		if y != nil {
+			return y, nil
+		}
+		return carry, nil
+	case 2:
+		if x == nil {
+			return nil, union(y, carry)
+		}
+		if y == nil {
+			return nil, union(x, carry)
+		}
+		return nil, union(x, y)
+	default:
+		return carry, union(x, y)
+	}
+}
+
+// SplitHalf removes roughly half of the bag's elements and returns them as
+// a new bag (the larger pennant stays behind when sizes are uneven).
+func (b *Bag[T]) SplitHalf() *Bag[T] {
+	out := New[T]()
+	if b.size <= 1 {
+		return out
+	}
+	var spare *Pennant[T]
+	if b.pennants[0] != nil {
+		spare = b.pennants[0]
+		b.pennants[0] = nil
+	}
+	moved := 0
+	for k := 1; k < MaxRank; k++ {
+		if b.pennants[k] == nil {
+			continue
+		}
+		out.pennants[k-1] = split(b.pennants[k])
+		moved += out.pennants[k-1].Len()
+		// Shift the remaining half down one rank as well.
+		p := b.pennants[k]
+		b.pennants[k] = nil
+		if b.pennants[k-1] == nil {
+			b.pennants[k-1] = p
+		} else {
+			b.pennants[k] = union(b.pennants[k-1], p)
+			b.pennants[k-1] = nil
+		}
+	}
+	if spare != nil {
+		b.Insert(spare.root.elem)
+		b.size-- // Insert bumped size for an element already counted.
+	}
+	b.size -= moved
+	out.size = moved
+	return out
+}
+
+// Pennants returns the non-empty pennants currently in the bag, smallest
+// rank first.  PBFS walks these in parallel.
+func (b *Bag[T]) Pennants() []*Pennant[T] {
+	out := make([]*Pennant[T], 0, 8)
+	for _, p := range b.pennants {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Walk calls fn for every element in the bag, in an unspecified order.
+func (b *Bag[T]) Walk(fn func(T)) {
+	for _, p := range b.pennants {
+		p.Walk(fn)
+	}
+}
+
+// Clear removes every element.
+func (b *Bag[T]) Clear() {
+	for i := range b.pennants {
+		b.pennants[i] = nil
+	}
+	b.size = 0
+}

@@ -1,0 +1,245 @@
+package bag
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collect(b *Bag[int]) []int {
+	var out []int
+	b.Walk(func(v int) { out = append(out, v) })
+	sort.Ints(out)
+	return out
+}
+
+func TestEmptyBag(t *testing.T) {
+	b := New[int]()
+	if !b.IsEmpty() || b.Len() != 0 {
+		t.Fatal("new bag should be empty")
+	}
+	if got := collect(b); len(got) != 0 {
+		t.Fatalf("empty bag walked %d elements", len(got))
+	}
+	if len(b.Pennants()) != 0 {
+		t.Fatal("empty bag should have no pennants")
+	}
+	b.Union(nil)
+	b.Union(New[int]())
+	if !b.IsEmpty() {
+		t.Fatal("union with empty bags should keep the bag empty")
+	}
+}
+
+func TestInsertAndWalk(t *testing.T) {
+	b := New[int]()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		b.Insert(i)
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	got := collect(b)
+	if len(got) != n {
+		t.Fatalf("walked %d elements, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d missing or duplicated (got %d)", i, v)
+		}
+	}
+}
+
+func TestPennantStructure(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 13; i++ { // 13 = 0b1101: pennants of rank 0, 2, 3
+		b.Insert(i)
+	}
+	ps := b.Pennants()
+	if len(ps) != 3 {
+		t.Fatalf("expected 3 pennants for 13 elements, got %d", len(ps))
+	}
+	wantRanks := []int{0, 2, 3}
+	total := 0
+	for i, p := range ps {
+		if p.Rank() != wantRanks[i] {
+			t.Fatalf("pennant %d has rank %d, want %d", i, p.Rank(), wantRanks[i])
+		}
+		total += p.Len()
+	}
+	if total != 13 {
+		t.Fatalf("pennants hold %d elements, want 13", total)
+	}
+}
+
+func TestPennantSpineAndSubtrees(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 8; i++ {
+		b.Insert(i)
+	}
+	ps := b.Pennants()
+	if len(ps) != 1 || ps[0].Rank() != 3 {
+		t.Fatalf("expected one rank-3 pennant, got %v", ps)
+	}
+	seen := make(map[int]bool)
+	rootElem, childElem, left, right, ok := ps[0].Spine()
+	if !ok {
+		t.Fatal("rank-3 pennant should expose a spine")
+	}
+	seen[rootElem] = true
+	seen[childElem] = true
+	for _, st := range []*Subtree[int]{left, right} {
+		st.Walk(func(v int) { seen[v] = true })
+	}
+	if len(seen) != 8 {
+		t.Fatalf("spine traversal saw %d distinct elements, want 8", len(seen))
+	}
+	// Descend explicitly through Children.
+	if !left.Empty() {
+		l, r := left.Children()
+		_ = left.Element()
+		count := 1
+		l.Walk(func(int) { count++ })
+		r.Walk(func(int) { count++ })
+		if count != 3 {
+			t.Fatalf("left subtree of rank-3 pennant should hold 3 elements, got %d", count)
+		}
+	}
+	// A singleton pennant has no spine.
+	single := New[int]()
+	single.Insert(42)
+	if _, _, _, _, ok := single.Pennants()[0].Spine(); ok {
+		t.Fatal("rank-0 pennant should not expose a spine")
+	}
+}
+
+func TestUnionPreservesAllElements(t *testing.T) {
+	a := New[int]()
+	b := New[int]()
+	for i := 0; i < 100; i++ {
+		a.Insert(i)
+	}
+	for i := 100; i < 237; i++ {
+		b.Insert(i)
+	}
+	a.Union(b)
+	if a.Len() != 237 {
+		t.Fatalf("union Len = %d, want 237", a.Len())
+	}
+	if !b.IsEmpty() {
+		t.Fatal("union should empty the argument bag")
+	}
+	got := collect(a)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d missing after union", i)
+		}
+	}
+}
+
+func TestSplitHalf(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 64, 100, 1023} {
+		b := New[int]()
+		for i := 0; i < n; i++ {
+			b.Insert(i)
+		}
+		other := b.SplitHalf()
+		if b.Len()+other.Len() != n {
+			t.Fatalf("n=%d: sizes %d + %d != %d", n, b.Len(), other.Len(), n)
+		}
+		if n > 1 && (other.Len() == 0 || b.Len() == 0) {
+			t.Fatalf("n=%d: split produced an empty half (%d/%d)", n, b.Len(), other.Len())
+		}
+		seen := make(map[int]int)
+		b.Walk(func(v int) { seen[v]++ })
+		other.Walk(func(v int) { seen[v]++ })
+		if len(seen) != n {
+			t.Fatalf("n=%d: %d distinct elements after split, want %d", n, len(seen), n)
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: element %d appears %d times", n, v, c)
+			}
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 50; i++ {
+		b.Insert(i)
+	}
+	b.Clear()
+	if !b.IsEmpty() || len(b.Pennants()) != 0 {
+		t.Fatal("Clear did not empty the bag")
+	}
+	b.Insert(1)
+	if b.Len() != 1 {
+		t.Fatal("bag unusable after Clear")
+	}
+}
+
+func TestPropertyUnionAndInsertPreserveMultiset(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := New[uint16]()
+		b := New[uint16]()
+		want := make(map[uint16]int)
+		for _, x := range xs {
+			a.Insert(x)
+			want[x]++
+		}
+		for _, y := range ys {
+			b.Insert(y)
+			want[y]++
+		}
+		a.Union(b)
+		if a.Len() != len(xs)+len(ys) || !b.IsEmpty() {
+			return false
+		}
+		got := make(map[uint16]int)
+		a.Walk(func(v uint16) { got[v]++ })
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySplitPreservesMultiset(t *testing.T) {
+	f := func(xs []uint16) bool {
+		b := New[uint16]()
+		want := make(map[uint16]int)
+		for _, x := range xs {
+			b.Insert(x)
+			want[x]++
+		}
+		half := b.SplitHalf()
+		if b.Len()+half.Len() != len(xs) {
+			return false
+		}
+		got := make(map[uint16]int)
+		b.Walk(func(v uint16) { got[v]++ })
+		half.Walk(func(v uint16) { got[v]++ })
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/locking"
+	"repro/internal/metrics"
+	"repro/internal/reducers"
+	"repro/internal/sched"
+)
+
+// Fig1Row is one bar of Figure 1: the per-access overhead of a mechanism,
+// normalised to an ordinary L1-cache memory access.
+type Fig1Row struct {
+	Name       string
+	PerOp      time.Duration
+	Normalized float64
+	// PaperNormalized is the approximate value the paper reports for the
+	// same bar, for side-by-side comparison.
+	PaperNormalized float64
+}
+
+// Fig1Result is the full Figure 1 dataset.
+type Fig1Result struct {
+	Rows    []Fig1Row
+	Lookups int
+}
+
+// RunFig1 reproduces Figure 1: a tight loop of additions on four memory
+// locations executed on a single worker, comparing an ordinary memory
+// access against memory-mapped reducers, hypermap reducers, and per-location
+// spin locks.
+func RunFig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.normalize()
+	const nLocations = 4
+	x := cfg.Lookups
+
+	res := &Fig1Result{Lookups: x}
+
+	// Ordinary L1 accesses: the add-base workload.
+	baseSession := session(reducers.MemoryMapped, 1, false)
+	baseSample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+		return runAddBaseN(baseSession, nLocations, x)
+	})
+	baseSession.Close()
+	if err != nil {
+		return nil, err
+	}
+	basePerOp := baseSample.Min() / float64(x)
+
+	perOp := func(seconds float64) time.Duration {
+		return time.Duration(seconds / float64(x) * float64(time.Second))
+	}
+	addRow := func(name string, sample metrics.Sample, paper float64) {
+		res.Rows = append(res.Rows, Fig1Row{
+			Name:            name,
+			PerOp:           perOp(sample.Min()),
+			Normalized:      sample.Min() / float64(x) / basePerOp,
+			PaperNormalized: paper,
+		})
+	}
+	addRow("L1-memory", baseSample, 1.0)
+
+	// Memory-mapped reducers.
+	mmSession := session(reducers.MemoryMapped, 1, false)
+	mmSample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+		return runAddN(mmSession, nLocations, x)
+	})
+	mmSession.Close()
+	if err != nil {
+		return nil, err
+	}
+	addRow("memory-mapped", mmSample, 3.0)
+
+	// Hypermap reducers.
+	hmSession := session(reducers.Hypermap, 1, false)
+	hmSample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+		return runAddN(hmSession, nLocations, x)
+	})
+	hmSession.Close()
+	if err != nil {
+		return nil, err
+	}
+	addRow("hypermap", hmSample, 12.0)
+
+	// Locking: one spin lock per memory location.
+	lockSession := session(reducers.MemoryMapped, 1, false)
+	lockSample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+		arr := locking.NewArray(nLocations)
+		nChunks := chunks(x)
+		start := time.Now()
+		runErr := lockSession.Run(func(c *sched.Context) {
+			c.ParallelFor(0, nChunks, func(_ *sched.Context, chunk int) {
+				lo := chunk * chunkSize
+				hi := lo + chunkSize
+				if hi > x {
+					hi = x
+				}
+				idx := lo % nLocations
+				for i := lo; i < hi; i++ {
+					arr.Add(idx, 1)
+					idx++
+					if idx == nLocations {
+						idx = 0
+					}
+				}
+			})
+		})
+		return time.Since(start), runErr
+	})
+	lockSession.Close()
+	if err != nil {
+		return nil, err
+	}
+	addRow("locking", lockSample, 13.0)
+
+	return res, nil
+}
+
+// basePerOpSeconds returns the normalisation base (seconds per op) implied
+// by the first row; exposed for tests.
+func (r *Fig1Result) basePerOpSeconds() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	return r.Rows[0].PerOp.Seconds()
+}
+
+// Table renders the result in the shape of Figure 1.
+func (r *Fig1Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 1: normalized overhead of updating four memory locations (single worker)",
+		"mechanism", "ns/op", "normalized", "paper (approx)")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, float64(row.PerOp.Nanoseconds()), row.Normalized, row.PaperNormalized)
+	}
+	return t
+}
+
+// MMFasterThanHypermap reports the measured speedup of memory-mapped over
+// hypermap lookups (the paper reports close to 4×).
+func (r *Fig1Result) MMFasterThanHypermap() float64 {
+	var mm, hm float64
+	for _, row := range r.Rows {
+		switch row.Name {
+		case "memory-mapped":
+			mm = row.Normalized
+		case "hypermap":
+			hm = row.Normalized
+		}
+	}
+	if mm == 0 {
+		return 0
+	}
+	return hm / mm
+}

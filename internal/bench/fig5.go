@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/reducers"
+)
+
+// Fig5Row is one cluster of Figure 5: the execution time of one
+// microbenchmark instance under both reducer mechanisms.
+type Fig5Row struct {
+	Workload Workload
+	N        int
+	Workers  int
+	// Time maps mechanism → mean execution time.
+	Time map[reducers.Mechanism]time.Duration
+	// RelStdDev maps mechanism → relative standard deviation across
+	// repetitions (the paper reports <5%).
+	RelStdDev map[reducers.Mechanism]float64
+}
+
+// Ratio returns hypermap time divided by memory-mapped time (>1 means the
+// memory-mapped mechanism is faster, as the paper reports).
+func (r Fig5Row) Ratio() float64 {
+	mm := r.Time[reducers.MemoryMapped].Seconds()
+	hm := r.Time[reducers.Hypermap].Seconds()
+	if mm == 0 {
+		return 0
+	}
+	return hm / mm
+}
+
+// Fig5Result holds every cluster of Figure 5(a) (serial) or 5(b)
+// (parallel).
+type Fig5Result struct {
+	Workers int
+	Lookups int
+	Rows    []Fig5Row
+}
+
+// RunFig5 reproduces Figure 5: execution times of add-n, min-n and max-n
+// for n ∈ {4,16,64,256,1024} under both mechanisms.  With parallel=false it
+// produces Figure 5(a) (one worker); with parallel=true it produces Figure
+// 5(b) (cfg.MaxWorkers workers).
+func RunFig5(cfg Config, parallel bool) (*Fig5Result, error) {
+	cfg = cfg.normalize()
+	workers := 1
+	if parallel {
+		workers = clampWorkers(cfg.MaxWorkers)
+	}
+	res := &Fig5Result{Workers: workers, Lookups: cfg.Lookups}
+	for _, w := range []Workload{WorkloadAdd, WorkloadMin, WorkloadMax} {
+		for _, n := range ReducerCounts {
+			row := Fig5Row{
+				Workload:  w,
+				N:         n,
+				Workers:   workers,
+				Time:      make(map[reducers.Mechanism]time.Duration),
+				RelStdDev: make(map[reducers.Mechanism]float64),
+			}
+			for _, mech := range reducers.Mechanisms() {
+				s := session(mech, workers, false)
+				sample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+					return runWorkload(s, w, n, cfg.Lookups, cfg.Seed)
+				})
+				s.Close()
+				if err != nil {
+					return nil, err
+				}
+				row.Time[mech] = time.Duration(sample.Mean() * float64(time.Second))
+				row.RelStdDev[mech] = sample.RelStdDev()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result in the shape of Figure 5.
+func (r *Fig5Result) Table() *metrics.Table {
+	title := "Figure 5(a): microbenchmark execution times, single worker"
+	if r.Workers > 1 {
+		title = "Figure 5(b): microbenchmark execution times, " + strconv.Itoa(r.Workers) + " workers"
+	}
+	t := metrics.NewTable(title,
+		"benchmark", "Cilk-M (mm)", "Cilk Plus (hypermap)", "hypermap / mm")
+	for _, row := range r.Rows {
+		t.AddRow(
+			WorkloadName(row.Workload, row.N),
+			row.Time[reducers.MemoryMapped],
+			row.Time[reducers.Hypermap],
+			row.Ratio(),
+		)
+	}
+	return t
+}
+
+// MeanRatio returns the average hypermap/memory-mapped time ratio across
+// all clusters (the paper reports roughly 4–9× for serial runs and 3–9× for
+// parallel runs).
+func (r *Fig5Result) MeanRatio() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, row := range r.Rows {
+		sum += row.Ratio()
+	}
+	return sum / float64(len(r.Rows))
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/reducers"
+)
+
+// Fig6Row is one cluster of Figure 6: the lookup overhead — execution time
+// of add-n minus execution time of add-base-n on a single worker — for each
+// mechanism.
+type Fig6Row struct {
+	N int
+	// Overhead maps mechanism → total lookup overhead for the run.
+	Overhead map[reducers.Mechanism]time.Duration
+	// PerLookup maps mechanism → overhead per lookup.
+	PerLookup map[reducers.Mechanism]time.Duration
+}
+
+// Ratio returns hypermap overhead divided by memory-mapped overhead.
+func (r Fig6Row) Ratio() float64 {
+	mm := r.Overhead[reducers.MemoryMapped].Seconds()
+	hm := r.Overhead[reducers.Hypermap].Seconds()
+	if mm <= 0 {
+		return 0
+	}
+	return hm / mm
+}
+
+// Fig6Result holds the lookup-overhead study.
+type Fig6Result struct {
+	Lookups int
+	Rows    []Fig6Row
+}
+
+// RunFig6 reproduces Figure 6: the reducer lookup overhead of both
+// mechanisms as the number of reducers varies, measured on a single worker
+// as time(add-n) − time(add-base-n).
+func RunFig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.normalize()
+	res := &Fig6Result{Lookups: cfg.Lookups}
+
+	// Baseline per n (the array-update loop is essentially independent of
+	// n, but measuring it per n mirrors the paper's methodology).
+	for _, n := range FineReducerCounts {
+		baseSession := session(reducers.MemoryMapped, 1, false)
+		baseSample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+			return runAddBaseN(baseSession, n, cfg.Lookups)
+		})
+		baseSession.Close()
+		if err != nil {
+			return nil, err
+		}
+		base := baseSample.Min()
+
+		row := Fig6Row{
+			N:         n,
+			Overhead:  make(map[reducers.Mechanism]time.Duration),
+			PerLookup: make(map[reducers.Mechanism]time.Duration),
+		}
+		for _, mech := range reducers.Mechanisms() {
+			s := session(mech, 1, false)
+			sample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+				return runAddN(s, n, cfg.Lookups)
+			})
+			s.Close()
+			if err != nil {
+				return nil, err
+			}
+			overhead := sample.Min() - base
+			if overhead < 0 {
+				overhead = 0
+			}
+			row.Overhead[mech] = time.Duration(overhead * float64(time.Second))
+			row.PerLookup[mech] = time.Duration(overhead / float64(cfg.Lookups) * float64(time.Second))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the result in the shape of Figure 6.
+func (r *Fig6Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 6: reducer lookup overhead on a single worker (time of add-n minus add-base-n)",
+		"benchmark", "Cilk-M (mm)", "Cilk Plus (hypermap)", "mm ns/lookup", "hypermap ns/lookup", "hypermap / mm")
+	for _, row := range r.Rows {
+		t.AddRow(
+			WorkloadName(WorkloadAdd, row.N),
+			row.Overhead[reducers.MemoryMapped],
+			row.Overhead[reducers.Hypermap],
+			float64(row.PerLookup[reducers.MemoryMapped].Nanoseconds()),
+			float64(row.PerLookup[reducers.Hypermap].Nanoseconds()),
+			row.Ratio(),
+		)
+	}
+	return t
+}
+
+// OverheadSpread returns, for the given mechanism, the ratio between the
+// largest and smallest per-lookup overhead across the sweep.  The paper
+// observes that the memory-mapped overhead stays fairly constant
+// (spread ≈ 1) while the hypermap overhead varies significantly with n.
+func (r *Fig6Result) OverheadSpread(m reducers.Mechanism) float64 {
+	minV, maxV := 0.0, 0.0
+	for i, row := range r.Rows {
+		v := row.Overhead[m].Seconds()
+		if i == 0 || v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if minV <= 0 {
+		return 0
+	}
+	return maxV / minV
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/reducers"
+)
+
+// Fig9Row is one curve point of Figure 9: the speedup of add-n on the
+// memory-mapped mechanism for a given worker count.
+type Fig9Row struct {
+	N       int
+	Workers int
+	Elapsed time.Duration
+	Speedup float64
+}
+
+// Fig9Result holds the speedup study.
+type Fig9Result struct {
+	Lookups int
+	// Rows are grouped by N, ascending worker count within each group.
+	Rows []Fig9Row
+	// SerialTime maps n → single-worker execution time (the speedup
+	// denominator's numerator, i.e. T1).
+	SerialTime map[int]time.Duration
+}
+
+// RunFig9 reproduces Figure 9: the speedup of add-n on Cilk-M (the
+// memory-mapped mechanism) for P ∈ {1,2,4,8,16} workers and
+// n ∈ {4,16,64,256,1024} reducers, relative to the single-worker execution.
+//
+// Note that on a host with fewer physical CPUs than workers the "speedup"
+// measures scheduling overhead rather than parallel speedup; the harness
+// reports whatever the host provides and EXPERIMENTS.md discusses the
+// discrepancy.
+func RunFig9(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.normalize()
+	res := &Fig9Result{Lookups: cfg.Lookups, SerialTime: make(map[int]time.Duration)}
+	for _, n := range ReducerCounts {
+		var t1 float64
+		for _, p := range SpeedupWorkerCounts {
+			workers := clampWorkers(p)
+			s := session(reducers.MemoryMapped, workers, false)
+			sample, err := measure(cfg.Repetitions, func() (time.Duration, error) {
+				return runAddN(s, n, cfg.Lookups)
+			})
+			s.Close()
+			if err != nil {
+				return nil, err
+			}
+			mean := sample.Mean()
+			if p == 1 {
+				t1 = mean
+				res.SerialTime[n] = time.Duration(mean * float64(time.Second))
+			}
+			speedup := 0.0
+			if mean > 0 && t1 > 0 {
+				speedup = t1 / mean
+			}
+			res.Rows = append(res.Rows, Fig9Row{
+				N:       n,
+				Workers: p,
+				Elapsed: time.Duration(mean * float64(time.Second)),
+				Speedup: speedup,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result in the shape of Figure 9.
+func (r *Fig9Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 9: speedup of add-n on Cilk-M (memory-mapped) over its single-worker execution",
+		"benchmark", "workers", "time", "speedup")
+	for _, row := range r.Rows {
+		t.AddRow(WorkloadName(WorkloadAdd, row.N), row.Workers, row.Elapsed, row.Speedup)
+	}
+	return t
+}
+
+// SpeedupAt returns the measured speedup for a given n and worker count.
+func (r *Fig9Result) SpeedupAt(n, workers int) float64 {
+	for _, row := range r.Rows {
+		if row.N == n && row.Workers == workers {
+			return row.Speedup
+		}
+	}
+	return 0
+}

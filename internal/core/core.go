@@ -1,0 +1,225 @@
+// Package core implements reducer hyperobjects and, in particular, the
+// paper's primary contribution: the memory-mapping reducer mechanism that
+// Cilk-M uses in place of Cilk Plus's hypermaps.
+//
+// A reducer is defined by an algebraic monoid (T, ⊗, e).  During parallel
+// execution each worker operates on its own local view of the reducer; the
+// runtime creates identity views lazily when a stolen computation first
+// touches a reducer, transfers views out when a stolen branch completes,
+// and reduces ("hypermerges") view sets back together in serial order at
+// joins, so that the final value equals the value a serial execution would
+// produce.
+//
+// The memory-mapping mechanism (type MM) answers the paper's four design
+// questions as follows:
+//
+//  1. Operating-system support: each worker owns a modelled TLMM region
+//     (package tlmm) in which the same virtual address resolves to that
+//     worker's own SPA pages.
+//  2. Thread-local indirection: the TLMM region holds only pointers to
+//     views; the views themselves live on the ordinary shared heap.
+//  3. View organisation: pointers are arranged in SPA map pages
+//     (package spa), giving constant-time lookup and linear-time
+//     sequencing.
+//  4. View transferal: on completion of a stolen branch the worker copies
+//     its private SPA-map slots into public SPA pages drawn from a
+//     Hoard-style pool (package pagepool) and zeroes the private ones, so
+//     hypermerges never remap memory.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/spa"
+)
+
+// Monoid defines a reducer's algebra: an associative binary operation
+// Reduce with identity Identity.  Reduce may update and return its left
+// argument in place; the runtime always passes the serially-earlier view on
+// the left, so in-place reduction preserves the serial semantics.
+type Monoid interface {
+	// Identity allocates a fresh identity view.
+	Identity() any
+	// Reduce combines two views, with left serially preceding right, and
+	// returns the combined view (commonly left, updated in place).
+	Reduce(left, right any) any
+}
+
+// Engine is the interface both reducer mechanisms implement.  It extends
+// the scheduler's ReducerRuntime hooks with registration, lookup and the
+// instrumentation needed to reproduce the paper's overhead measurements.
+type Engine interface {
+	sched.ReducerRuntime
+
+	// Register creates a reducer backed by the given monoid.  The
+	// reducer's leftmost view is initialised to the monoid's identity.
+	Register(m Monoid) (*Reducer, error)
+	// Unregister retires a reducer, recycling its slot.  The reducer's
+	// leftmost view (its final value) remains readable.
+	Unregister(r *Reducer)
+	// Lookup returns the local view of r for the execution context c.
+	// With a nil context (serial code outside the scheduler) it returns
+	// the leftmost view.
+	Lookup(c *sched.Context, r *Reducer) any
+	// MergeRootDeposit folds the deposit returned by Runtime.Run into the
+	// registered reducers' leftmost views.
+	MergeRootDeposit(d sched.Deposit)
+
+	// Overheads returns the accumulated reduce-overhead breakdown.
+	Overheads() metrics.Breakdown
+	// ResetOverheads zeroes the overhead counters.
+	ResetOverheads()
+	// SetTiming enables or disables duration measurement inside the
+	// overhead instrumentation (event counts are always kept).
+	SetTiming(on bool)
+	// SetCountLookups enables or disables lookup counting, which is used
+	// by the PBFS experiment to report the number of reducer lookups.
+	SetCountLookups(on bool)
+	// Lookups reports the number of lookups counted since the last reset.
+	Lookups() int64
+	// Name identifies the mechanism in experiment output.
+	Name() string
+}
+
+// Reducer is one reducer hyperobject.  The same Reducer value is shared by
+// all workers; what differs per worker is the local view the engine hands
+// out at Lookup time.
+type Reducer struct {
+	id     uint64
+	addr   spa.Addr
+	monoid Monoid
+	eng    Engine
+
+	mu       sync.Mutex
+	leftmost any
+	retired  bool
+}
+
+// ID returns the reducer's unique identifier within its engine.
+func (r *Reducer) ID() uint64 { return r.id }
+
+// Addr returns the reducer's TLMM slot address (its tlmm_addr): the SPA
+// view-array slot that holds the reducer's view pointer in every worker's
+// TLMM region.
+func (r *Reducer) Addr() spa.Addr { return r.addr }
+
+// Monoid returns the reducer's monoid.
+func (r *Reducer) Monoid() Monoid { return r.monoid }
+
+// Engine returns the engine the reducer is registered with.
+func (r *Reducer) Engine() Engine { return r.eng }
+
+// Value returns the reducer's leftmost view: outside a parallel region this
+// is the reducer's current (final) value.
+func (r *Reducer) Value() any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leftmost
+}
+
+// SetValue replaces the leftmost view.  It is intended for initialising a
+// reducer before a parallel region.
+func (r *Reducer) SetValue(v any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.leftmost = v
+}
+
+// Retired reports whether the reducer has been unregistered.
+func (r *Reducer) Retired() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retired
+}
+
+// absorb folds a deposited view into the leftmost view in serial order
+// (leftmost ⊗ view).
+func (r *Reducer) absorb(view any) {
+	r.mu.Lock()
+	r.leftmost = r.monoid.Reduce(r.leftmost, view)
+	r.mu.Unlock()
+}
+
+func (r *Reducer) markRetired() {
+	r.mu.Lock()
+	r.retired = true
+	r.mu.Unlock()
+}
+
+// lookupCounter is a padded per-worker lookup counter.
+type lookupCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// NewRegisteredReducer constructs a Reducer on behalf of an Engine
+// implemented outside this package (such as the hypermap baseline).  The
+// reducer's leftmost view is initialised to the monoid's identity.
+func NewRegisteredReducer(eng Engine, id uint64, addr spa.Addr, m Monoid) *Reducer {
+	return &Reducer{
+		id:       id,
+		addr:     addr,
+		monoid:   m,
+		eng:      eng,
+		leftmost: m.Identity(),
+	}
+}
+
+// AbsorbView folds a deposited view into the reducer's leftmost view in
+// serial order (leftmost ⊗ view).  It is exported for Engine
+// implementations outside this package.
+func AbsorbView(r *Reducer, view any) { r.absorb(view) }
+
+// MarkRetired marks the reducer as unregistered.  It is exported for Engine
+// implementations outside this package.
+func MarkRetired(r *Reducer) { r.markRetired() }
+
+// Session couples a scheduler runtime with a reducer engine so that callers
+// get the complete "run a parallel computation with reducers" workflow in
+// one object: views produced by the root computation are merged into the
+// reducers' leftmost views when Run returns.
+type Session struct {
+	rt  *sched.Runtime
+	eng Engine
+}
+
+// NewSession creates a runtime with the given number of workers wired to
+// the given engine.
+func NewSession(workers int, eng Engine) *Session {
+	rt := sched.New(sched.Config{Workers: workers, Reducers: eng})
+	return &Session{rt: rt, eng: eng}
+}
+
+// NewSessionWithConfig creates a session from an explicit scheduler
+// configuration; cfg.Reducers is overwritten with eng.
+func NewSessionWithConfig(cfg sched.Config, eng Engine) *Session {
+	cfg.Reducers = eng
+	rt := sched.New(cfg)
+	return &Session{rt: rt, eng: eng}
+}
+
+// Runtime returns the underlying scheduler runtime.
+func (s *Session) Runtime() *sched.Runtime { return s.rt }
+
+// Engine returns the reducer engine.
+func (s *Session) Engine() Engine { return s.eng }
+
+// Workers returns the number of workers.
+func (s *Session) Workers() int { return s.rt.Workers() }
+
+// Run executes fn on the worker pool, waits for completion, and merges the
+// root computation's views into the reducers' leftmost views.
+func (s *Session) Run(fn func(*sched.Context)) error {
+	d, err := s.rt.Run(fn)
+	if err != nil {
+		return err
+	}
+	s.eng.MergeRootDeposit(d)
+	return nil
+}
+
+// Close shuts down the worker pool.
+func (s *Session) Close() { s.rt.Close() }

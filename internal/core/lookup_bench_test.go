@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/sched"
+)
+
+type benchMonoid struct{}
+type benchView struct{ v int64 }
+
+func (benchMonoid) Identity() any       { return &benchView{} }
+func (benchMonoid) Reduce(l, r any) any { lv := l.(*benchView); lv.v += r.(*benchView).v; return lv }
+
+func BenchmarkMMLookupRaw(b *testing.B) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, 4)
+	for i := range rs {
+		rs[i], _ = eng.Register(benchMonoid{})
+	}
+	b.ResetTimer()
+	_ = s.Run(func(c *sched.Context) {
+		idx := 0
+		for i := 0; i < b.N; i++ {
+			eng.Lookup(c, rs[idx]).(*benchView).v++
+			idx++
+			if idx == 4 {
+				idx = 0
+			}
+		}
+	})
+}
+
+func BenchmarkMMLookupViaInterface(b *testing.B) {
+	var eng core.Engine = core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, 4)
+	for i := range rs {
+		rs[i], _ = eng.Register(benchMonoid{})
+	}
+	b.ResetTimer()
+	_ = s.Run(func(c *sched.Context) {
+		idx := 0
+		for i := 0; i < b.N; i++ {
+			eng.Lookup(c, rs[idx]).(*benchView).v++
+			idx++
+			if idx == 4 {
+				idx = 0
+			}
+		}
+	})
+}
+
+func BenchmarkHypermapLookupRaw(b *testing.B) {
+	eng := hypermap.New(hypermap.Config{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, 4)
+	for i := range rs {
+		rs[i], _ = eng.Register(benchMonoid{})
+	}
+	b.ResetTimer()
+	_ = s.Run(func(c *sched.Context) {
+		idx := 0
+		for i := 0; i < b.N; i++ {
+			eng.Lookup(c, rs[idx]).(*benchView).v++
+			idx++
+			if idx == 4 {
+				idx = 0
+			}
+		}
+	})
+}
+
+func BenchmarkBaselineArray(b *testing.B) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	cells := make([]benchView, 4)
+	b.ResetTimer()
+	_ = s.Run(func(c *sched.Context) {
+		idx := 0
+		for i := 0; i < b.N; i++ {
+			cells[idx].v++
+			idx++
+			if idx == 4 {
+				idx = 0
+			}
+		}
+	})
+}

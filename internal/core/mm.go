@@ -1,0 +1,446 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/pagepool"
+	"repro/internal/sched"
+	"repro/internal/spa"
+	"repro/internal/tlmm"
+)
+
+// MMConfig configures the memory-mapping engine.
+type MMConfig struct {
+	// Workers sizes the per-worker structures; it must match the number of
+	// workers in the runtime the engine is attached to.
+	Workers int
+	// Timing enables duration measurement in the overhead instrumentation.
+	Timing bool
+	// CountLookups enables lookup counting (used by the PBFS experiment).
+	CountLookups bool
+	// ModelAddressSpace, when true, backs every SPA page with a page of
+	// the simulated TLMM address space: reducer slot addresses are
+	// reserved in the TLMM region layout and each worker maps a physical
+	// page (via the modelled sys_palloc/sys_pmap) the first time it
+	// touches a page index.  This exercises the substrate the paper's
+	// kernel modification provides; disable it for the tightest possible
+	// lookup fast path.
+	ModelAddressSpace bool
+}
+
+// MM is the memory-mapping reducer engine (the paper's Cilk-M mechanism).
+type MM struct {
+	cfg MMConfig
+	rec *metrics.Recorder
+	// pool recycles public SPA pages used for view transferal.
+	pool *pagepool.Pool[*spa.Map]
+
+	// Modelled operating-system state (nil unless ModelAddressSpace).
+	aspace *tlmm.AddressSpace
+	layout *tlmm.RegionLayout
+
+	mu        sync.Mutex
+	nextID    uint64
+	nextAddr  spa.Addr
+	freeAddrs []spa.Addr
+	registry  map[spa.Addr]*Reducer
+	// reservedPages counts SPA page indices already reserved in the TLMM
+	// region layout.
+	reservedPages int
+
+	countLookups bool
+	lookups      []lookupCounter
+
+	closedWorkers []*mmWorker
+}
+
+// mmWorker is the per-worker state of the memory-mapping engine: the
+// worker's private SPA maps (its TLMM reducer area) and, when the address
+// space is modelled, the worker's thread VM and the set of SPA page indices
+// it has backed with physical pages.
+type mmWorker struct {
+	eng     *MM
+	w       *sched.Worker
+	private *spa.MapSet
+	// spare caches an emptied map set for reuse by the next BeginTrace.
+	spare *spa.MapSet
+	vm    *tlmm.ThreadVM
+	// mapped[i] reports whether SPA page index i is backed by a TLMM page
+	// in this worker's address space.
+	mapped []bool
+}
+
+// mmTrace identifies an active trace.  Because a worker that stalls at a
+// join helps by executing other stolen tasks, traces nest: the trace token
+// holds the private SPA maps of the suspended outer trace so EndTrace can
+// restore them once the inner trace completes.
+type mmTrace struct {
+	ws    *mmWorker
+	saved *spa.MapSet
+}
+
+// MMDeposit is the result of view transferal: public SPA pages holding the
+// transferred view pointers.
+type MMDeposit struct {
+	views *spa.MapSet
+	// count is the number of views in the deposit.
+	count int
+}
+
+// Views exposes the deposited views (for tests and diagnostics).
+func (d *MMDeposit) Views() *spa.MapSet { return d.views }
+
+// Count returns the number of deposited views.
+func (d *MMDeposit) Count() int { return d.count }
+
+// NewMM creates a memory-mapping engine.
+func NewMM(cfg MMConfig) *MM {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	e := &MM{
+		cfg:      cfg,
+		rec:      metrics.NewRecorder(cfg.Workers),
+		registry: make(map[spa.Addr]*Reducer),
+		lookups:  make([]lookupCounter, cfg.Workers),
+	}
+	e.rec.SetTiming(cfg.Timing)
+	e.countLookups = cfg.CountLookups
+	e.pool = pagepool.New[*spa.Map](cfg.Workers,
+		func() *spa.Map { return spa.New() },
+		pagepool.WithEmptyCheck[*spa.Map](func(m *spa.Map) bool { return m.IsEmpty() }),
+	)
+	if cfg.ModelAddressSpace {
+		e.aspace = tlmm.NewAddressSpace(nil)
+		e.layout = tlmm.NewRegionLayout()
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *MM) Name() string { return "Cilk-M (memory-mapped)" }
+
+// AddressSpace returns the modelled TLMM address space, or nil when the
+// model is disabled.
+func (e *MM) AddressSpace() *tlmm.AddressSpace { return e.aspace }
+
+// RegionLayout returns the TLMM region layout, or nil when the model is
+// disabled.
+func (e *MM) RegionLayout() *tlmm.RegionLayout { return e.layout }
+
+// PoolStats exposes the public SPA page pool statistics.
+func (e *MM) PoolStats() pagepool.Stats { return e.pool.Stats() }
+
+// --- Engine registration and lookup ---
+
+// Register implements Engine.
+func (e *MM) Register(m Monoid) (*Reducer, error) {
+	if m == nil {
+		return nil, errors.New("core: nil monoid")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var addr spa.Addr
+	if n := len(e.freeAddrs); n > 0 {
+		addr = e.freeAddrs[n-1]
+		e.freeAddrs = e.freeAddrs[:n-1]
+	} else {
+		addr = e.nextAddr
+		e.nextAddr++
+		if e.layout != nil {
+			// Reserve TLMM address space for any newly needed SPA page.
+			for e.reservedPages <= addr.Page() {
+				if _, err := e.layout.ReserveReducerPages(1); err != nil {
+					return nil, fmt.Errorf("core: reserving TLMM page: %w", err)
+				}
+				e.reservedPages++
+			}
+		}
+	}
+	e.nextID++
+	r := &Reducer{
+		id:       e.nextID,
+		addr:     addr,
+		monoid:   m,
+		eng:      e,
+		leftmost: m.Identity(),
+	}
+	e.registry[addr] = r
+	return r, nil
+}
+
+// Unregister implements Engine.
+func (e *MM) Unregister(r *Reducer) {
+	if r == nil || r.eng != Engine(e) {
+		return
+	}
+	e.mu.Lock()
+	if _, ok := e.registry[r.addr]; ok {
+		delete(e.registry, r.addr)
+		e.freeAddrs = append(e.freeAddrs, r.addr)
+	}
+	e.mu.Unlock()
+	r.markRetired()
+}
+
+// Registered returns the number of live reducers.
+func (e *MM) Registered() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.registry)
+}
+
+// Lookup implements Engine.  The fast path is the paper's two memory
+// accesses and a predictable branch: read the reducer's tlmm_addr, index
+// the worker's private view slots, and test the resulting pointer.
+func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
+	if c == nil {
+		return r.Value()
+	}
+	w := c.Worker()
+	ws, _ := w.Local().(*mmWorker)
+	if ws == nil {
+		return r.Value()
+	}
+	if e.countLookups {
+		e.lookups[w.ID()%len(e.lookups)].n.Add(1)
+	}
+	if v := ws.private.Get(r.addr); v != nil {
+		return v
+	}
+	return e.lookupSlow(w, ws, r)
+}
+
+// lookupSlow creates and installs an identity view: it runs at most once
+// per reducer per steal.
+func (e *MM) lookupSlow(w *sched.Worker, ws *mmWorker, r *Reducer) any {
+	// Ensure the worker's TLMM region backs the SPA page holding this slot.
+	if ws.vm != nil {
+		ws.ensureMapped(r.addr.Page())
+	}
+	start := e.rec.Start()
+	view := r.monoid.Identity()
+	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
+
+	start = e.rec.Start()
+	if err := ws.private.Insert(r.addr, view, r.monoid); err != nil {
+		// The slot can only be occupied if another view was installed for
+		// this address during this trace, which Register/Unregister
+		// bookkeeping prevents; treat it as a programming error.
+		panic(fmt.Sprintf("core: SPA slot %d unexpectedly occupied: %v", r.addr, err))
+	}
+	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
+	return view
+}
+
+// ensureMapped backs SPA page index pi with a physical page in this
+// worker's modelled TLMM region (sys_palloc + sys_pmap), once.
+func (ws *mmWorker) ensureMapped(pi int) {
+	for len(ws.mapped) <= pi {
+		ws.mapped = append(ws.mapped, false)
+	}
+	if ws.mapped[pi] {
+		return
+	}
+	pd := ws.eng.aspace.Phys.Palloc()
+	base := tlmm.TLMMBase + uintptr(pi)*tlmm.PageSize
+	if err := ws.vm.Pmap(base, []tlmm.PD{pd}); err != nil {
+		panic(fmt.Sprintf("core: mapping SPA page %d: %v", pi, err))
+	}
+	ws.mapped[pi] = true
+}
+
+// --- sched.ReducerRuntime hooks ---
+
+// WorkerInit implements sched.ReducerRuntime.
+func (e *MM) WorkerInit(w *sched.Worker) {
+	ws := &mmWorker{
+		eng:     e,
+		w:       w,
+		private: spa.NewMapSet(),
+	}
+	if e.aspace != nil {
+		ws.vm = e.aspace.NewThread()
+	}
+	w.SetLocal(ws)
+	e.mu.Lock()
+	e.closedWorkers = append(e.closedWorkers, ws)
+	e.mu.Unlock()
+}
+
+// BeginTrace implements sched.ReducerRuntime.  The new trace starts with an
+// empty set of private SPA maps; the previous trace's maps (non-empty when
+// the worker is helping at a stalled join) are saved in the trace token and
+// restored by EndTrace.
+func (e *MM) BeginTrace(w *sched.Worker) sched.Trace {
+	ws, _ := w.Local().(*mmWorker)
+	if ws == nil {
+		return &mmTrace{}
+	}
+	tr := &mmTrace{ws: ws, saved: ws.private}
+	if ws.spare != nil {
+		ws.private = ws.spare
+		ws.spare = nil
+	} else {
+		ws.private = spa.NewMapSet()
+	}
+	return tr
+}
+
+// EndTrace implements sched.ReducerRuntime: it performs view transferal.
+// The worker copies the view pointers from its private SPA maps into public
+// SPA pages drawn from the shared pool, zeroing the private slots as it
+// sequences through them, returns the public pages as the deposit, and
+// restores the suspended outer trace's maps.
+func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
+	ws, _ := w.Local().(*mmWorker)
+	if ws == nil {
+		return nil
+	}
+	mt, _ := tr.(*mmTrace)
+	var dep *MMDeposit
+	if !ws.private.IsEmpty() {
+		start := e.rec.Start()
+		public := spa.NewPooledMapSet(
+			func() *spa.Map { return e.pool.Get(w.ID()) },
+			func(m *spa.Map) { e.pool.Put(w.ID(), m) },
+		)
+		moved, err := ws.private.TransferTo(public)
+		if err != nil {
+			panic(fmt.Sprintf("core: view transferal failed: %v", err))
+		}
+		e.rec.Stop(w.ID(), metrics.ViewTransferal, start)
+		dep = &MMDeposit{views: public, count: moved}
+	}
+	if mt != nil && mt.saved != nil {
+		// The now-empty map set becomes the spare for the next trace.
+		ws.spare = ws.private
+		ws.private = mt.saved
+	}
+	if dep == nil {
+		return nil
+	}
+	return dep
+}
+
+// Merge implements sched.ReducerRuntime: the hypermerge.  The worker's
+// current views are the serially-earlier ones, so each deposited view is
+// reduced as current ⊗ deposited.  Deposited views with no matching current
+// view are adopted by writing their pointer into the worker's private SPA
+// slot (a view insertion).  The emptied public pages are recycled.
+func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
+	dep, _ := d.(*MMDeposit)
+	if dep == nil {
+		return
+	}
+	ws, _ := w.Local().(*mmWorker)
+	if ws == nil {
+		return
+	}
+	start := e.rec.Start()
+	reduces := int64(0)
+	adopts := int64(0)
+	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
+		if cur := ws.private.Get(addr); cur != nil {
+			monoid := s.Monoid.(Monoid)
+			combined := monoid.Reduce(cur, s.View)
+			if combined != cur {
+				if err := ws.private.Update(addr, combined); err != nil {
+					panic(fmt.Sprintf("core: hypermerge update: %v", err))
+				}
+			}
+			reduces++
+			return true
+		}
+		if ws.vm != nil {
+			ws.ensureMapped(addr.Page())
+		}
+		if err := ws.private.Insert(addr, s.View, s.Monoid); err != nil {
+			panic(fmt.Sprintf("core: hypermerge insert: %v", err))
+		}
+		adopts++
+		return true
+	})
+	e.rec.Stop(w.ID(), metrics.Hypermerge, start)
+	if reduces > 1 {
+		e.rec.RecordCount(w.ID(), metrics.Hypermerge, reduces-1)
+	}
+	if adopts > 0 {
+		e.rec.RecordCount(w.ID(), metrics.ViewInsertion, adopts)
+	}
+	dep.views.Recycle()
+	dep.views = nil
+	dep.count = 0
+}
+
+// MergeRootDeposit implements Engine: the views produced by the root trace
+// are folded into the reducers' leftmost views in serial order.
+func (e *MM) MergeRootDeposit(d sched.Deposit) {
+	dep, _ := d.(*MMDeposit)
+	if dep == nil || dep.views == nil {
+		return
+	}
+	e.mu.Lock()
+	reg := make(map[spa.Addr]*Reducer, len(e.registry))
+	for a, r := range e.registry {
+		reg[a] = r
+	}
+	e.mu.Unlock()
+	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
+		if r, ok := reg[addr]; ok {
+			r.absorb(s.View)
+			return true
+		}
+		// The reducer was unregistered while views for it were still in
+		// flight; fold into nothing (drop), mirroring a view whose reducer
+		// went out of scope.
+		return true
+	})
+	dep.views.Recycle()
+	dep.views = nil
+	dep.count = 0
+}
+
+// --- instrumentation ---
+
+// Overheads implements Engine.
+func (e *MM) Overheads() metrics.Breakdown { return e.rec.Snapshot() }
+
+// ResetOverheads implements Engine.
+func (e *MM) ResetOverheads() {
+	e.rec.Reset()
+	for i := range e.lookups {
+		e.lookups[i].n.Store(0)
+	}
+}
+
+// SetTiming implements Engine.
+func (e *MM) SetTiming(on bool) { e.rec.SetTiming(on) }
+
+// SetCountLookups implements Engine.
+func (e *MM) SetCountLookups(on bool) { e.countLookups = on }
+
+// Lookups implements Engine.
+func (e *MM) Lookups() int64 {
+	var n int64
+	for i := range e.lookups {
+		n += e.lookups[i].n.Load()
+	}
+	return n
+}
+
+// WorkerPrivateViews reports the number of views currently held in worker
+// i's private SPA maps (diagnostic; it should be zero between runs).
+func (e *MM) WorkerPrivateViews(i int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.closedWorkers) {
+		return 0
+	}
+	return e.closedWorkers[i].private.Len()
+}
+
+var _ Engine = (*MM)(nil)

@@ -1,0 +1,226 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/spa"
+	"repro/internal/tlmm"
+)
+
+// sumMonoid is a minimal integer-sum monoid for engine-level tests.
+type sumMonoid struct{}
+
+type sumView struct{ v int }
+
+func (sumMonoid) Identity() any { return &sumView{} }
+func (sumMonoid) Reduce(left, right any) any {
+	l := left.(*sumView)
+	l.v += right.(*sumView).v
+	return l
+}
+
+// catMonoid concatenates strings; it is associative but not commutative.
+type catMonoid struct{}
+
+type catView struct{ s string }
+
+func (catMonoid) Identity() any { return &catView{} }
+func (catMonoid) Reduce(left, right any) any {
+	l := left.(*catView)
+	l.s += right.(*catView).s
+	return l
+}
+
+func TestMMRegisterAssignsSequentialAddrs(t *testing.T) {
+	e := core.NewMM(core.MMConfig{Workers: 2})
+	var prev spa.Addr = -1
+	for i := 0; i < 300; i++ {
+		r, err := e.Register(sumMonoid{})
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		if r.Addr() <= prev {
+			t.Fatalf("addresses not increasing: %d after %d", r.Addr(), prev)
+		}
+		prev = r.Addr()
+		if r.Monoid() == nil || r.Engine() != core.Engine(e) || r.ID() == 0 {
+			t.Fatal("reducer accessors incomplete")
+		}
+	}
+	if e.Registered() != 300 {
+		t.Fatalf("Registered = %d, want 300", e.Registered())
+	}
+}
+
+func TestMMRegisterNilMonoidFails(t *testing.T) {
+	e := core.NewMM(core.MMConfig{Workers: 1})
+	if _, err := e.Register(nil); err == nil {
+		t.Fatal("Register(nil) should fail")
+	}
+}
+
+func TestMMUnregisterRecyclesSlots(t *testing.T) {
+	e := core.NewMM(core.MMConfig{Workers: 1})
+	r1, _ := e.Register(sumMonoid{})
+	r2, _ := e.Register(sumMonoid{})
+	addr1 := r1.Addr()
+	e.Unregister(r1)
+	e.Unregister(nil) // no-op
+	if e.Registered() != 1 {
+		t.Fatalf("Registered = %d, want 1", e.Registered())
+	}
+	r3, _ := e.Register(sumMonoid{})
+	if r3.Addr() != addr1 {
+		t.Fatalf("slot not recycled: got %d, want %d", r3.Addr(), addr1)
+	}
+	if !r1.Retired() || r2.Retired() {
+		t.Fatal("retired flags wrong")
+	}
+}
+
+func TestMMLeftmostViewSemantics(t *testing.T) {
+	e := core.NewMM(core.MMConfig{Workers: 1})
+	r, _ := e.Register(sumMonoid{})
+	if got := r.Value().(*sumView).v; got != 0 {
+		t.Fatalf("identity leftmost = %d, want 0", got)
+	}
+	r.SetValue(&sumView{v: 42})
+	if got := e.Lookup(nil, r).(*sumView).v; got != 42 {
+		t.Fatalf("serial lookup = %d, want 42", got)
+	}
+}
+
+func TestMMModelAddressSpaceBacksSPAPages(t *testing.T) {
+	workers := 2
+	eng := core.NewMM(core.MMConfig{Workers: workers, ModelAddressSpace: true})
+	s := core.NewSession(workers, eng)
+	defer s.Close()
+
+	// Register enough reducers to require two SPA pages.
+	n := spa.SlotsPerMap + 10
+	reds := make([]*core.Reducer, n)
+	for i := range reds {
+		r, err := eng.Register(sumMonoid{})
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		reds[i] = r
+	}
+	if eng.RegionLayout() == nil || eng.AddressSpace() == nil {
+		t.Fatal("modelled address space not initialised")
+	}
+	if got := eng.RegionLayout().ReducerBytesReserved(); got != 2*tlmm.PageSize {
+		t.Fatalf("reserved %d bytes of TLMM reducer space, want %d", got, 2*tlmm.PageSize)
+	}
+	err := s.Run(func(c *sched.Context) {
+		c.ParallelFor(0, n, func(c *sched.Context, i int) {
+			eng.Lookup(c, reds[i]).(*sumView).v++
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range reds {
+		if got := r.Value().(*sumView).v; got != 1 {
+			t.Fatalf("reducer %d = %d, want 1", i, got)
+		}
+	}
+	// The root worker must have mapped both SPA pages through the modelled
+	// sys_palloc / sys_pmap interface.
+	st := eng.AddressSpace().Phys.Stats()
+	if st.PmapCalls == 0 || st.PagesMapped < 2 {
+		t.Fatalf("expected TLMM mappings, stats %+v", st)
+	}
+}
+
+func TestMMRootDepositsAbsorbInSerialOrder(t *testing.T) {
+	// Each run's views are folded into the leftmost view after the views
+	// already there, so sequential runs concatenate in program order even
+	// for a non-commutative monoid.
+	eng := core.NewMM(core.MMConfig{Workers: 2})
+	s := core.NewSession(2, eng)
+	defer s.Close()
+	r, _ := eng.Register(catMonoid{})
+	for _, part := range []string{"A", "B", "C"} {
+		part := part
+		if err := s.Run(func(c *sched.Context) {
+			c.Fork(
+				func(c *sched.Context) { eng.Lookup(c, r).(*catView).s += part },
+				func(c *sched.Context) { eng.Lookup(c, r).(*catView).s += strings.ToLower(part) },
+			)
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	if got := r.Value().(*catView).s; got != "AaBbCc" {
+		t.Fatalf("leftmost = %q, want \"AaBbCc\"", got)
+	}
+}
+
+func TestMMDepositCountAndPool(t *testing.T) {
+	workers := 4
+	eng := core.NewMM(core.MMConfig{Workers: workers, Timing: true})
+	s := core.NewSession(workers, eng)
+	defer s.Close()
+	r, _ := eng.Register(sumMonoid{})
+	err := s.Run(func(c *sched.Context) {
+		c.ParallelForGrain(0, 200, 1, func(c *sched.Context, i int) {
+			time.Sleep(30 * time.Microsecond)
+			eng.Lookup(c, r).(*sumView).v++
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := r.Value().(*sumView).v; got != 200 {
+		t.Fatalf("sum = %d, want 200", got)
+	}
+	if s.Runtime().Stats().Steals == 0 {
+		t.Fatal("expected steals")
+	}
+	ps := eng.PoolStats()
+	if ps.Allocs == 0 {
+		t.Fatalf("public SPA pool unused: %+v", ps)
+	}
+	if ps.RejectedDirty != 0 {
+		t.Fatalf("non-empty SPA pages were recycled: %+v", ps)
+	}
+	// All private views must have been transferred out by the end of the
+	// run.
+	for i := 0; i < workers; i++ {
+		if n := eng.WorkerPrivateViews(i); n != 0 {
+			t.Fatalf("worker %d still holds %d private views after the run", i, n)
+		}
+	}
+	ovh := eng.Overheads()
+	if ovh.Total() == 0 {
+		t.Fatalf("expected timed overheads, got %s", ovh)
+	}
+}
+
+func TestMMMergeRootDepositNil(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	eng.MergeRootDeposit(nil) // must not panic
+	var d *core.MMDeposit
+	eng.MergeRootDeposit(d) // typed nil
+}
+
+func TestMMName(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{})
+	if !strings.Contains(eng.Name(), "Cilk-M") {
+		t.Fatalf("Name = %q", eng.Name())
+	}
+}
+
+func TestSessionAccessors(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{Workers: 2})
+	s := core.NewSessionWithConfig(sched.Config{Workers: 2, Seed: 7}, eng)
+	defer s.Close()
+	if s.Workers() != 2 || s.Engine() != core.Engine(eng) || s.Runtime() == nil {
+		t.Fatal("session accessors broken")
+	}
+}

@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesValidation(t *testing.T) {
+	if _, err := FromEdges(0, nil, "empty"); err == nil {
+		t.Fatal("FromEdges with zero vertices should fail")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 5}}, "bad"); err == nil {
+		t.Fatal("FromEdges with out-of-range endpoint should fail")
+	}
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 1}, {1, 2}}, "g")
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	// The self-loop is dropped: 2 undirected edges remain.
+	if g.NumUndirectedEdges() != 2 || g.NumEdges() != 4 {
+		t.Fatalf("edges = %d/%d, want 2 undirected / 4 directed", g.NumUndirectedEdges(), g.NumEdges())
+	}
+	if g.Name() != "g" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	g.SetName("renamed")
+	if g.Name() != "renamed" {
+		t.Fatal("SetName failed")
+	}
+}
+
+func TestCSRAdjacency(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {0, 2}, {2, 3}, {1, 2}}, "square-ish")
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	wantAdj := map[int32][]int32{
+		0: {1, 2},
+		1: {0, 2},
+		2: {0, 1, 3},
+		3: {2},
+	}
+	for v, want := range wantAdj {
+		got := g.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v (sorted)", v, got, want)
+			}
+		}
+		if g.Degree(v) != len(want) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, g.Degree(v), len(want))
+		}
+	}
+}
+
+func TestBFSOnPath(t *testing.T) {
+	g := Path(10)
+	dist, layers := g.BFS(0)
+	if layers != 9 {
+		t.Fatalf("path eccentricity = %d, want 9", layers)
+	}
+	for i, d := range dist {
+		if int(d) != i {
+			t.Fatalf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+	// From the middle.
+	dist, layers = g.BFS(5)
+	if layers != 5 {
+		t.Fatalf("eccentricity from middle = %d, want 5", layers)
+	}
+	if dist[0] != 5 || dist[9] != 4 {
+		t.Fatalf("unexpected distances from middle: %v", dist)
+	}
+}
+
+func TestBFSOnStarAndTree(t *testing.T) {
+	star := Star(100)
+	dist, layers := star.BFS(0)
+	if layers != 1 {
+		t.Fatalf("star eccentricity = %d, want 1", layers)
+	}
+	for i := 1; i < 100; i++ {
+		if dist[i] != 1 {
+			t.Fatalf("dist[%d] = %d, want 1", i, dist[i])
+		}
+	}
+	tree := CompleteBinaryTree(127)
+	_, layers = tree.BFS(0)
+	if layers != 6 {
+		t.Fatalf("tree of 127 nodes should have 6 BFS layers from the root, got %d", layers)
+	}
+}
+
+func TestBFSDisconnectedAndInvalidSource(t *testing.T) {
+	// Two components: 0-1 and 2-3.
+	g, _ := FromEdges(4, []Edge{{0, 1}, {2, 3}}, "two-components")
+	dist, _ := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatal("vertices in the other component should be unreachable")
+	}
+	st := g.ComputeStats()
+	if st.Reachable != 2 {
+		t.Fatalf("Reachable = %d, want 2", st.Reachable)
+	}
+	dist, layers := g.BFS(-1)
+	if layers != 0 {
+		t.Fatal("BFS from invalid source should explore nothing")
+	}
+	for _, d := range dist {
+		if d != -1 {
+			t.Fatal("BFS from invalid source should mark everything unreachable")
+		}
+	}
+}
+
+func TestGrid3DStructure(t *testing.T) {
+	g := Grid3D(4, 4, 4)
+	if g.NumVertices() != 64 {
+		t.Fatalf("vertices = %d, want 64", g.NumVertices())
+	}
+	// 3 * n^2 * (n-1) undirected edges for an n^3 grid.
+	want := int64(3 * 16 * 3)
+	if g.NumUndirectedEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumUndirectedEdges(), want)
+	}
+	_, layers := g.BFS(0)
+	if layers != 9 { // (4-1)*3 corners apart
+		t.Fatalf("grid diameter from corner = %d, want 9", layers)
+	}
+}
+
+func TestTorus2DStructure(t *testing.T) {
+	g := Torus2D(5)
+	if g.NumVertices() != 25 {
+		t.Fatalf("vertices = %d, want 25", g.NumVertices())
+	}
+	if g.NumUndirectedEdges() != 50 {
+		t.Fatalf("edges = %d, want 50", g.NumUndirectedEdges())
+	}
+	for v := int32(0); v < 25; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d has degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestLadderStructure(t *testing.T) {
+	g := Ladder(50)
+	if g.NumVertices() != 100 {
+		t.Fatalf("vertices = %d, want 100", g.NumVertices())
+	}
+	_, layers := g.BFS(0)
+	if layers < 49 {
+		t.Fatalf("ladder should have high diameter, got %d layers", layers)
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 42)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("vertices = %d, want 1024", g.NumVertices())
+	}
+	if g.NumUndirectedEdges() == 0 || g.NumUndirectedEdges() > 1024*8 {
+		t.Fatalf("unexpected edge count %d", g.NumUndirectedEdges())
+	}
+	// Determinism for a fixed seed.
+	h := RMAT(10, 8, 0.57, 0.19, 0.19, 42)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("RMAT with the same seed should be deterministic")
+	}
+	st := g.ComputeStats()
+	if st.Reachable < g.NumVertices()/4 {
+		t.Fatalf("RMAT giant component too small: %d of %d", st.Reachable, g.NumVertices())
+	}
+	if st.AvgDegree <= 0 {
+		t.Fatal("average degree should be positive")
+	}
+}
+
+func TestRandomAndPreferentialAttachment(t *testing.T) {
+	r := Random(500, 2500, 7)
+	if r.NumVertices() != 500 {
+		t.Fatalf("vertices = %d", r.NumVertices())
+	}
+	if r.NumUndirectedEdges() == 0 {
+		t.Fatal("random graph has no edges")
+	}
+	pa := PreferentialAttachment(500, 3, 7)
+	if pa.NumVertices() != 500 {
+		t.Fatalf("vertices = %d", pa.NumVertices())
+	}
+	// Preferential attachment produces a connected graph.
+	st := pa.ComputeStats()
+	if st.Reachable != 500 {
+		t.Fatalf("preferential-attachment graph should be connected, reachable = %d", st.Reachable)
+	}
+	// Heavy tail: some vertex should have degree well above the minimum.
+	maxDeg := 0
+	for v := int32(0); v < 500; v++ {
+		if d := pa.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 10 {
+		t.Fatalf("expected a hub vertex, max degree = %d", maxDeg)
+	}
+	tiny := PreferentialAttachment(3, 0, 1)
+	if tiny.NumVertices() != 3 {
+		t.Fatal("small preferential-attachment graph mis-sized")
+	}
+}
+
+func TestPaperInputs(t *testing.T) {
+	specs := PaperInputs()
+	if len(specs) != 8 {
+		t.Fatalf("expected 8 paper inputs, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if s.PaperVertices <= 0 || s.PaperEdges <= 0 || s.PaperDiameter <= 0 || s.PaperLookups <= 0 {
+			t.Fatalf("spec %q has missing paper data", s.Name)
+		}
+		names[s.Name] = true
+		g := s.Build(1.0/2048, int64(1))
+		if g.NumVertices() < 64 {
+			t.Fatalf("%s stand-in too small: %d vertices", s.Name, g.NumVertices())
+		}
+		if g.NumUndirectedEdges() == 0 {
+			t.Fatalf("%s stand-in has no edges", s.Name)
+		}
+		st := g.ComputeStats()
+		if st.Reachable < 2 {
+			t.Fatalf("%s stand-in has no reachable structure from vertex 0", s.Name)
+		}
+	}
+	for _, want := range []string{"kkt_power", "freescale1", "cage14", "wikipedia", "grid3d200", "rmat23", "cage15", "nlpkkt160"} {
+		if !names[want] {
+			t.Fatalf("missing paper input %q", want)
+		}
+	}
+	if _, ok := FindInput("rmat23"); !ok {
+		t.Fatal("FindInput failed for a known name")
+	}
+	if _, ok := FindInput("nonexistent"); ok {
+		t.Fatal("FindInput should fail for an unknown name")
+	}
+}
+
+func TestPropertyBFSDistancesAreConsistent(t *testing.T) {
+	// For any graph, BFS distances must differ by at most 1 across an edge
+	// and unreachable vertices must have no reachable neighbours.
+	f := func(seed int64) bool {
+		g := Random(200, 400, seed)
+		dist, _ := g.BFS(0)
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			for _, u := range g.Neighbors(v) {
+				dv, du := dist[v], dist[u]
+				if dv >= 0 && du >= 0 {
+					diff := dv - du
+					if diff < -1 || diff > 1 {
+						return false
+					}
+				}
+				if (dv < 0) != (du < 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// InputSpec describes one of the paper's eight PBFS input graphs together
+// with a synthetic generator that approximates its shape at a configurable
+// scale.  The paper's inputs are matrix-collection and web graphs that are
+// not redistributable, so the reproduction generates stand-ins whose vertex
+// count, edge count (hence average degree) and rough diameter class match
+// Figure 10(b).
+type InputSpec struct {
+	// Name is the paper's graph name.
+	Name string
+	// PaperVertices, PaperEdges and PaperDiameter are the |V|, |E| and D
+	// columns of Figure 10(b).
+	PaperVertices int64
+	PaperEdges    int64
+	PaperDiameter int
+	// PaperLookups is the number of reducer lookups the paper reports for
+	// the PBFS run on this input.
+	PaperLookups int64
+	// Build generates the stand-in graph with roughly PaperVertices*scale
+	// vertices.
+	Build func(scale float64, seed int64) *Graph
+}
+
+// PaperInputs returns the specifications of the eight graphs in Figure
+// 10(b), in the paper's order.
+func PaperInputs() []InputSpec {
+	return []InputSpec{
+		{
+			Name: "kkt_power", PaperVertices: 2_050_000, PaperEdges: 12_760_000, PaperDiameter: 31, PaperLookups: 1027,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(2_050_000, scale)
+				m := int(float64(n) * 6.2)
+				g := Random(n, m, seed)
+				g.SetName("kkt_power (synthetic random, deg≈12.4)")
+				return g
+			},
+		},
+		{
+			Name: "freescale1", PaperVertices: 3_430_000, PaperEdges: 17_100_000, PaperDiameter: 128, PaperLookups: 1748,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(3_430_000, scale)
+				side := int(math.Sqrt(float64(n)))
+				if side < 2 {
+					side = 2
+				}
+				g := Torus2D(side)
+				g.SetName("freescale1 (synthetic torus, high diameter)")
+				return g
+			},
+		},
+		{
+			Name: "cage14", PaperVertices: 1_510_000, PaperEdges: 27_100_000, PaperDiameter: 43, PaperLookups: 766,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(1_510_000, scale)
+				m := n * 18
+				g := Random(n, m, seed)
+				g.SetName("cage14 (synthetic random, deg≈36)")
+				return g
+			},
+		},
+		{
+			Name: "wikipedia", PaperVertices: 2_400_000, PaperEdges: 41_900_000, PaperDiameter: 460, PaperLookups: 1631,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(2_400_000, scale)
+				g := PreferentialAttachment(n, 17, seed)
+				g.SetName("wikipedia (synthetic preferential attachment)")
+				return g
+			},
+		},
+		{
+			Name: "grid3d200", PaperVertices: 8_000_000, PaperEdges: 55_800_000, PaperDiameter: 598, PaperLookups: 4323,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(8_000_000, scale)
+				side := int(math.Cbrt(float64(n)))
+				if side < 2 {
+					side = 2
+				}
+				g := Grid3D(side, side, side)
+				g.SetName(fmt.Sprintf("grid3d200 (synthetic %d^3 grid)", side))
+				return g
+			},
+		},
+		{
+			Name: "rmat23", PaperVertices: 2_300_000, PaperEdges: 77_900_000, PaperDiameter: 8, PaperLookups: 71269,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(2_300_000, scale)
+				sc := int(math.Round(math.Log2(float64(n))))
+				if sc < 4 {
+					sc = 4
+				}
+				g := RMAT(sc, 34, 0.57, 0.19, 0.19, seed)
+				g.SetName(fmt.Sprintf("rmat23 (synthetic R-MAT scale %d)", sc))
+				return g
+			},
+		},
+		{
+			Name: "cage15", PaperVertices: 5_150_000, PaperEdges: 99_200_000, PaperDiameter: 50, PaperLookups: 2547,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(5_150_000, scale)
+				m := n * 19
+				g := Random(n, m, seed)
+				g.SetName("cage15 (synthetic random, deg≈38)")
+				return g
+			},
+		},
+		{
+			Name: "nlpkkt160", PaperVertices: 8_350_000, PaperEdges: 225_400_000, PaperDiameter: 163, PaperLookups: 4174,
+			Build: func(scale float64, seed int64) *Graph {
+				n := scaledVertices(8_350_000, scale)
+				side := int(math.Cbrt(float64(n)))
+				if side < 2 {
+					side = 2
+				}
+				g := Grid3D(side, side, side)
+				g.SetName(fmt.Sprintf("nlpkkt160 (synthetic %d^3 grid)", side))
+				return g
+			},
+		},
+	}
+}
+
+// FindInput returns the spec with the given paper name.
+func FindInput(name string) (InputSpec, bool) {
+	for _, s := range PaperInputs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return InputSpec{}, false
+}
+
+// scaledVertices converts a paper vertex count and scale factor into a
+// stand-in vertex count, never below a small floor so that tiny scales
+// still produce meaningful graphs.
+func scaledVertices(paper int64, scale float64) int {
+	if scale <= 0 {
+		scale = 1.0 / 1024
+	}
+	n := int(float64(paper) * scale)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package hypermap
+
+import "repro/internal/spa"
+
+// hashTable is a chained hash table mapping reducer addresses to view
+// entries.  It reproduces the structure of the hypermaps in the open-source
+// Cilk Plus runtime (reducer_impl.cpp) rather than relying on Go's built-in
+// map, so that the measured lookup cost has the same character as the
+// baseline the paper compares against:
+//
+//   - the table is sized from a fixed progression of odd (prime-like)
+//     bucket counts,
+//   - the hash reduces the reducer's address modulo the bucket count (an
+//     integer division on every lookup),
+//   - collisions chain within a bucket, and
+//   - exceeding the load factor triggers a rehash into the next size (the
+//     "hash-table expansion" the paper's Figure 6 discussion calls out).
+type hashTable struct {
+	buckets  []*hashEntry
+	nbuckets uint64
+	n        int
+	sizeIdx  int
+}
+
+// hashEntry is one chained element.
+type hashEntry struct {
+	key  spa.Addr
+	ent  *entry
+	next *hashEntry
+}
+
+// bucketSizes is the progression of bucket counts, mirroring the small
+// prime-like sizes the Cilk Plus runtime grows its hypermaps through.
+var bucketSizes = []int{17, 37, 79, 163, 331, 673, 1361, 2729, 5471, 10949, 21911, 43853, 87719, 175447}
+
+// newHashTable creates an empty table whose initial size is at least hint.
+func newHashTable(hint int) *hashTable {
+	idx := 0
+	for idx < len(bucketSizes)-1 && bucketSizes[idx] < hint {
+		idx++
+	}
+	return &hashTable{
+		buckets:  make([]*hashEntry, bucketSizes[idx]),
+		nbuckets: uint64(bucketSizes[idx]),
+		sizeIdx:  idx,
+	}
+}
+
+// hash reduces the reducer address (in the real runtime, the reducer's
+// pointer shifted past its alignment bits) modulo the bucket count.
+func (t *hashTable) hash(key spa.Addr) uint64 {
+	return (uint64(key) + 0x9E3779B9) % t.nbuckets
+}
+
+// len returns the number of stored entries.
+func (t *hashTable) len() int { return t.n }
+
+// lookup returns the entry for key, or nil.
+func (t *hashTable) lookup(key spa.Addr) *entry {
+	for e := t.buckets[t.hash(key)]; e != nil; e = e.next {
+		if e.key == key {
+			return e.ent
+		}
+	}
+	return nil
+}
+
+// insert adds an entry for key, which must not already be present, growing
+// the table when the load factor reaches 1.
+func (t *hashTable) insert(key spa.Addr, ent *entry) {
+	if t.n >= len(t.buckets) {
+		t.grow()
+	}
+	b := t.hash(key)
+	t.buckets[b] = &hashEntry{key: key, ent: ent, next: t.buckets[b]}
+	t.n++
+}
+
+// grow moves to the next bucket-count in the progression and rehashes every
+// entry.
+func (t *hashTable) grow() {
+	if t.sizeIdx+1 < len(bucketSizes) {
+		t.sizeIdx++
+	}
+	old := t.buckets
+	t.buckets = make([]*hashEntry, bucketSizes[t.sizeIdx])
+	t.nbuckets = uint64(len(t.buckets))
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			b := t.hash(e.key)
+			e.next = t.buckets[b]
+			t.buckets[b] = e
+			e = next
+		}
+	}
+}
+
+// forEach calls fn for every (key, entry) pair.
+func (t *hashTable) forEach(fn func(key spa.Addr, ent *entry)) {
+	for _, e := range t.buckets {
+		for ; e != nil; e = e.next {
+			fn(e.key, e.ent)
+		}
+	}
+}

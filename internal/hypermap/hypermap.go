@@ -1,0 +1,345 @@
+// Package hypermap implements the baseline reducer mechanism used by
+// Cilk++ and Intel Cilk Plus, against which the paper compares its
+// memory-mapping mechanism: each execution context owns a hash table (a
+// "hypermap") mapping reducers to their local views.
+//
+// Every reducer access performs a hash-table lookup keyed by the reducer's
+// identity.  When a stolen computation first touches a reducer, an identity
+// view is created lazily and inserted into the hypermap.  View transferal
+// is cheap — the hypermap pointer itself is deposited — but lookups carry
+// the full hash-table cost and hypermerges walk one table performing a
+// lookup in the other per element, which is where the paper finds Cilk Plus
+// spending most of its reduce overhead.
+package hypermap
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/spa"
+)
+
+// Config configures the hypermap engine.
+type Config struct {
+	// Workers sizes the per-worker instrumentation.
+	Workers int
+	// Timing enables duration measurement in the overhead instrumentation.
+	Timing bool
+	// CountLookups enables lookup counting.
+	CountLookups bool
+	// InitialBuckets is the initial size hint for newly created hypermaps.
+	// The Cilk Plus runtime starts its hash tables small and grows them;
+	// a value of 0 keeps Go's default behaviour.
+	InitialBuckets int
+}
+
+// Engine is the hypermap reducer engine.
+type Engine struct {
+	cfg Config
+	rec *metrics.Recorder
+
+	mu        sync.Mutex
+	nextID    uint64
+	nextAddr  spa.Addr
+	freeAddrs []spa.Addr
+	registry  map[spa.Addr]*core.Reducer
+	workers   []*hmWorker
+
+	countLookups bool
+	lookups      []padCounter
+}
+
+type padCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// hmWorker is the per-worker state: the user hypermap of the trace the
+// worker is currently executing.
+type hmWorker struct {
+	eng *Engine
+	w   *sched.Worker
+	// user is the user hypermap: reducer address → local view.
+	user *hashTable
+}
+
+// entry pairs a local view with its monoid, mirroring what a hypermap
+// value holds in Cilk Plus.
+type entry struct {
+	view   any
+	monoid core.Monoid
+}
+
+// hmTrace identifies an active trace.  Traces nest when a worker helps at a
+// stalled join, so the token saves the suspended outer trace's user
+// hypermap for EndTrace to restore.
+type hmTrace struct {
+	ws    *hmWorker
+	saved *hashTable
+}
+
+// Deposit is a deposited hypermap: view transferal in the hypermap scheme
+// simply hands over the map.
+type Deposit struct {
+	views *hashTable
+}
+
+// Len returns the number of deposited views.
+func (d *Deposit) Len() int {
+	if d.views == nil {
+		return 0
+	}
+	return d.views.len()
+}
+
+// New creates a hypermap engine.
+func New(cfg Config) *Engine {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	e := &Engine{
+		cfg:      cfg,
+		rec:      metrics.NewRecorder(cfg.Workers),
+		registry: make(map[spa.Addr]*core.Reducer),
+		lookups:  make([]padCounter, cfg.Workers),
+	}
+	e.rec.SetTiming(cfg.Timing)
+	e.countLookups = cfg.CountLookups
+	return e
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "Cilk Plus (hypermap)" }
+
+// newHypermap allocates an empty user hypermap.
+func (e *Engine) newHypermap() *hashTable {
+	return newHashTable(e.cfg.InitialBuckets)
+}
+
+// --- registration and lookup ---
+
+// Register implements core.Engine.
+func (e *Engine) Register(m core.Monoid) (*core.Reducer, error) {
+	if m == nil {
+		return nil, errors.New("hypermap: nil monoid")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var addr spa.Addr
+	if n := len(e.freeAddrs); n > 0 {
+		addr = e.freeAddrs[n-1]
+		e.freeAddrs = e.freeAddrs[:n-1]
+	} else {
+		addr = e.nextAddr
+		e.nextAddr++
+	}
+	e.nextID++
+	r := core.NewRegisteredReducer(e, e.nextID, addr, m)
+	e.registry[addr] = r
+	return r, nil
+}
+
+// Unregister implements core.Engine.
+func (e *Engine) Unregister(r *core.Reducer) {
+	if r == nil {
+		return
+	}
+	e.mu.Lock()
+	if got, ok := e.registry[r.Addr()]; ok && got == r {
+		delete(e.registry, r.Addr())
+		e.freeAddrs = append(e.freeAddrs, r.Addr())
+	}
+	e.mu.Unlock()
+	core.MarkRetired(r)
+}
+
+// Registered returns the number of live reducers.
+func (e *Engine) Registered() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.registry)
+}
+
+// Lookup implements core.Engine: a hash-table lookup keyed by the reducer's
+// address, creating and inserting an identity view on a miss.
+func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
+	if c == nil {
+		return r.Value()
+	}
+	w := c.Worker()
+	ws, _ := w.Local().(*hmWorker)
+	if ws == nil {
+		return r.Value()
+	}
+	if e.countLookups {
+		e.lookups[w.ID()%len(e.lookups)].add(1)
+	}
+	if ent := ws.user.lookup(r.Addr()); ent != nil {
+		return ent.view
+	}
+	return e.lookupSlow(w, ws, r)
+}
+
+func (e *Engine) lookupSlow(w *sched.Worker, ws *hmWorker, r *core.Reducer) any {
+	start := e.rec.Start()
+	view := r.Monoid().Identity()
+	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
+
+	start = e.rec.Start()
+	ws.user.insert(r.Addr(), &entry{view: view, monoid: r.Monoid()})
+	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
+	return view
+}
+
+func (c *padCounter) add(n int64) { c.n.Add(n) }
+
+// --- sched.ReducerRuntime hooks ---
+
+// WorkerInit implements sched.ReducerRuntime.
+func (e *Engine) WorkerInit(w *sched.Worker) {
+	ws := &hmWorker{eng: e, w: w, user: e.newHypermap()}
+	w.SetLocal(ws)
+	e.mu.Lock()
+	e.workers = append(e.workers, ws)
+	e.mu.Unlock()
+}
+
+// BeginTrace implements sched.ReducerRuntime.  A stolen frame starts with
+// an empty user hypermap; the suspended trace's hypermap (non-empty when
+// the worker is helping at a stalled join) is saved in the trace token.
+func (e *Engine) BeginTrace(w *sched.Worker) sched.Trace {
+	ws, _ := w.Local().(*hmWorker)
+	if ws == nil {
+		return &hmTrace{}
+	}
+	tr := &hmTrace{ws: ws, saved: ws.user}
+	ws.user = e.newHypermap()
+	return tr
+}
+
+// EndTrace implements sched.ReducerRuntime.  View transferal in the
+// hypermap scheme deposits the user hypermap itself, then restores the
+// suspended outer trace's hypermap.
+func (e *Engine) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
+	ws, _ := w.Local().(*hmWorker)
+	if ws == nil {
+		return nil
+	}
+	ht, _ := tr.(*hmTrace)
+	var dep *Deposit
+	if ws.user.len() != 0 {
+		start := e.rec.Start()
+		dep = &Deposit{views: ws.user}
+		ws.user = nil
+		e.rec.Stop(w.ID(), metrics.ViewTransferal, start)
+	}
+	if ht != nil && ht.saved != nil {
+		ws.user = ht.saved
+	} else if ws.user == nil {
+		ws.user = e.newHypermap()
+	}
+	if dep == nil {
+		return nil
+	}
+	return dep
+}
+
+// Merge implements sched.ReducerRuntime: the hypermerge.  The worker walks
+// the deposited hypermap; for every element it looks up the corresponding
+// view in its own user hypermap and either reduces the pair (current ⊗
+// deposited) or inserts the deposited view.
+func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
+	dep, _ := d.(*Deposit)
+	if dep == nil {
+		return
+	}
+	ws, _ := w.Local().(*hmWorker)
+	if ws == nil {
+		return
+	}
+	start := e.rec.Start()
+	reduces := int64(0)
+	inserts := int64(0)
+	dep.views.forEach(func(addr spa.Addr, depEnt *entry) {
+		if curEnt := ws.user.lookup(addr); curEnt != nil {
+			curEnt.view = depEnt.monoid.Reduce(curEnt.view, depEnt.view)
+			reduces++
+			return
+		}
+		insStart := e.rec.Start()
+		ws.user.insert(addr, depEnt)
+		e.rec.Stop(w.ID(), metrics.ViewInsertion, insStart)
+		inserts++
+	})
+	dep.views = nil
+	e.rec.Stop(w.ID(), metrics.Hypermerge, start)
+	if reduces > 1 {
+		e.rec.RecordCount(w.ID(), metrics.Hypermerge, reduces-1)
+	}
+	_ = inserts
+}
+
+// MergeRootDeposit implements core.Engine.
+func (e *Engine) MergeRootDeposit(d sched.Deposit) {
+	dep, _ := d.(*Deposit)
+	if dep == nil || dep.views == nil {
+		return
+	}
+	e.mu.Lock()
+	reg := make(map[spa.Addr]*core.Reducer, len(e.registry))
+	for a, r := range e.registry {
+		reg[a] = r
+	}
+	e.mu.Unlock()
+	dep.views.forEach(func(addr spa.Addr, ent *entry) {
+		if r, ok := reg[addr]; ok {
+			core.AbsorbView(r, ent.view)
+		}
+	})
+	dep.views = nil
+}
+
+// --- instrumentation ---
+
+// Overheads implements core.Engine.
+func (e *Engine) Overheads() metrics.Breakdown { return e.rec.Snapshot() }
+
+// ResetOverheads implements core.Engine.
+func (e *Engine) ResetOverheads() {
+	e.rec.Reset()
+	for i := range e.lookups {
+		e.lookups[i].n.Store(0)
+	}
+}
+
+// SetTiming implements core.Engine.
+func (e *Engine) SetTiming(on bool) { e.rec.SetTiming(on) }
+
+// SetCountLookups implements core.Engine.
+func (e *Engine) SetCountLookups(on bool) { e.countLookups = on }
+
+// Lookups implements core.Engine.
+func (e *Engine) Lookups() int64 {
+	var n int64
+	for i := range e.lookups {
+		n += e.lookups[i].n.Load()
+	}
+	return n
+}
+
+// WorkerViewCount reports the number of views in worker i's user hypermap
+// (diagnostic; it should be zero between runs).
+func (e *Engine) WorkerViewCount(i int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.workers) {
+		return 0
+	}
+	return e.workers[i].user.len()
+}
+
+var _ core.Engine = (*Engine)(nil)

@@ -1,0 +1,169 @@
+package hypermap_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/sched"
+)
+
+type sumMonoid struct{}
+
+type sumView struct{ v int }
+
+func (sumMonoid) Identity() any { return &sumView{} }
+func (sumMonoid) Reduce(left, right any) any {
+	l := left.(*sumView)
+	l.v += right.(*sumView).v
+	return l
+}
+
+type catMonoid struct{}
+
+type catView struct{ s string }
+
+func (catMonoid) Identity() any { return &catView{} }
+func (catMonoid) Reduce(left, right any) any {
+	l := left.(*catView)
+	l.s += right.(*catView).s
+	return l
+}
+
+func TestHypermapRegisterUnregister(t *testing.T) {
+	e := hypermap.New(hypermap.Config{Workers: 2})
+	if _, err := e.Register(nil); err == nil {
+		t.Fatal("Register(nil) should fail")
+	}
+	r1, err := e.Register(sumMonoid{})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	r2, _ := e.Register(sumMonoid{})
+	if r1.Addr() == r2.Addr() {
+		t.Fatal("distinct reducers share an address")
+	}
+	if e.Registered() != 2 {
+		t.Fatalf("Registered = %d, want 2", e.Registered())
+	}
+	addr := r1.Addr()
+	e.Unregister(r1)
+	e.Unregister(nil)
+	if !r1.Retired() {
+		t.Fatal("Unregister did not retire the reducer")
+	}
+	r3, _ := e.Register(sumMonoid{})
+	if r3.Addr() != addr {
+		t.Fatalf("address %d not recycled, got %d", addr, r3.Addr())
+	}
+}
+
+func TestHypermapSerialAndParallelSum(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		eng := hypermap.New(hypermap.Config{Workers: workers, InitialBuckets: 8})
+		s := core.NewSession(workers, eng)
+		r, _ := eng.Register(sumMonoid{})
+		const n = 500
+		err := s.Run(func(c *sched.Context) {
+			c.ParallelForGrain(0, n, 1, func(c *sched.Context, i int) {
+				if workers > 1 {
+					time.Sleep(20 * time.Microsecond)
+				}
+				eng.Lookup(c, r).(*sumView).v++
+			})
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got := r.Value().(*sumView).v; got != n {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, got, n)
+		}
+		if workers > 1 && s.Runtime().Stats().Steals == 0 {
+			t.Fatal("expected steals on the parallel run")
+		}
+		for i := 0; i < workers; i++ {
+			if got := eng.WorkerViewCount(i); got != 0 {
+				t.Fatalf("worker %d retains %d views after the run", i, got)
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestHypermapNonCommutativeOrder(t *testing.T) {
+	eng := hypermap.New(hypermap.Config{Workers: 4})
+	s := core.NewSession(4, eng)
+	defer s.Close()
+	r, _ := eng.Register(catMonoid{})
+	const n = 150
+	var want strings.Builder
+	for i := 0; i < n; i++ {
+		want.WriteByte(byte('a' + i%26))
+	}
+	err := s.Run(func(c *sched.Context) {
+		c.ParallelForGrain(0, n, 1, func(c *sched.Context, i int) {
+			time.Sleep(40 * time.Microsecond)
+			view := eng.Lookup(c, r).(*catView)
+			view.s += string(byte('a' + i%26))
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := r.Value().(*catView).s; got != want.String() {
+		t.Fatalf("order differs from serial:\ngot  %q\nwant %q", got, want.String())
+	}
+}
+
+func TestHypermapOverheadsAndLookupCounting(t *testing.T) {
+	eng := hypermap.New(hypermap.Config{Workers: 2, Timing: true, CountLookups: true})
+	s := core.NewSession(2, eng)
+	defer s.Close()
+	r, _ := eng.Register(sumMonoid{})
+	const n = 300
+	err := s.Run(func(c *sched.Context) {
+		c.ParallelForGrain(0, n, 1, func(c *sched.Context, i int) {
+			time.Sleep(20 * time.Microsecond)
+			eng.Lookup(c, r).(*sumView).v++
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := eng.Lookups(); got != n {
+		t.Fatalf("Lookups = %d, want %d", got, n)
+	}
+	if eng.Overheads().Total() == 0 {
+		t.Fatal("expected timed overheads")
+	}
+	eng.ResetOverheads()
+	if eng.Overheads().Total() != 0 || eng.Lookups() != 0 {
+		t.Fatal("ResetOverheads did not clear counters")
+	}
+	eng.SetTiming(false)
+	eng.SetCountLookups(false)
+	if !strings.Contains(eng.Name(), "hypermap") {
+		t.Fatalf("Name = %q", eng.Name())
+	}
+}
+
+func TestHypermapMergeRootDepositNil(t *testing.T) {
+	eng := hypermap.New(hypermap.Config{Workers: 1})
+	eng.MergeRootDeposit(nil)
+	var d *hypermap.Deposit
+	eng.MergeRootDeposit(d)
+	if (&hypermap.Deposit{}).Len() != 0 {
+		t.Fatal("empty deposit should have zero length")
+	}
+}
+
+func TestHypermapSerialContext(t *testing.T) {
+	eng := hypermap.New(hypermap.Config{Workers: 1})
+	r, _ := eng.Register(sumMonoid{})
+	eng.Lookup(nil, r).(*sumView).v = 9
+	if got := r.Value().(*sumView).v; got != 9 {
+		t.Fatalf("serial-context value = %d, want 9", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package locking provides the locking baseline that the paper's Figure 1
+// compares against reducer lookups: a spin lock in the style of
+// pthread_spin_lock, plus lock-guarded accumulator cells that play the role
+// of the "lock and unlock around the memory updates" microbenchmark.
+package locking
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SpinLock is a test-and-test-and-set spin lock with exponential backoff.
+// Unlike a raw pthread spin lock it yields to the Go scheduler while
+// backing off, so it remains usable when workers are multiplexed onto fewer
+// OS threads than there are spinners.
+type SpinLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning until it is available.
+func (l *SpinLock) Lock() {
+	backoff := 1
+	for {
+		if l.TryLock() {
+			return
+		}
+		// Test-and-test-and-set: spin reading until the lock looks free.
+		for l.state.Load() != 0 {
+			for i := 0; i < backoff; i++ {
+				// Busy wait.
+			}
+			if backoff < 1<<10 {
+				backoff <<= 1
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning.
+func (l *SpinLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock.  Unlocking an unlocked SpinLock panics.
+func (l *SpinLock) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("locking: unlock of unlocked SpinLock")
+	}
+}
+
+// Locker returns the lock as a sync.Locker.
+func (l *SpinLock) Locker() sync.Locker { return l }
+
+var _ sync.Locker = (*SpinLock)(nil)
+
+// Cell is a spin-lock-guarded accumulator cell: the unit of the locking
+// microbenchmark, one lock per memory location.
+type Cell struct {
+	lock SpinLock
+	v    int64
+}
+
+// Add adds delta to the cell under its lock.
+func (c *Cell) Add(delta int64) {
+	c.lock.Lock()
+	c.v += delta
+	c.lock.Unlock()
+}
+
+// Min lowers the cell to v under its lock.
+func (c *Cell) Min(v int64) {
+	c.lock.Lock()
+	if v < c.v {
+		c.v = v
+	}
+	c.lock.Unlock()
+}
+
+// Max raises the cell to v under its lock.
+func (c *Cell) Max(v int64) {
+	c.lock.Lock()
+	if v > c.v {
+		c.v = v
+	}
+	c.lock.Unlock()
+}
+
+// Store sets the cell's value under its lock.
+func (c *Cell) Store(v int64) {
+	c.lock.Lock()
+	c.v = v
+	c.lock.Unlock()
+}
+
+// Load returns the cell's value under its lock.
+func (c *Cell) Load() int64 {
+	c.lock.Lock()
+	v := c.v
+	c.lock.Unlock()
+	return v
+}
+
+// Array is a set of lock-guarded cells, one lock per location, as used by
+// the Figure 1 locking microbenchmark.
+type Array struct {
+	cells []Cell
+}
+
+// NewArray creates an array of n zero cells.
+func NewArray(n int) *Array {
+	if n < 1 {
+		n = 1
+	}
+	return &Array{cells: make([]Cell, n)}
+}
+
+// Len returns the number of cells.
+func (a *Array) Len() int { return len(a.cells) }
+
+// Cell returns the i-th cell.
+func (a *Array) Cell(i int) *Cell { return &a.cells[i%len(a.cells)] }
+
+// Add adds delta to cell i under that cell's lock.
+func (a *Array) Add(i int, delta int64) { a.Cell(i).Add(delta) }
+
+// Values returns a snapshot of every cell.
+func (a *Array) Values() []int64 {
+	out := make([]int64, len(a.cells))
+	for i := range a.cells {
+		out[i] = a.cells[i].Load()
+	}
+	return out
+}
+
+// MutexCell is the same accumulator guarded by a sync.Mutex, provided so the
+// harness can also report the cost of the standard library lock.
+type MutexCell struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add adds delta under the mutex.
+func (c *MutexCell) Add(delta int64) {
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Load returns the value under the mutex.
+func (c *MutexCell) Load() int64 {
+	c.mu.Lock()
+	v := c.v
+	c.mu.Unlock()
+	return v
+}

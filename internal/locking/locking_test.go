@@ -1,0 +1,149 @@
+package locking
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counter := 0
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*perG)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock should succeed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock should fail")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock should succeed")
+	}
+	l.Unlock()
+	if l.Locker() == nil {
+		t.Fatal("Locker() should not be nil")
+	}
+}
+
+func TestSpinLockUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var l SpinLock
+	l.Unlock()
+}
+
+func TestCellOperations(t *testing.T) {
+	var c Cell
+	c.Add(10)
+	c.Add(-3)
+	if c.Load() != 7 {
+		t.Fatalf("Load = %d, want 7", c.Load())
+	}
+	c.Min(3)
+	if c.Load() != 3 {
+		t.Fatalf("after Min(3) = %d, want 3", c.Load())
+	}
+	c.Min(5)
+	if c.Load() != 3 {
+		t.Fatalf("Min(5) should not raise the value, got %d", c.Load())
+	}
+	c.Max(9)
+	if c.Load() != 9 {
+		t.Fatalf("after Max(9) = %d, want 9", c.Load())
+	}
+	c.Max(2)
+	if c.Load() != 9 {
+		t.Fatalf("Max(2) should not lower the value, got %d", c.Load())
+	}
+	c.Store(-1)
+	if c.Load() != -1 {
+		t.Fatalf("Store/Load = %d, want -1", c.Load())
+	}
+}
+
+func TestCellConcurrentAdds(t *testing.T) {
+	var c Cell
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 40000 {
+		t.Fatalf("Load = %d, want 40000", c.Load())
+	}
+}
+
+func TestArray(t *testing.T) {
+	a := NewArray(4)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	for i := 0; i < 100; i++ {
+		a.Add(i%4, int64(i))
+	}
+	vals := a.Values()
+	var total int64
+	for _, v := range vals {
+		total += v
+	}
+	if total != 99*100/2 {
+		t.Fatalf("sum of cells = %d, want %d", total, 99*100/2)
+	}
+	// Out-of-range indices wrap.
+	a.Add(7, 1)
+	if a.Cell(7) != a.Cell(3) {
+		t.Fatal("cell indexing should wrap")
+	}
+	small := NewArray(0)
+	if small.Len() != 1 {
+		t.Fatalf("NewArray(0) should clamp to 1, got %d", small.Len())
+	}
+}
+
+func TestMutexCell(t *testing.T) {
+	var c MutexCell
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 40000 {
+		t.Fatalf("Load = %d, want 40000", c.Load())
+	}
+}

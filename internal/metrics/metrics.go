@@ -1,0 +1,356 @@
+// Package metrics provides the instrumentation used to reproduce the
+// paper's overhead measurements: per-worker padded counters for the four
+// sources of reduce overhead (view creation, view insertion, view
+// transferal and hypermerge), simple timing statistics, and text renderers
+// for the tables and figures the benchmark harness prints.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Overhead identifies one of the reduce-overhead categories from Figure 8.
+type Overhead int
+
+// Overhead categories.
+const (
+	ViewCreation Overhead = iota
+	ViewInsertion
+	Hypermerge
+	ViewTransferal
+	numOverheads
+)
+
+// String returns the category name as used in the paper's figures.
+func (o Overhead) String() string {
+	switch o {
+	case ViewCreation:
+		return "view creation"
+	case ViewInsertion:
+		return "view insertion"
+	case Hypermerge:
+		return "hypermerge"
+	case ViewTransferal:
+		return "view transferal"
+	default:
+		return fmt.Sprintf("overhead(%d)", int(o))
+	}
+}
+
+// Overheads returns every category in display order.
+func Overheads() []Overhead {
+	return []Overhead{ViewCreation, ViewInsertion, Hypermerge, ViewTransferal}
+}
+
+// Breakdown holds accumulated time and event counts per overhead category.
+type Breakdown struct {
+	Nanos  [numOverheads]int64
+	Counts [numOverheads]int64
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(other Breakdown) {
+	for i := range b.Nanos {
+		b.Nanos[i] += other.Nanos[i]
+		b.Counts[i] += other.Counts[i]
+	}
+}
+
+// Total returns the summed duration across all categories.
+func (b Breakdown) Total() time.Duration {
+	var t int64
+	for _, n := range b.Nanos {
+		t += n
+	}
+	return time.Duration(t)
+}
+
+// Duration returns the accumulated time in one category.
+func (b Breakdown) Duration(o Overhead) time.Duration { return time.Duration(b.Nanos[o]) }
+
+// Count returns the number of events in one category.
+func (b Breakdown) Count(o Overhead) int64 { return b.Counts[o] }
+
+// String renders the breakdown in a compact single line.
+func (b Breakdown) String() string {
+	parts := make([]string, 0, numOverheads)
+	for _, o := range Overheads() {
+		parts = append(parts, fmt.Sprintf("%s=%v/%d", o, b.Duration(o), b.Count(o)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// cacheLinePad separates per-worker counters to avoid false sharing.
+type cacheLinePad [64]byte
+
+// workerCounters is one worker's slice of the recorder.
+type workerCounters struct {
+	nanos  [numOverheads]atomic.Int64
+	counts [numOverheads]atomic.Int64
+	_      cacheLinePad
+}
+
+// Recorder accumulates overhead contributions from many workers without
+// contention and aggregates them on demand.
+type Recorder struct {
+	workers []workerCounters
+	// timing controls whether durations are recorded; event counts are
+	// always recorded.
+	timing atomic.Bool
+}
+
+// NewRecorder creates a recorder for n workers.
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	r := &Recorder{workers: make([]workerCounters, n)}
+	r.timing.Store(true)
+	return r
+}
+
+// SetTiming enables or disables duration recording.  Disabling it removes
+// the clock reads from the instrumented fast paths while keeping counts.
+func (r *Recorder) SetTiming(on bool) { r.timing.Store(on) }
+
+// Timing reports whether duration recording is enabled.
+func (r *Recorder) Timing() bool { return r.timing.Load() }
+
+// Record adds one event of category o with the given duration for worker w.
+func (r *Recorder) Record(w int, o Overhead, d time.Duration) {
+	wc := &r.workers[r.clamp(w)]
+	wc.counts[o].Add(1)
+	if r.timing.Load() && d > 0 {
+		wc.nanos[o].Add(int64(d))
+	}
+}
+
+// RecordCount adds n events of category o without timing.
+func (r *Recorder) RecordCount(w int, o Overhead, n int64) {
+	r.workers[r.clamp(w)].counts[o].Add(n)
+}
+
+// Start returns the current time if timing is enabled and the zero time
+// otherwise; pair it with Stop.
+func (r *Recorder) Start() time.Time {
+	if !r.timing.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop records one event of category o for worker w, measured from the
+// Start value.
+func (r *Recorder) Stop(w int, o Overhead, start time.Time) {
+	wc := &r.workers[r.clamp(w)]
+	wc.counts[o].Add(1)
+	if !start.IsZero() {
+		wc.nanos[o].Add(int64(time.Since(start)))
+	}
+}
+
+// Snapshot aggregates all workers into one breakdown.
+func (r *Recorder) Snapshot() Breakdown {
+	var b Breakdown
+	for i := range r.workers {
+		for o := 0; o < int(numOverheads); o++ {
+			b.Nanos[o] += r.workers[i].nanos[o].Load()
+			b.Counts[o] += r.workers[i].counts[o].Load()
+		}
+	}
+	return b
+}
+
+// Reset zeroes every counter.
+func (r *Recorder) Reset() {
+	for i := range r.workers {
+		for o := 0; o < int(numOverheads); o++ {
+			r.workers[i].nanos[o].Store(0)
+			r.workers[i].counts[o].Store(0)
+		}
+	}
+}
+
+func (r *Recorder) clamp(w int) int {
+	if w < 0 {
+		return 0
+	}
+	return w % len(r.workers)
+}
+
+// Sample summarises repeated timing measurements.
+type Sample struct {
+	values []float64
+}
+
+// AddValue appends one measurement.
+func (s *Sample) AddValue(v float64) { s.values = append(s.values, v) }
+
+// AddDuration appends one duration measured in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.AddValue(d.Seconds()) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation, or 0 when fewer than two
+// measurements exist.
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	acc := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// RelStdDev returns the standard deviation as a fraction of the mean, the
+// quantity the paper reports ("standard deviation of less than 5%").
+func (s *Sample) RelStdDev() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.StdDev() / m
+}
+
+// Min returns the smallest measurement, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Median returns the median measurement, or 0 for an empty sample.
+func (s *Sample) Median() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Table is a minimal text-table builder for harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteString("\n")
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, cell)
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

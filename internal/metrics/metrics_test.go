@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOverheadStrings(t *testing.T) {
+	names := map[Overhead]string{
+		ViewCreation:   "view creation",
+		ViewInsertion:  "view insertion",
+		Hypermerge:     "hypermerge",
+		ViewTransferal: "view transferal",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+	if got := Overhead(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown overhead string %q", got)
+	}
+	if len(Overheads()) != 4 {
+		t.Fatalf("Overheads() returned %d categories, want 4", len(Overheads()))
+	}
+}
+
+func TestRecorderRecordAndSnapshot(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(0, ViewCreation, 10*time.Nanosecond)
+	r.Record(1, ViewCreation, 20*time.Nanosecond)
+	r.Record(2, Hypermerge, 30*time.Nanosecond)
+	r.RecordCount(3, ViewInsertion, 5)
+	b := r.Snapshot()
+	if b.Count(ViewCreation) != 2 || b.Duration(ViewCreation) != 30*time.Nanosecond {
+		t.Fatalf("ViewCreation = %v/%d", b.Duration(ViewCreation), b.Count(ViewCreation))
+	}
+	if b.Count(ViewInsertion) != 5 || b.Duration(ViewInsertion) != 0 {
+		t.Fatalf("ViewInsertion = %v/%d", b.Duration(ViewInsertion), b.Count(ViewInsertion))
+	}
+	if b.Total() != 60*time.Nanosecond {
+		t.Fatalf("Total = %v, want 60ns", b.Total())
+	}
+	if !strings.Contains(b.String(), "hypermerge") {
+		t.Fatalf("String() = %q", b.String())
+	}
+	r.Reset()
+	if r.Snapshot().Total() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestRecorderTimingToggle(t *testing.T) {
+	r := NewRecorder(1)
+	if !r.Timing() {
+		t.Fatal("timing should default to enabled")
+	}
+	r.SetTiming(false)
+	start := r.Start()
+	if !start.IsZero() {
+		t.Fatal("Start should return zero time when timing is disabled")
+	}
+	r.Stop(0, ViewTransferal, start)
+	r.Record(0, ViewTransferal, time.Second)
+	b := r.Snapshot()
+	if b.Count(ViewTransferal) != 2 {
+		t.Fatalf("counts = %d, want 2", b.Count(ViewTransferal))
+	}
+	if b.Duration(ViewTransferal) != 0 {
+		t.Fatalf("durations should not accumulate when timing is off, got %v", b.Duration(ViewTransferal))
+	}
+	r.SetTiming(true)
+	start = r.Start()
+	time.Sleep(time.Millisecond)
+	r.Stop(0, ViewTransferal, start)
+	if r.Snapshot().Duration(ViewTransferal) == 0 {
+		t.Fatal("expected a positive duration with timing enabled")
+	}
+}
+
+func TestRecorderWorkerClamping(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(-1, ViewCreation, time.Nanosecond)
+	r.Record(17, ViewCreation, time.Nanosecond)
+	if got := r.Snapshot().Count(ViewCreation); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	r0 := NewRecorder(0)
+	r0.Record(0, ViewCreation, time.Nanosecond)
+	if r0.Snapshot().Count(ViewCreation) != 1 {
+		t.Fatal("zero-worker recorder should clamp to one slot")
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(worker, Hypermerge, time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	b := r.Snapshot()
+	if b.Count(Hypermerge) != 4000 {
+		t.Fatalf("count = %d, want 4000", b.Count(Hypermerge))
+	}
+	if b.Duration(Hypermerge) != 4000*time.Nanosecond {
+		t.Fatalf("duration = %v, want 4µs", b.Duration(Hypermerge))
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	var a, b Breakdown
+	a.Nanos[ViewCreation] = 10
+	a.Counts[ViewCreation] = 1
+	b.Nanos[ViewCreation] = 5
+	b.Counts[ViewCreation] = 2
+	b.Nanos[Hypermerge] = 7
+	a.Add(b)
+	if a.Nanos[ViewCreation] != 15 || a.Counts[ViewCreation] != 3 || a.Nanos[Hypermerge] != 7 {
+		t.Fatalf("Add produced %+v", a)
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.RelStdDev() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.AddValue(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if got := s.StdDev(); got < 2.13 || got > 2.14 {
+		t.Fatalf("StdDev = %v, want ~2.138", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 4.5 {
+		t.Fatalf("Median = %v, want 4.5", s.Median())
+	}
+	if rel := s.RelStdDev(); rel <= 0 || rel >= 1 {
+		t.Fatalf("RelStdDev = %v", rel)
+	}
+	var odd Sample
+	odd.AddDuration(time.Second)
+	odd.AddDuration(3 * time.Second)
+	odd.AddDuration(2 * time.Second)
+	if odd.Median() != 2 {
+		t.Fatalf("Median of odd sample = %v, want 2", odd.Median())
+	}
+	var single Sample
+	single.AddValue(3)
+	if single.StdDev() != 0 {
+		t.Fatal("StdDev of single sample should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "name", "time", "ratio")
+	tb.AddRow("add-4", 1500*time.Microsecond, 3.14159)
+	tb.AddRow("add-1024", 2*time.Second, 0.5)
+	out := tb.String()
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "add-1024") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	empty := NewTable("")
+	empty.AddRow("a", "b")
+	if !strings.Contains(empty.String(), "a") {
+		t.Fatal("headerless table should still render rows")
+	}
+}

@@ -1,0 +1,199 @@
+// Package pagepool provides the memory pools the Cilk-M runtime uses for
+// SPA map pages.  The paper structures them "like the rest of the pools for
+// the internal memory allocator managed by the runtime": every worker owns
+// a local pool and a global pool rebalances the distribution between local
+// pools in the manner of Hoard.  Only empty SPA maps may be recycled, which
+// callers guarantee by resetting pages before release; the pool additionally
+// verifies the invariant when handed a checker.
+package pagepool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats summarises pool activity.
+type Stats struct {
+	Allocs        int64 // pages handed out
+	Frees         int64 // pages returned
+	FreshPages    int64 // pages created because every pool was empty
+	LocalHits     int64 // allocations served by the worker's local pool
+	GlobalHits    int64 // allocations served by the global pool
+	Rebalances    int64 // local→global spills
+	GlobalPages   int64 // pages currently held by the global pool
+	LocalPages    int64 // pages currently held across local pools
+	RejectedDirty int64 // releases rejected because the page was not empty
+}
+
+// Pool is a Hoard-style two-level page pool for values of type T.
+type Pool[T any] struct {
+	// newPage creates a fresh page when both pools are empty.
+	newPage func() T
+	// isEmpty, when non-nil, validates the "only empty pages are recycled"
+	// invariant on release.
+	isEmpty func(T) bool
+	// localMax bounds the size of one local pool; excess pages spill to
+	// the global pool (the Hoard-style rebalancing trigger).
+	localMax int
+
+	global struct {
+		mu    sync.Mutex
+		pages []T
+	}
+	locals []*localPool[T]
+
+	allocs        atomic.Int64
+	frees         atomic.Int64
+	fresh         atomic.Int64
+	localHits     atomic.Int64
+	globalHits    atomic.Int64
+	rebalances    atomic.Int64
+	rejectedDirty atomic.Int64
+}
+
+type localPool[T any] struct {
+	mu    sync.Mutex
+	pages []T
+}
+
+// Option configures a Pool.
+type Option[T any] func(*Pool[T])
+
+// WithEmptyCheck installs a validator that must report true for a page to
+// be accepted back into the pool.
+func WithEmptyCheck[T any](isEmpty func(T) bool) Option[T] {
+	return func(p *Pool[T]) { p.isEmpty = isEmpty }
+}
+
+// WithLocalMax sets the maximum number of pages a local pool may hold
+// before spilling half of them to the global pool.  The default is 8.
+func WithLocalMax[T any](n int) Option[T] {
+	return func(p *Pool[T]) {
+		if n > 0 {
+			p.localMax = n
+		}
+	}
+}
+
+// New creates a pool for nWorkers workers.  newPage is called to create
+// fresh pages when no recycled page is available.
+func New[T any](nWorkers int, newPage func() T, opts ...Option[T]) *Pool[T] {
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	p := &Pool[T]{
+		newPage:  newPage,
+		localMax: 8,
+		locals:   make([]*localPool[T], nWorkers),
+	}
+	for i := range p.locals {
+		p.locals[i] = &localPool[T]{}
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Workers returns the number of local pools.
+func (p *Pool[T]) Workers() int { return len(p.locals) }
+
+// Get returns a page for the given worker, preferring the worker's local
+// pool, then the global pool, then a fresh allocation.
+func (p *Pool[T]) Get(worker int) T {
+	p.allocs.Add(1)
+	lp := p.local(worker)
+
+	lp.mu.Lock()
+	if n := len(lp.pages); n > 0 {
+		pg := lp.pages[n-1]
+		lp.pages = lp.pages[:n-1]
+		lp.mu.Unlock()
+		p.localHits.Add(1)
+		return pg
+	}
+	lp.mu.Unlock()
+
+	p.global.mu.Lock()
+	if n := len(p.global.pages); n > 0 {
+		pg := p.global.pages[n-1]
+		p.global.pages = p.global.pages[:n-1]
+		p.global.mu.Unlock()
+		p.globalHits.Add(1)
+		return pg
+	}
+	p.global.mu.Unlock()
+
+	p.fresh.Add(1)
+	return p.newPage()
+}
+
+// Put returns a page to the given worker's local pool.  If the pool has an
+// emptiness checker and the page is not empty, the page is dropped and the
+// rejection is counted, preserving the invariant that only empty pages are
+// recycled.  When the local pool exceeds its bound, half of it spills to
+// the global pool.
+func (p *Pool[T]) Put(worker int, page T) {
+	if p.isEmpty != nil && !p.isEmpty(page) {
+		p.rejectedDirty.Add(1)
+		return
+	}
+	p.frees.Add(1)
+	lp := p.local(worker)
+	lp.mu.Lock()
+	lp.pages = append(lp.pages, page)
+	if len(lp.pages) > p.localMax {
+		spill := lp.pages[p.localMax/2:]
+		lp.pages = lp.pages[:p.localMax/2]
+		lp.mu.Unlock()
+		p.rebalances.Add(1)
+		p.global.mu.Lock()
+		p.global.pages = append(p.global.pages, spill...)
+		p.global.mu.Unlock()
+		return
+	}
+	lp.mu.Unlock()
+}
+
+// Prime pre-populates the global pool with n fresh pages.
+func (p *Pool[T]) Prime(n int) {
+	if n <= 0 {
+		return
+	}
+	pages := make([]T, 0, n)
+	for i := 0; i < n; i++ {
+		pages = append(pages, p.newPage())
+	}
+	p.global.mu.Lock()
+	p.global.pages = append(p.global.pages, pages...)
+	p.global.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool[T]) Stats() Stats {
+	s := Stats{
+		Allocs:        p.allocs.Load(),
+		Frees:         p.frees.Load(),
+		FreshPages:    p.fresh.Load(),
+		LocalHits:     p.localHits.Load(),
+		GlobalHits:    p.globalHits.Load(),
+		Rebalances:    p.rebalances.Load(),
+		RejectedDirty: p.rejectedDirty.Load(),
+	}
+	p.global.mu.Lock()
+	s.GlobalPages = int64(len(p.global.pages))
+	p.global.mu.Unlock()
+	for _, lp := range p.locals {
+		lp.mu.Lock()
+		s.LocalPages += int64(len(lp.pages))
+		lp.mu.Unlock()
+	}
+	return s
+}
+
+func (p *Pool[T]) local(worker int) *localPool[T] {
+	if worker < 0 {
+		worker = 0
+	}
+	return p.locals[worker%len(p.locals)]
+}

@@ -1,0 +1,197 @@
+package pagepool
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type page struct {
+	id    int
+	dirty bool
+}
+
+func newPool(workers, localMax int) (*Pool[*page], *int) {
+	created := 0
+	p := New[*page](workers,
+		func() *page { created++; return &page{id: created} },
+		WithEmptyCheck[*page](func(pg *page) bool { return !pg.dirty }),
+		WithLocalMax[*page](localMax),
+	)
+	return p, &created
+}
+
+func TestGetCreatesFreshWhenEmpty(t *testing.T) {
+	p, created := newPool(2, 4)
+	pg := p.Get(0)
+	if pg == nil || *created != 1 {
+		t.Fatalf("expected one fresh page, created=%d", *created)
+	}
+	st := p.Stats()
+	if st.Allocs != 1 || st.FreshPages != 1 || st.LocalHits != 0 || st.GlobalHits != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestPutThenGetHitsLocalPool(t *testing.T) {
+	p, created := newPool(2, 4)
+	pg := p.Get(1)
+	p.Put(1, pg)
+	got := p.Get(1)
+	if got != pg {
+		t.Fatal("expected to get the recycled page back")
+	}
+	if *created != 1 {
+		t.Fatalf("created %d pages, want 1", *created)
+	}
+	st := p.Stats()
+	if st.LocalHits != 1 {
+		t.Fatalf("LocalHits = %d, want 1", st.LocalHits)
+	}
+}
+
+func TestDirtyPagesAreRejected(t *testing.T) {
+	p, _ := newPool(1, 4)
+	pg := p.Get(0)
+	pg.dirty = true
+	p.Put(0, pg)
+	st := p.Stats()
+	if st.RejectedDirty != 1 || st.Frees != 0 {
+		t.Fatalf("dirty page not rejected: %+v", st)
+	}
+	// The next Get must not return the dirty page.
+	got := p.Get(0)
+	if got == pg {
+		t.Fatal("dirty page was recycled")
+	}
+}
+
+func TestRebalanceSpillsToGlobalPool(t *testing.T) {
+	p, _ := newPool(2, 4)
+	pages := make([]*page, 10)
+	for i := range pages {
+		pages[i] = p.Get(0)
+	}
+	for _, pg := range pages {
+		p.Put(0, pg)
+	}
+	st := p.Stats()
+	if st.Rebalances == 0 {
+		t.Fatalf("expected at least one rebalance, stats %+v", st)
+	}
+	if st.GlobalPages == 0 {
+		t.Fatalf("expected pages in the global pool, stats %+v", st)
+	}
+	if st.LocalPages+st.GlobalPages != 10 {
+		t.Fatalf("pages lost during rebalance: %+v", st)
+	}
+	// Another worker's Get should be able to pull from the global pool.
+	beforeFresh := st.FreshPages
+	_ = p.Get(1)
+	st = p.Stats()
+	if st.GlobalHits == 0 && st.FreshPages != beforeFresh {
+		t.Fatalf("worker 1 allocated fresh instead of using global pool: %+v", st)
+	}
+}
+
+func TestPrime(t *testing.T) {
+	p, created := newPool(1, 4)
+	p.Prime(5)
+	p.Prime(0)
+	if *created != 5 {
+		t.Fatalf("Prime created %d pages, want 5", *created)
+	}
+	st := p.Stats()
+	if st.GlobalPages != 5 {
+		t.Fatalf("GlobalPages = %d, want 5", st.GlobalPages)
+	}
+	_ = p.Get(0)
+	st = p.Stats()
+	if st.GlobalHits != 1 || st.FreshPages != 0 {
+		t.Fatalf("expected a global hit, got %+v", st)
+	}
+}
+
+func TestWorkerIndexOutOfRangeIsClamped(t *testing.T) {
+	p, _ := newPool(2, 4)
+	pg := p.Get(-5)
+	p.Put(99, pg)
+	if got := p.Get(99); got != pg {
+		t.Fatal("out-of-range worker index should map onto an existing pool")
+	}
+	if p.Workers() != 2 {
+		t.Fatalf("Workers = %d, want 2", p.Workers())
+	}
+}
+
+func TestZeroWorkerPoolStillWorks(t *testing.T) {
+	p := New[*page](0, func() *page { return &page{} })
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", p.Workers())
+	}
+	pg := p.Get(0)
+	p.Put(0, pg)
+	if p.Get(0) != pg {
+		t.Fatal("recycling in single-pool mode failed")
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	p, _ := newPool(4, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			held := make([]*page, 0, 16)
+			for i := 0; i < 1000; i++ {
+				if i%3 == 2 && len(held) > 0 {
+					p.Put(worker, held[len(held)-1])
+					held = held[:len(held)-1]
+					continue
+				}
+				held = append(held, p.Get(worker))
+			}
+			for _, pg := range held {
+				p.Put(worker, pg)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Allocs == 0 || st.Frees == 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	if st.LocalPages+st.GlobalPages != st.Frees-(st.Allocs-st.FreshPages) {
+		// Every freed page is either in a pool or was re-allocated.
+		t.Fatalf("page accounting mismatch: %+v", st)
+	}
+}
+
+func TestPropertyPoolNeverHandsOutDirtyOrDuplicatePages(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p, _ := newPool(3, 4)
+		out := make(map[*page]bool) // pages currently handed out
+		for _, op := range ops {
+			worker := int(op) % 3
+			if op%2 == 0 {
+				pg := p.Get(worker)
+				if pg.dirty || out[pg] {
+					return false
+				}
+				out[pg] = true
+			} else {
+				// return an arbitrary held page
+				for pg := range out {
+					delete(out, pg)
+					p.Put(worker, pg)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package pbfs implements the parallel breadth-first search application the
+// paper uses to evaluate reducers (Figure 10): the work-efficient PBFS
+// algorithm of Leiserson and Schardl, which explores the graph layer by
+// layer, keeping the current and next frontier in bag data structures that
+// are declared as reducers so parallel branches can insert newly discovered
+// vertices without determinacy races.
+package pbfs
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bag"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Config tunes the parallel traversal.
+type Config struct {
+	// Grain is the pennant size below which a subtree is processed
+	// serially.  Zero selects a default of 128.
+	Grain int
+	// Source is the BFS source vertex.
+	Source int32
+}
+
+// Result holds the output of one BFS run.
+type Result struct {
+	// Dist is the distance of every vertex from the source (-1 when
+	// unreachable).
+	Dist []int32
+	// Layers is the number of BFS layers explored.
+	Layers int
+	// Reachable is the number of vertices reached.
+	Reachable int
+}
+
+// bagMonoid is the reducer monoid for bags: identity is the empty bag and
+// the reduce operation is bag union (which is associative; PBFS does not
+// depend on element order).
+type bagMonoid struct{}
+
+func (bagMonoid) Identity() any { return bag.New[int32]() }
+func (bagMonoid) Reduce(left, right any) any {
+	l := left.(*bag.Bag[int32])
+	l.Union(right.(*bag.Bag[int32]))
+	return l
+}
+
+// BagMonoid returns the bag-union monoid used for frontier reducers, for
+// callers who want to build their own bag reducers.
+func BagMonoid() core.Monoid { return bagMonoid{} }
+
+// Serial runs the reference serial BFS.
+func Serial(g *graph.Graph, source int32) *Result {
+	dist, layers := g.BFS(source)
+	return &Result{Dist: dist, Layers: layers, Reachable: countReachable(dist)}
+}
+
+// Parallel runs PBFS on the given session.  The session's reducer mechanism
+// (memory-mapped or hypermap) is whatever the session was built with, which
+// is exactly the knob the paper's Figure 10 turns.
+func Parallel(s *core.Session, g *graph.Graph, cfg Config) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("pbfs: nil graph")
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return &Result{Dist: nil, Layers: 0}, nil
+	}
+	if cfg.Source < 0 || int(cfg.Source) >= n {
+		return nil, fmt.Errorf("pbfs: source %d outside [0,%d)", cfg.Source, n)
+	}
+	grain := cfg.Grain
+	if grain <= 0 {
+		grain = 128
+	}
+	r := &runner{
+		g:     g,
+		dist:  make([]int32, n),
+		grain: grain,
+	}
+	for i := range r.dist {
+		r.dist[i] = -1
+	}
+	r.dist[cfg.Source] = 0
+
+	// The next-layer frontier is a bag reducer; the current layer is a
+	// plain bag owned by the coordinating goroutine.
+	nextBag, err := s.Engine().Register(bagMonoid{})
+	if err != nil {
+		return nil, fmt.Errorf("pbfs: registering frontier reducer: %w", err)
+	}
+	defer s.Engine().Unregister(nextBag)
+	r.next = nextBag
+	r.eng = s.Engine()
+
+	current := bag.New[int32]()
+	current.Insert(cfg.Source)
+	layers := 0
+	for depth := int32(1); !current.IsEmpty(); depth++ {
+		r.depth = depth
+		if err := s.Run(r.processLayer(current)); err != nil {
+			return nil, err
+		}
+		// The reducer's leftmost view now holds the next frontier; take it
+		// and reset the reducer to an empty bag for the following layer.
+		produced := nextBag.Value().(*bag.Bag[int32])
+		nextBag.SetValue(bag.New[int32]())
+		current = produced
+		if !current.IsEmpty() {
+			layers++
+		}
+	}
+	return &Result{Dist: r.dist, Layers: layers, Reachable: countReachable(r.dist)}, nil
+}
+
+// runner carries the traversal state shared by all workers.
+type runner struct {
+	g     *graph.Graph
+	eng   core.Engine
+	next  *core.Reducer
+	dist  []int32
+	grain int
+	depth int32
+}
+
+// processLayer returns the root task that explores every vertex in the
+// current frontier in parallel.
+func (r *runner) processLayer(current *bag.Bag[int32]) func(*sched.Context) {
+	pennants := current.Pennants()
+	return func(c *sched.Context) {
+		// Process the pennants of the current bag in parallel.
+		branches := make([]func(*sched.Context), len(pennants))
+		for i, p := range pennants {
+			p := p
+			branches[i] = func(c *sched.Context) { r.processPennant(c, p) }
+		}
+		c.ForkN(branches...)
+	}
+}
+
+// processPennant explores one pennant of the frontier.
+func (r *runner) processPennant(c *sched.Context, p *bag.Pennant[int32]) {
+	if p.Len() <= r.grain {
+		view := r.localView(c)
+		p.Walk(func(v int32) { r.processVertex(view, v) })
+		return
+	}
+	rootElem, childElem, left, right, ok := p.Spine()
+	view := r.localView(c)
+	r.processVertex(view, rootElem)
+	if !ok {
+		return
+	}
+	r.processVertex(view, childElem)
+	c.Fork(
+		func(c *sched.Context) { r.processSubtree(c, left, p.Rank()-2) },
+		func(c *sched.Context) { r.processSubtree(c, right, p.Rank()-2) },
+	)
+}
+
+// processSubtree explores a pennant subtree, forking until the remaining
+// size drops below the grain.
+func (r *runner) processSubtree(c *sched.Context, st *bag.Subtree[int32], rank int) {
+	if st.Empty() {
+		return
+	}
+	if rank <= 0 || (1<<uint(rank)) <= r.grain {
+		view := r.localView(c)
+		st.Walk(func(v int32) { r.processVertex(view, v) })
+		return
+	}
+	view := r.localView(c)
+	r.processVertex(view, st.Element())
+	l, rr := st.Children()
+	c.Fork(
+		func(c *sched.Context) { r.processSubtree(c, l, rank-1) },
+		func(c *sched.Context) { r.processSubtree(c, rr, rank-1) },
+	)
+}
+
+// localView looks up the calling context's local view of the next-frontier
+// bag reducer.  The lookup is hoisted to once per serial chunk, mirroring
+// how the PBFS code in the paper accesses its bag reducer.
+func (r *runner) localView(c *sched.Context) *bag.Bag[int32] {
+	return r.eng.Lookup(c, r.next).(*bag.Bag[int32])
+}
+
+// processVertex relaxes every edge of v, claiming undiscovered neighbours
+// with an atomic compare-and-swap and inserting them into the local view of
+// the next-frontier bag.
+func (r *runner) processVertex(view *bag.Bag[int32], v int32) {
+	depth := r.depth
+	for _, w := range r.g.Neighbors(v) {
+		if atomic.LoadInt32(&r.dist[w]) >= 0 {
+			continue
+		}
+		if atomic.CompareAndSwapInt32(&r.dist[w], -1, depth) {
+			view.Insert(w)
+		}
+	}
+}
+
+// Validate checks a parallel result against the serial reference and
+// returns an error describing the first mismatch.
+func Validate(g *graph.Graph, source int32, got *Result) error {
+	want := Serial(g, source)
+	if got.Layers != want.Layers {
+		return fmt.Errorf("pbfs: layers = %d, want %d", got.Layers, want.Layers)
+	}
+	if got.Reachable != want.Reachable {
+		return fmt.Errorf("pbfs: reachable = %d, want %d", got.Reachable, want.Reachable)
+	}
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			return fmt.Errorf("pbfs: dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+		}
+	}
+	return nil
+}
+
+func countReachable(dist []int32) int {
+	n := 0
+	for _, d := range dist {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}

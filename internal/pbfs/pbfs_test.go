@@ -1,0 +1,198 @@
+package pbfs_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pbfs"
+	"repro/internal/reducers"
+	"repro/internal/sched"
+)
+
+func newSession(t *testing.T, m reducers.Mechanism, workers int) *core.Session {
+	t.Helper()
+	s := reducers.NewSession(m, workers, reducers.EngineOptions{CountLookups: true})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func testGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Path(500),
+		graph.Star(1000),
+		graph.CompleteBinaryTree(1023),
+		graph.Grid3D(8, 8, 8),
+		graph.Torus2D(16),
+		graph.RMAT(10, 8, 0.57, 0.19, 0.19, 7),
+		graph.Random(600, 1800, 3),
+	}
+}
+
+func TestSerialMatchesGraphBFS(t *testing.T) {
+	for _, g := range testGraphs() {
+		res := pbfs.Serial(g, 0)
+		dist, layers := g.BFS(0)
+		if res.Layers != layers {
+			t.Fatalf("%s: serial layers %d, want %d", g.Name(), res.Layers, layers)
+		}
+		for v := range dist {
+			if res.Dist[v] != dist[v] {
+				t.Fatalf("%s: dist[%d] mismatch", g.Name(), v)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerialAllMechanisms(t *testing.T) {
+	for _, m := range reducers.Mechanisms() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				s := newSession(t, m, workers)
+				for _, g := range testGraphs() {
+					res, err := pbfs.Parallel(s, g, pbfs.Config{Source: 0, Grain: 16})
+					if err != nil {
+						t.Fatalf("%s (P=%d): %v", g.Name(), workers, err)
+					}
+					if err := pbfs.Validate(g, 0, res); err != nil {
+						t.Fatalf("%s (P=%d): %v", g.Name(), workers, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParallelFromNonZeroSource(t *testing.T) {
+	s := newSession(t, reducers.MemoryMapped, 2)
+	g := graph.Grid3D(6, 6, 6)
+	src := int32(100)
+	res, err := pbfs.Parallel(s, g, pbfs.Config{Source: src})
+	if err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if err := pbfs.Validate(g, src, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelDisconnectedGraph(t *testing.T) {
+	g, err := graph.FromEdges(10, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 5, V: 6}}, "disconnected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, reducers.Hypermap, 2)
+	res, err := pbfs.Parallel(s, g, pbfs.Config{Source: 0})
+	if err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if res.Reachable != 3 {
+		t.Fatalf("Reachable = %d, want 3", res.Reachable)
+	}
+	if res.Dist[5] != -1 || res.Dist[6] != -1 {
+		t.Fatal("vertices in the other component should stay unreachable")
+	}
+	if err := pbfs.Validate(g, 0, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	s := newSession(t, reducers.MemoryMapped, 1)
+	if _, err := pbfs.Parallel(s, nil, pbfs.Config{}); err == nil {
+		t.Fatal("nil graph should fail")
+	}
+	g := graph.Path(10)
+	if _, err := pbfs.Parallel(s, g, pbfs.Config{Source: -1}); err == nil {
+		t.Fatal("negative source should fail")
+	}
+	if _, err := pbfs.Parallel(s, g, pbfs.Config{Source: 99}); err == nil {
+		t.Fatal("out-of-range source should fail")
+	}
+}
+
+func TestLookupCountingDuringPBFS(t *testing.T) {
+	s := newSession(t, reducers.MemoryMapped, 2)
+	eng := s.Engine()
+	eng.ResetOverheads()
+	g := graph.Grid3D(10, 10, 10)
+	res, err := pbfs.Parallel(s, g, pbfs.Config{Source: 0, Grain: 64})
+	if err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if err := pbfs.Validate(g, 0, res); err != nil {
+		t.Fatal(err)
+	}
+	lookups := eng.Lookups()
+	if lookups == 0 {
+		t.Fatal("expected reducer lookups during PBFS")
+	}
+	// Lookups are hoisted to once per serial chunk, so they should be far
+	// fewer than the number of vertices.
+	if lookups > int64(g.NumVertices()) {
+		t.Fatalf("lookups = %d, expected fewer than |V| = %d", lookups, g.NumVertices())
+	}
+}
+
+func TestReducerReleasedAfterRun(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{Workers: 2})
+	s := core.NewSession(2, eng)
+	defer s.Close()
+	g := graph.Torus2D(12)
+	before := eng.Registered()
+	if _, err := pbfs.Parallel(s, g, pbfs.Config{Source: 0}); err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if eng.Registered() != before {
+		t.Fatalf("frontier reducer leaked: %d registered, want %d", eng.Registered(), before)
+	}
+}
+
+func TestBagMonoid(t *testing.T) {
+	m := pbfs.BagMonoid()
+	a := m.Identity()
+	b := m.Identity()
+	ab, bb := a.(interface {
+		Insert(int32)
+		Len() int
+	}), b.(interface {
+		Insert(int32)
+		Len() int
+	})
+	ab.Insert(1)
+	bb.Insert(2)
+	bb.Insert(3)
+	combined := m.Reduce(a, b)
+	if combined.(interface{ Len() int }).Len() != 3 {
+		t.Fatal("bag monoid reduce should union the bags")
+	}
+}
+
+func TestPBFSOnEmptyishGraph(t *testing.T) {
+	s := newSession(t, reducers.MemoryMapped, 1)
+	g := graph.Path(1)
+	res, err := pbfs.Parallel(s, g, pbfs.Config{Source: 0})
+	if err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if res.Layers != 0 || res.Reachable != 1 {
+		t.Fatalf("single-vertex graph: %+v", res)
+	}
+}
+
+func TestPBFSWithExplicitScheduler(t *testing.T) {
+	// Drive PBFS through a session built with an explicit scheduler config
+	// to make sure nothing depends on default construction.
+	eng := core.NewMM(core.MMConfig{Workers: 3})
+	s := core.NewSessionWithConfig(sched.Config{Workers: 3, Seed: 99}, eng)
+	defer s.Close()
+	g := graph.RMAT(9, 6, 0.45, 0.25, 0.15, 21)
+	res, err := pbfs.Parallel(s, g, pbfs.Config{Source: 0, Grain: 8})
+	if err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if err := pbfs.Validate(g, 0, res); err != nil {
+		t.Fatal(err)
+	}
+}

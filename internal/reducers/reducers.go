@@ -1,0 +1,497 @@
+// Package reducers is the user-facing reducer library: typed wrappers over
+// the untyped reducer engines (the memory-mapped mechanism in
+// internal/core and the hypermap baseline in internal/hypermap), mirroring
+// the reducer library Cilk Plus ships (add, min, max, logical and/or, list
+// append, and so on), plus a small factory for choosing the mechanism.
+package reducers
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/sched"
+)
+
+// Mechanism selects which reducer implementation an engine uses.
+type Mechanism int
+
+const (
+	// MemoryMapped is the paper's contribution: TLMM-backed SPA maps with
+	// thread-local indirection (Cilk-M).
+	MemoryMapped Mechanism = iota
+	// Hypermap is the Cilk Plus baseline: per-context hash tables.
+	Hypermap
+)
+
+// String returns the mechanism name.
+func (m Mechanism) String() string {
+	switch m {
+	case MemoryMapped:
+		return "memory-mapped"
+	case Hypermap:
+		return "hypermap"
+	default:
+		return fmt.Sprintf("mechanism(%d)", int(m))
+	}
+}
+
+// Mechanisms lists all mechanisms in display order.
+func Mechanisms() []Mechanism { return []Mechanism{MemoryMapped, Hypermap} }
+
+// EngineOptions tunes engine construction.
+type EngineOptions struct {
+	// Timing enables duration measurement of the reduce overheads.
+	Timing bool
+	// CountLookups enables lookup counting.
+	CountLookups bool
+	// ModelAddressSpace backs the memory-mapped engine's SPA pages with
+	// the simulated TLMM address space (ignored by the hypermap engine).
+	ModelAddressSpace bool
+}
+
+// NewEngine creates a reducer engine of the requested mechanism sized for
+// the given number of workers.
+func NewEngine(m Mechanism, workers int, opts EngineOptions) core.Engine {
+	switch m {
+	case Hypermap:
+		return hypermap.New(hypermap.Config{
+			Workers:      workers,
+			Timing:       opts.Timing,
+			CountLookups: opts.CountLookups,
+		})
+	default:
+		return core.NewMM(core.MMConfig{
+			Workers:           workers,
+			Timing:            opts.Timing,
+			CountLookups:      opts.CountLookups,
+			ModelAddressSpace: opts.ModelAddressSpace,
+		})
+	}
+}
+
+// NewSession creates a scheduler session backed by an engine of the
+// requested mechanism.
+func NewSession(m Mechanism, workers int, opts EngineOptions) *core.Session {
+	return core.NewSession(workers, NewEngine(m, workers, opts))
+}
+
+// Number is the constraint for arithmetic reducers.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// mustRegister registers a monoid and panics on failure (nil monoid or
+// exhausted engine), which only happens on programmer error.
+func mustRegister(eng core.Engine, m core.Monoid) *core.Reducer {
+	r, err := eng.Register(m)
+	if err != nil {
+		panic(fmt.Sprintf("reducers: register: %v", err))
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Add
+// ---------------------------------------------------------------------------
+
+type addView[T Number] struct{ v T }
+
+type addMonoid[T Number] struct{}
+
+func (addMonoid[T]) Identity() any { return &addView[T]{} }
+func (addMonoid[T]) Reduce(left, right any) any {
+	l := left.(*addView[T])
+	r := right.(*addView[T])
+	l.v += r.v
+	return l
+}
+
+// Add is a sum reducer over a numeric type (the op_add reducer of the Cilk
+// Plus library).
+type Add[T Number] struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewAdd registers a sum reducer with the engine.
+func NewAdd[T Number](eng core.Engine) *Add[T] {
+	return &Add[T]{eng: eng, r: mustRegister(eng, addMonoid[T]{})}
+}
+
+// Add adds v to the local view for the calling context.
+func (a *Add[T]) Add(c *sched.Context, v T) {
+	a.eng.Lookup(c, a.r).(*addView[T]).v += v
+}
+
+// Value returns the reducer's current (leftmost) value.
+func (a *Add[T]) Value() T { return a.r.Value().(*addView[T]).v }
+
+// SetValue sets the reducer's value; use it only outside parallel regions.
+func (a *Add[T]) SetValue(v T) { a.r.SetValue(&addView[T]{v: v}) }
+
+// Reducer exposes the underlying reducer handle.
+func (a *Add[T]) Reducer() *core.Reducer { return a.r }
+
+// Close unregisters the reducer; Value remains readable.
+func (a *Add[T]) Close() { a.eng.Unregister(a.r) }
+
+// ---------------------------------------------------------------------------
+// Min / Max
+// ---------------------------------------------------------------------------
+
+type extremeView[T cmp.Ordered] struct {
+	set bool
+	v   T
+}
+
+type minMonoid[T cmp.Ordered] struct{}
+
+func (minMonoid[T]) Identity() any { return &extremeView[T]{} }
+func (minMonoid[T]) Reduce(left, right any) any {
+	l := left.(*extremeView[T])
+	r := right.(*extremeView[T])
+	if r.set && (!l.set || r.v < l.v) {
+		l.set, l.v = true, r.v
+	}
+	return l
+}
+
+type maxMonoid[T cmp.Ordered] struct{}
+
+func (maxMonoid[T]) Identity() any { return &extremeView[T]{} }
+func (maxMonoid[T]) Reduce(left, right any) any {
+	l := left.(*extremeView[T])
+	r := right.(*extremeView[T])
+	if r.set && (!l.set || r.v > l.v) {
+		l.set, l.v = true, r.v
+	}
+	return l
+}
+
+// Min is a minimum reducer (op_min).
+type Min[T cmp.Ordered] struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewMin registers a minimum reducer with the engine.
+func NewMin[T cmp.Ordered](eng core.Engine) *Min[T] {
+	return &Min[T]{eng: eng, r: mustRegister(eng, minMonoid[T]{})}
+}
+
+// Update lowers the local view to v if v is smaller (or the view is unset).
+func (m *Min[T]) Update(c *sched.Context, v T) {
+	view := m.eng.Lookup(c, m.r).(*extremeView[T])
+	if !view.set || v < view.v {
+		view.set, view.v = true, v
+	}
+}
+
+// Value returns the minimum seen so far; ok is false if no value was ever
+// supplied.
+func (m *Min[T]) Value() (v T, ok bool) {
+	view := m.r.Value().(*extremeView[T])
+	return view.v, view.set
+}
+
+// Reducer exposes the underlying reducer handle.
+func (m *Min[T]) Reducer() *core.Reducer { return m.r }
+
+// Close unregisters the reducer.
+func (m *Min[T]) Close() { m.eng.Unregister(m.r) }
+
+// Max is a maximum reducer (op_max).
+type Max[T cmp.Ordered] struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewMax registers a maximum reducer with the engine.
+func NewMax[T cmp.Ordered](eng core.Engine) *Max[T] {
+	return &Max[T]{eng: eng, r: mustRegister(eng, maxMonoid[T]{})}
+}
+
+// Update raises the local view to v if v is larger (or the view is unset).
+func (m *Max[T]) Update(c *sched.Context, v T) {
+	view := m.eng.Lookup(c, m.r).(*extremeView[T])
+	if !view.set || v > view.v {
+		view.set, view.v = true, v
+	}
+}
+
+// Value returns the maximum seen so far; ok is false if no value was ever
+// supplied.
+func (m *Max[T]) Value() (v T, ok bool) {
+	view := m.r.Value().(*extremeView[T])
+	return view.v, view.set
+}
+
+// Reducer exposes the underlying reducer handle.
+func (m *Max[T]) Reducer() *core.Reducer { return m.r }
+
+// Close unregisters the reducer.
+func (m *Max[T]) Close() { m.eng.Unregister(m.r) }
+
+// ---------------------------------------------------------------------------
+// And / Or
+// ---------------------------------------------------------------------------
+
+type boolView struct{ v bool }
+
+type andMonoid struct{}
+
+func (andMonoid) Identity() any { return &boolView{v: true} }
+func (andMonoid) Reduce(left, right any) any {
+	l := left.(*boolView)
+	l.v = l.v && right.(*boolView).v
+	return l
+}
+
+type orMonoid struct{}
+
+func (orMonoid) Identity() any { return &boolView{} }
+func (orMonoid) Reduce(left, right any) any {
+	l := left.(*boolView)
+	l.v = l.v || right.(*boolView).v
+	return l
+}
+
+// And is a logical-AND reducer (op_and) with identity true.
+type And struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewAnd registers a logical-AND reducer.
+func NewAnd(eng core.Engine) *And {
+	return &And{eng: eng, r: mustRegister(eng, andMonoid{})}
+}
+
+// Update ANDs v into the local view.
+func (a *And) Update(c *sched.Context, v bool) {
+	view := a.eng.Lookup(c, a.r).(*boolView)
+	view.v = view.v && v
+}
+
+// Value returns the conjunction of every supplied value.
+func (a *And) Value() bool { return a.r.Value().(*boolView).v }
+
+// Close unregisters the reducer.
+func (a *And) Close() { a.eng.Unregister(a.r) }
+
+// Or is a logical-OR reducer (op_or) with identity false.
+type Or struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewOr registers a logical-OR reducer.
+func NewOr(eng core.Engine) *Or {
+	return &Or{eng: eng, r: mustRegister(eng, orMonoid{})}
+}
+
+// Update ORs v into the local view.
+func (o *Or) Update(c *sched.Context, v bool) {
+	view := o.eng.Lookup(c, o.r).(*boolView)
+	view.v = view.v || v
+}
+
+// Value returns the disjunction of every supplied value.
+func (o *Or) Value() bool { return o.r.Value().(*boolView).v }
+
+// Close unregisters the reducer.
+func (o *Or) Close() { o.eng.Unregister(o.r) }
+
+// ---------------------------------------------------------------------------
+// List append
+// ---------------------------------------------------------------------------
+
+type listView[T any] struct{ items []T }
+
+type listMonoid[T any] struct{}
+
+func (listMonoid[T]) Identity() any { return &listView[T]{} }
+func (listMonoid[T]) Reduce(left, right any) any {
+	l := left.(*listView[T])
+	r := right.(*listView[T])
+	l.items = append(l.items, r.items...)
+	return l
+}
+
+// List is a list-append reducer (reducer_list_append): the final list
+// equals the list a serial execution would build, even though appends occur
+// on parallel branches.  List append is associative but not commutative, so
+// it exercises the runtime's ordering guarantees.
+type List[T any] struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewList registers a list-append reducer.
+func NewList[T any](eng core.Engine) *List[T] {
+	return &List[T]{eng: eng, r: mustRegister(eng, listMonoid[T]{})}
+}
+
+// PushBack appends v to the local view.
+func (l *List[T]) PushBack(c *sched.Context, v T) {
+	view := l.eng.Lookup(c, l.r).(*listView[T])
+	view.items = append(view.items, v)
+}
+
+// Value returns the reducer's current list.
+func (l *List[T]) Value() []T { return l.r.Value().(*listView[T]).items }
+
+// Reducer exposes the underlying reducer handle.
+func (l *List[T]) Reducer() *core.Reducer { return l.r }
+
+// Close unregisters the reducer.
+func (l *List[T]) Close() { l.eng.Unregister(l.r) }
+
+// ---------------------------------------------------------------------------
+// String concatenation
+// ---------------------------------------------------------------------------
+
+type stringView struct{ s []byte }
+
+type stringMonoid struct{}
+
+func (stringMonoid) Identity() any { return &stringView{} }
+func (stringMonoid) Reduce(left, right any) any {
+	l := left.(*stringView)
+	l.s = append(l.s, right.(*stringView).s...)
+	return l
+}
+
+// String is a string-concatenation reducer (reducer_basic_string).
+type String struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewString registers a string-concatenation reducer.
+func NewString(eng core.Engine) *String {
+	return &String{eng: eng, r: mustRegister(eng, stringMonoid{})}
+}
+
+// Append appends s to the local view.
+func (sr *String) Append(c *sched.Context, s string) {
+	view := sr.eng.Lookup(c, sr.r).(*stringView)
+	view.s = append(view.s, s...)
+}
+
+// Value returns the concatenation in serial order.
+func (sr *String) Value() string { return string(sr.r.Value().(*stringView).s) }
+
+// Close unregisters the reducer.
+func (sr *String) Close() { sr.eng.Unregister(sr.r) }
+
+// ---------------------------------------------------------------------------
+// Map union
+// ---------------------------------------------------------------------------
+
+type mapView[K comparable, V any] struct{ m map[K]V }
+
+type mapMonoid[K comparable, V any] struct {
+	combine func(V, V) V
+}
+
+func (mm mapMonoid[K, V]) Identity() any { return &mapView[K, V]{m: make(map[K]V)} }
+func (mm mapMonoid[K, V]) Reduce(left, right any) any {
+	l := left.(*mapView[K, V])
+	r := right.(*mapView[K, V])
+	for k, rv := range r.m {
+		if lv, ok := l.m[k]; ok {
+			l.m[k] = mm.combine(lv, rv)
+		} else {
+			l.m[k] = rv
+		}
+	}
+	return l
+}
+
+// MapOf is a map-union reducer: values for duplicate keys are combined with
+// the supplied function, which must itself be associative for the reducer
+// to be deterministic.
+type MapOf[K comparable, V any] struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewMapOf registers a map-union reducer with the given combiner.
+func NewMapOf[K comparable, V any](eng core.Engine, combine func(V, V) V) *MapOf[K, V] {
+	return &MapOf[K, V]{eng: eng, r: mustRegister(eng, mapMonoid[K, V]{combine: combine})}
+}
+
+// Update merges (k, v) into the local view using the combiner.
+func (m *MapOf[K, V]) Update(c *sched.Context, k K, v V) {
+	view := m.eng.Lookup(c, m.r).(*mapView[K, V])
+	mon := m.r.Monoid().(mapMonoid[K, V])
+	if old, ok := view.m[k]; ok {
+		view.m[k] = mon.combine(old, v)
+		return
+	}
+	view.m[k] = v
+}
+
+// Value returns the merged map.
+func (m *MapOf[K, V]) Value() map[K]V { return m.r.Value().(*mapView[K, V]).m }
+
+// Close unregisters the reducer.
+func (m *MapOf[K, V]) Close() { m.eng.Unregister(m.r) }
+
+// ---------------------------------------------------------------------------
+// Custom monoid
+// ---------------------------------------------------------------------------
+
+// FuncMonoid adapts a pair of functions into a core.Monoid, for callers who
+// want a one-off custom reducer without defining a type.
+type FuncMonoid struct {
+	IdentityFn func() any
+	ReduceFn   func(left, right any) any
+}
+
+// Identity implements core.Monoid.
+func (f FuncMonoid) Identity() any { return f.IdentityFn() }
+
+// Reduce implements core.Monoid.
+func (f FuncMonoid) Reduce(left, right any) any { return f.ReduceFn(left, right) }
+
+// Custom is a reducer over a user-supplied monoid.
+type Custom struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+// NewCustom registers a reducer for an arbitrary monoid.
+func NewCustom(eng core.Engine, m core.Monoid) *Custom {
+	return &Custom{eng: eng, r: mustRegister(eng, m)}
+}
+
+// View returns the local view for the calling context; the caller mutates
+// it according to its own update semantics.
+func (cu *Custom) View(c *sched.Context) any { return cu.eng.Lookup(c, cu.r) }
+
+// Value returns the reducer's current (leftmost) view.
+func (cu *Custom) Value() any { return cu.r.Value() }
+
+// Reducer exposes the underlying reducer handle.
+func (cu *Custom) Reducer() *core.Reducer { return cu.r }
+
+// Close unregisters the reducer.
+func (cu *Custom) Close() { cu.eng.Unregister(cu.r) }
+
+var (
+	_ core.Monoid = addMonoid[int]{}
+	_ core.Monoid = minMonoid[int]{}
+	_ core.Monoid = maxMonoid[int]{}
+	_ core.Monoid = andMonoid{}
+	_ core.Monoid = orMonoid{}
+	_ core.Monoid = listMonoid[int]{}
+	_ core.Monoid = stringMonoid{}
+	_ core.Monoid = mapMonoid[string, int]{}
+	_ core.Monoid = FuncMonoid{}
+)

@@ -1,0 +1,186 @@
+package sched
+
+import "fmt"
+
+// Context is the handle through which running code interacts with the
+// scheduler: it identifies the worker currently executing the code and
+// provides the fork-join primitives.  A Context is only valid on the
+// goroutine that received it.
+type Context struct {
+	w *Worker
+}
+
+// Worker returns the worker executing this context.
+func (c *Context) Worker() *Worker { return c.w }
+
+// Runtime returns the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.w.rt }
+
+// Fork executes left and right as logically parallel branches and returns
+// when both have completed.  left runs immediately on the calling worker;
+// right — the continuation — is made available for stealing.  If no thief
+// takes it, the calling worker runs right itself immediately after left, so
+// the execution order equals the serial order left-then-right and no
+// reducer views are created, transferred or merged.  If right is stolen,
+// the thief executes it with a fresh set of views and the calling worker
+// merges those views back in serial order at the join.
+func (c *Context) Fork(left, right func(*Context)) {
+	w := c.w
+	w.nForks.Add(1)
+	j := &join{}
+	t := &task{fn: right, join: j, owner: w.id}
+	w.dq.pushBottom(t)
+	w.noteDequeDepth(w.dq.size())
+	w.rt.signalWork()
+
+	left(c)
+
+	if w.dq.popBottomIf(t) {
+		// Serial fast path: the continuation was not stolen.
+		right(c)
+		return
+	}
+	// The continuation was stolen and promoted; wait for it, helping with
+	// other work in the meantime, then fold its views back in.
+	w.waitJoin(j)
+	w.rt.reducers.Merge(w, w.curTrace, j.deposit)
+	if j.panicVal != nil {
+		panic(fmt.Sprintf("sched: stolen branch panicked: %v", j.panicVal))
+	}
+}
+
+// ForkN executes the given branches as logically parallel work, preserving
+// their serial (left-to-right) order on the no-steal path.  It is the
+// n-ary generalisation of Fork, built by right-nesting binary forks.
+func (c *Context) ForkN(branches ...func(*Context)) {
+	switch len(branches) {
+	case 0:
+		return
+	case 1:
+		branches[0](c)
+		return
+	case 2:
+		c.Fork(branches[0], branches[1])
+		return
+	}
+	rest := branches[1:]
+	c.Fork(branches[0], func(c2 *Context) { c2.ForkN(rest...) })
+}
+
+// ParallelFor executes body(i) for every i in [lo, hi) with automatic grain
+// selection, dividing the range by recursive binary forking exactly the way
+// the Cilk Plus compiler desugars cilk_for.  Iterations are executed in
+// serial order within each grain and the overall reduction order equals the
+// serial order.
+func (c *Context) ParallelFor(lo, hi int, body func(*Context, int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	grain := n / (8 * c.w.rt.Workers())
+	if grain < 1 {
+		grain = 1
+	}
+	if grain > 2048 {
+		grain = 2048
+	}
+	c.ParallelForGrain(lo, hi, grain, body)
+}
+
+// ParallelForGrain is ParallelFor with an explicit grain size: ranges of at
+// most grain iterations are executed serially without further forking.
+func (c *Context) ParallelForGrain(lo, hi, grain int, body func(*Context, int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	c.pfor(lo, hi, grain, body)
+}
+
+func (c *Context) pfor(lo, hi, grain int, body func(*Context, int)) {
+	if hi-lo <= grain {
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	c.w.nPForSplits.Add(1)
+	c.Fork(
+		func(c2 *Context) { c2.pfor(lo, mid, grain, body) },
+		func(c2 *Context) { c2.pfor(mid, hi, grain, body) },
+	)
+}
+
+// Group provides a help-first spawn/sync convenience API in the style of
+// cilk_spawn / cilk_sync.  Unlike Fork, every spawned child is a separate
+// stealable task even on the no-steal path, so each child contributes its
+// own set of views; Wait folds the contributions back in spawn order after
+// the parent's own updates.  Consequently the result equals the serial
+// execution whenever the parent performs no reducer updates between its
+// Spawn calls (or the monoid is commutative).  Code that needs exact serial
+// semantics with interleaved parent updates should use Fork or ForkN.
+type Group struct {
+	ctx      *Context
+	children []*groupChild
+	waited   bool
+}
+
+type groupChild struct {
+	t *task
+	j *join
+}
+
+// NewGroup creates an empty spawn group bound to this context.
+func (c *Context) NewGroup() *Group {
+	return &Group{ctx: c}
+}
+
+// Spawn schedules fn as a child of the group.
+func (g *Group) Spawn(fn func(*Context)) {
+	if g.waited {
+		panic("sched: Spawn after Wait")
+	}
+	w := g.ctx.w
+	w.nForks.Add(1)
+	j := &join{}
+	t := &task{fn: fn, join: j, owner: w.id}
+	g.children = append(g.children, &groupChild{t: t, j: j})
+	w.dq.pushBottom(t)
+	w.noteDequeDepth(w.dq.size())
+	w.rt.signalWork()
+}
+
+// Wait blocks until every spawned child has completed and merges their view
+// contributions in spawn order.  Children that were not stolen are executed
+// by the calling worker itself (newest first, like a deque pop), each as its
+// own trace so the merge order is still the spawn order.
+func (g *Group) Wait() {
+	if g.waited {
+		return
+	}
+	g.waited = true
+	w := g.ctx.w
+	// Reclaim and run children that are still in our own deque, newest
+	// first (they are at the bottom).
+	for i := len(g.children) - 1; i >= 0; i-- {
+		ch := g.children[i]
+		if w.dq.popBottomIf(ch.t) {
+			w.runTask(ch.t)
+		}
+	}
+	// Wait for the rest and merge everything in spawn order.
+	var panicked any
+	for _, ch := range g.children {
+		if !ch.j.finished() {
+			w.waitJoin(ch.j)
+		}
+		w.rt.reducers.Merge(w, w.curTrace, ch.j.deposit)
+		if ch.j.panicVal != nil && panicked == nil {
+			panicked = ch.j.panicVal
+		}
+	}
+	g.children = g.children[:0]
+	if panicked != nil {
+		panic(fmt.Sprintf("sched: spawned child panicked: %v", panicked))
+	}
+}

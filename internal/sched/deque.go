@@ -1,0 +1,88 @@
+package sched
+
+import "sync"
+
+// task is one stealable unit of work: the continuation of a Fork.  In Cilk
+// terms it is the suspended parent frame sitting in the worker's deque,
+// waiting either to be popped back by its owner (the serial fast path) or
+// to be stolen and promoted into a full frame.
+type task struct {
+	fn   func(*Context)
+	join *join
+	// owner is the worker that pushed the task; recorded for statistics.
+	owner int
+}
+
+// deque is the per-worker double-ended work queue.  The owner pushes and
+// pops at the bottom (newest end); thieves steal from the top (oldest end),
+// mirroring the THE protocol's access pattern.  A mutex keeps the
+// implementation simple; steals are rare relative to pushes/pops, so the
+// lock is almost always uncontended.
+type deque struct {
+	mu    sync.Mutex
+	items []*task
+}
+
+// pushBottom appends t at the newest end.
+func (d *deque) pushBottom(t *task) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// popBottomIf removes and returns true if the newest task is exactly t.
+// This is the owner's conditional pop at the end of a Fork: if the
+// continuation is still there, the fork resumes serially; if it is gone, a
+// thief has promoted it.
+func (d *deque) popBottomIf(t *task) bool {
+	d.mu.Lock()
+	n := len(d.items)
+	if n > 0 && d.items[n-1] == t {
+		d.items[n-1] = nil
+		d.items = d.items[:n-1]
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Unlock()
+	return false
+}
+
+// popBottom removes and returns the newest task, or nil if the deque is
+// empty.  It is used when a worker drains its own deque.
+func (d *deque) popBottom() *task {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return t
+}
+
+// stealTop removes and returns the oldest task, or nil if the deque is
+// empty.  Thieves call it on a victim's deque.
+func (d *deque) stealTop() *task {
+	d.mu.Lock()
+	if len(d.items) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	d.mu.Unlock()
+	return t
+}
+
+// size reports the current number of queued tasks.
+func (d *deque) size() int {
+	d.mu.Lock()
+	n := len(d.items)
+	d.mu.Unlock()
+	return n
+}

@@ -1,0 +1,56 @@
+package sched
+
+// This file defines the narrow interface through which a reducer mechanism
+// plugs into the scheduler.  The scheduler knows nothing about hypermaps,
+// SPA maps or monoids; it only tells the reducer runtime when execution
+// departs from the serial order (a steal begins a new trace), when a stolen
+// branch finishes (its views must be transferred out), and when a join must
+// fold a finished branch's views back in (a hypermerge).  Both the
+// memory-mapping mechanism (internal/core) and the hypermap baseline
+// (internal/hypermap) implement this interface, so measured differences
+// between them isolate the reducer mechanism itself.
+
+// Trace is an opaque handle for the reducer state of one maximal sequence
+// of instructions that a worker executes in serial order between steals
+// (a "trace" in the Cilk literature).
+type Trace any
+
+// Deposit is an opaque handle for the set of views a completed stolen
+// branch leaves behind for its join (the result of view transferal).
+type Deposit any
+
+// ReducerRuntime is implemented by a reducer mechanism.
+type ReducerRuntime interface {
+	// WorkerInit is called once per worker before it executes any task,
+	// allowing the mechanism to set up per-worker state (for the
+	// memory-mapping mechanism: the worker's TLMM reducer area).
+	WorkerInit(w *Worker)
+
+	// BeginTrace is called when a worker begins executing work outside the
+	// serial order of its current trace: the root task, a stolen
+	// continuation, or a task run while helping at a join.  The worker's
+	// view state must afterwards be empty.
+	BeginTrace(w *Worker) Trace
+
+	// EndTrace is called when the work begun by the matching BeginTrace
+	// completes.  The mechanism performs view transferal: it packages the
+	// worker's current views into a Deposit (published in shared memory)
+	// and resets the worker's view state to empty so the worker can steal
+	// again.
+	EndTrace(w *Worker, tr Trace) Deposit
+
+	// Merge is called by the worker that owns a join when a deposited
+	// branch must be folded into the worker's current views.  The worker's
+	// views hold the serially-earlier updates, so the merge must compute
+	// current ⊗ deposit for every reducer present in the deposit (the
+	// hypermerge).
+	Merge(w *Worker, tr Trace, d Deposit)
+}
+
+// nopReducerRuntime is used when no reducer mechanism is configured.
+type nopReducerRuntime struct{}
+
+func (nopReducerRuntime) WorkerInit(*Worker)              {}
+func (nopReducerRuntime) BeginTrace(*Worker) Trace        { return nil }
+func (nopReducerRuntime) EndTrace(*Worker, Trace) Deposit { return nil }
+func (nopReducerRuntime) Merge(*Worker, Trace, Deposit)   {}

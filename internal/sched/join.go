@@ -1,0 +1,44 @@
+package sched
+
+import "sync/atomic"
+
+// join coordinates one Fork: it is the model's analogue of a promoted
+// ("full") frame.  It is created lazily in the sense that it only matters
+// when the continuation is actually stolen; in the serial fast path the
+// struct is allocated but never synchronised on.
+type join struct {
+	// done is set by the thief after it has published its deposit.
+	done atomic.Bool
+	// waiter, when non-nil, is closed by the thief to wake the owner
+	// parked at the join.
+	waiter atomic.Pointer[chan struct{}]
+	// deposit holds the stolen branch's transferred views.  It is written
+	// by the thief before done is set and read by the owner after done is
+	// observed, so the atomic provides the necessary ordering.
+	deposit Deposit
+	// panicVal carries a panic out of a stolen branch so the forking
+	// worker can re-raise it after the join.
+	panicVal any
+}
+
+// complete is called by the thief once the stolen continuation has finished
+// and its views have been transferred out.
+func (j *join) complete(d Deposit) {
+	j.deposit = d
+	j.done.Store(true)
+	if ch := j.waiter.Load(); ch != nil {
+		close(*ch)
+	}
+}
+
+// finished reports whether the stolen branch has completed.
+func (j *join) finished() bool { return j.done.Load() }
+
+// park registers a wait channel and returns it.  The caller must re-check
+// finished() after registering to close the race with a concurrent
+// complete().
+func (j *join) park() chan struct{} {
+	ch := make(chan struct{})
+	j.waiter.Store(&ch)
+	return ch
+}

@@ -1,0 +1,226 @@
+// Package sched implements the work-stealing fork-join runtime on which the
+// reducer mechanisms run.  It plays the role of the Cilk-M/Cilk Plus
+// runtime in the paper: P workers, per-worker deques, randomized work
+// stealing, and a join protocol under which a worker's execution between
+// steals mirrors a serial execution exactly, so that reducer views need to
+// be created, transferred and merged only when steals actually occur.
+//
+// Go cannot steal the un-reified continuation of a running function, so the
+// primitive is Fork(left, right): left runs inline and right — the
+// continuation — is pushed to the deque where a thief may promote it.  The
+// serial fast path (no steal) performs no reducer-related work at all,
+// matching the property the paper's overhead accounting relies on.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines (processor surrogates).
+	// Zero means runtime.GOMAXPROCS(0).
+	Workers int
+	// Seed seeds the per-worker random number generators used for victim
+	// selection.  Zero selects a fixed default, making schedules
+	// reproducible for a given worker count and interleaving.
+	Seed uint64
+	// Reducers is the reducer mechanism to notify about steals, view
+	// transferal and merges.  Nil disables reducer support.
+	Reducers ReducerRuntime
+	// StealAttemptsBeforePark bounds how many full victim sweeps a worker
+	// performs before parking.  Zero selects a default.
+	StealAttemptsBeforePark int
+}
+
+// Stats aggregates scheduler counters across workers.
+type Stats struct {
+	Forks          int64 // Fork calls
+	Steals         int64 // successful steals
+	FailedSteals   int64 // steal sweeps that found nothing
+	StalledJoins   int64 // forks whose continuation was stolen
+	HelpedTasks    int64 // tasks executed while waiting at a join
+	TasksExecuted  int64 // stolen or injected tasks executed
+	RootTasks      int64 // Run invocations
+	MaxDequeDepth  int64 // high-water mark of any deque
+	ParallelForSpl int64 // splits performed by ParallelFor
+}
+
+// Runtime is a work-stealing fork-join scheduler instance.
+type Runtime struct {
+	cfg      Config
+	workers  []*Worker
+	reducers ReducerRuntime
+
+	inbox   chan *rootTask
+	quit    chan struct{}
+	wake    chan struct{}
+	parked  atomic.Int32
+	started sync.WaitGroup
+	stopped sync.WaitGroup
+	closed  atomic.Bool
+
+	stats struct {
+		rootTasks atomic.Int64
+	}
+}
+
+// rootTask carries one Run invocation into the worker pool.
+type rootTask struct {
+	fn   func(*Context)
+	done chan Deposit
+	err  chan any // panic value, if any
+}
+
+// ErrClosed is returned by Run after Close has been called.
+var ErrClosed = errors.New("sched: runtime is closed")
+
+// New creates a runtime and starts its workers.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x9E3779B97F4A7C15
+	}
+	if cfg.StealAttemptsBeforePark <= 0 {
+		cfg.StealAttemptsBeforePark = 4
+	}
+	red := cfg.Reducers
+	if red == nil {
+		red = nopReducerRuntime{}
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		reducers: red,
+		inbox:    make(chan *rootTask),
+		quit:     make(chan struct{}),
+		wake:     make(chan struct{}, cfg.Workers),
+	}
+	rt.workers = make([]*Worker, cfg.Workers)
+	for i := range rt.workers {
+		rt.workers[i] = newWorker(rt, i, cfg.Seed+uint64(i)*0x9E3779B97F4A7C15+1)
+	}
+	for _, w := range rt.workers {
+		rt.reducers.WorkerInit(w)
+	}
+	rt.started.Add(cfg.Workers)
+	rt.stopped.Add(cfg.Workers)
+	for _, w := range rt.workers {
+		go w.loop()
+	}
+	rt.started.Wait()
+	return rt
+}
+
+// Workers returns the number of workers.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// Worker returns the i-th worker (for metrics and reducer bookkeeping).
+func (rt *Runtime) Worker(i int) *Worker { return rt.workers[i] }
+
+// Reducers returns the configured reducer mechanism, or nil if none.
+func (rt *Runtime) Reducers() ReducerRuntime {
+	if _, ok := rt.reducers.(nopReducerRuntime); ok {
+		return nil
+	}
+	return rt.reducers
+}
+
+// Run executes fn on the worker pool and blocks until it — and every branch
+// it forked — has completed.  It returns the Deposit produced by the root
+// trace's view transferal, which the reducer mechanism uses to fold the
+// computation's views into the reducers' leftmost (user-visible) views.
+//
+// Run may be called repeatedly, but calls are serialised by the caller's
+// own structure; concurrent Run calls execute concurrently on the same pool
+// and are independent of each other.
+func (rt *Runtime) Run(fn func(*Context)) (Deposit, error) {
+	if rt.closed.Load() {
+		return nil, ErrClosed
+	}
+	rt.stats.rootTasks.Add(1)
+	root := &rootTask{
+		fn:   fn,
+		done: make(chan Deposit, 1),
+		err:  make(chan any, 1),
+	}
+	select {
+	case rt.inbox <- root:
+	case <-rt.quit:
+		return nil, ErrClosed
+	}
+	rt.signalWork()
+	select {
+	case d := <-root.done:
+		return d, nil
+	case p := <-root.err:
+		panic(fmt.Sprintf("sched: root task panicked: %v", p))
+	}
+}
+
+// RunAndMerge executes fn and asks the reducer mechanism to merge the root
+// deposit into its leftmost views.  Most callers use this rather than Run.
+func (rt *Runtime) RunAndMerge(fn func(*Context)) error {
+	_, err := rt.Run(fn)
+	return err
+}
+
+// Close shuts the workers down and waits for them to exit.  Outstanding Run
+// calls must have completed.
+func (rt *Runtime) Close() {
+	if rt.closed.Swap(true) {
+		return
+	}
+	close(rt.quit)
+	rt.stopped.Wait()
+}
+
+// Stats aggregates counters across workers.
+func (rt *Runtime) Stats() Stats {
+	var s Stats
+	s.RootTasks = rt.stats.rootTasks.Load()
+	for _, w := range rt.workers {
+		s.Forks += w.nForks.Load()
+		s.Steals += w.nSteals.Load()
+		s.FailedSteals += w.nFailedSteals.Load()
+		s.StalledJoins += w.nStalledJoins.Load()
+		s.HelpedTasks += w.nHelped.Load()
+		s.TasksExecuted += w.nTasks.Load()
+		s.ParallelForSpl += w.nPForSplits.Load()
+		if d := w.maxDeque.Load(); d > s.MaxDequeDepth {
+			s.MaxDequeDepth = d
+		}
+	}
+	return s
+}
+
+// ResetStats zeroes all per-worker counters.
+func (rt *Runtime) ResetStats() {
+	rt.stats.rootTasks.Store(0)
+	for _, w := range rt.workers {
+		w.nForks.Store(0)
+		w.nSteals.Store(0)
+		w.nFailedSteals.Store(0)
+		w.nStalledJoins.Store(0)
+		w.nHelped.Store(0)
+		w.nTasks.Store(0)
+		w.nPForSplits.Store(0)
+		w.maxDeque.Store(0)
+	}
+}
+
+// signalWork wakes one parked worker, if any.
+func (rt *Runtime) signalWork() {
+	if rt.parked.Load() == 0 {
+		return
+	}
+	select {
+	case rt.wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Worker is one processor surrogate: a goroutine with its own deque that
+// executes tasks and participates in randomized work stealing.
+type Worker struct {
+	rt *Runtime
+	id int
+	dq deque
+
+	// rngState drives victim selection (xorshift64*).
+	rngState uint64
+
+	// curTrace is the reducer trace of the work the worker is currently
+	// executing in serial order.  It changes only when the worker begins
+	// or ends a stolen task (or the root task).
+	curTrace Trace
+
+	// local is per-worker storage for the reducer mechanism.
+	local any
+
+	nForks        atomic.Int64
+	nSteals       atomic.Int64
+	nFailedSteals atomic.Int64
+	nStalledJoins atomic.Int64
+	nHelped       atomic.Int64
+	nTasks        atomic.Int64
+	nPForSplits   atomic.Int64
+	maxDeque      atomic.Int64
+}
+
+func newWorker(rt *Runtime, id int, seed uint64) *Worker {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Worker{rt: rt, id: id, rngState: seed}
+}
+
+// ID returns the worker's index, in [0, Workers).
+func (w *Worker) ID() int { return w.id }
+
+// Runtime returns the owning runtime.
+func (w *Worker) Runtime() *Runtime { return w.rt }
+
+// Local returns the per-worker state installed by SetLocal.
+func (w *Worker) Local() any { return w.local }
+
+// SetLocal installs per-worker state for the reducer mechanism.  It is
+// normally called from ReducerRuntime.WorkerInit.
+func (w *Worker) SetLocal(v any) { w.local = v }
+
+// CurrentTrace returns the worker's current reducer trace.
+func (w *Worker) CurrentTrace() Trace { return w.curTrace }
+
+// Steals returns the number of successful steals this worker has performed.
+func (w *Worker) Steals() int64 { return w.nSteals.Load() }
+
+// loop is the worker's scheduling loop.
+func (w *Worker) loop() {
+	rt := w.rt
+	rt.started.Done()
+	defer rt.stopped.Done()
+	for {
+		if t := w.trySteal(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		select {
+		case root := <-rt.inbox:
+			w.runRoot(root)
+			continue
+		default:
+		}
+		// Nothing to do: park until work is signalled, a root task
+		// arrives, or the runtime shuts down.
+		rt.parked.Add(1)
+		select {
+		case <-rt.quit:
+			rt.parked.Add(-1)
+			return
+		case root := <-rt.inbox:
+			rt.parked.Add(-1)
+			w.runRoot(root)
+		case <-rt.wake:
+			rt.parked.Add(-1)
+		case <-time.After(2 * time.Millisecond):
+			rt.parked.Add(-1)
+		}
+	}
+}
+
+// runRoot executes one Run invocation as a fresh trace.
+func (w *Worker) runRoot(root *rootTask) {
+	w.nTasks.Add(1)
+	prev := w.curTrace
+	w.curTrace = w.rt.reducers.BeginTrace(w)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				// Leave the trace in a defined (empty) state before
+				// reporting the panic to the Run caller.
+				_ = w.rt.reducers.EndTrace(w, w.curTrace)
+				w.curTrace = prev
+				root.err <- p
+			}
+		}()
+		ctx := &Context{w: w}
+		root.fn(ctx)
+		d := w.rt.reducers.EndTrace(w, w.curTrace)
+		w.curTrace = prev
+		root.done <- d
+	}()
+}
+
+// runTask executes a stolen task as a fresh trace and completes its join.
+func (w *Worker) runTask(t *task) {
+	w.nTasks.Add(1)
+	prev := w.curTrace
+	w.curTrace = w.rt.reducers.BeginTrace(w)
+	var panicked any
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = p
+			}
+		}()
+		ctx := &Context{w: w}
+		t.fn(ctx)
+	}()
+	d := w.rt.reducers.EndTrace(w, w.curTrace)
+	w.curTrace = prev
+	if panicked != nil {
+		t.join.panicVal = panicked
+	}
+	t.join.complete(d)
+}
+
+// trySteal performs one sweep over the other workers in random order and
+// returns a stolen task, or nil if every deque was empty.
+func (w *Worker) trySteal() *task {
+	rt := w.rt
+	n := len(rt.workers)
+	if n == 1 {
+		return nil
+	}
+	start := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		victim := rt.workers[(start+i)%n]
+		if victim == w {
+			continue
+		}
+		if t := victim.dq.stealTop(); t != nil {
+			w.nSteals.Add(1)
+			return t
+		}
+	}
+	w.nFailedSteals.Add(1)
+	return nil
+}
+
+// waitJoin blocks until the stolen continuation recorded in j completes,
+// stealing and executing other tasks while it waits so the worker does not
+// idle.
+func (w *Worker) waitJoin(j *join) {
+	w.nStalledJoins.Add(1)
+	attempts := 0
+	for !j.finished() {
+		if t := w.trySteal(); t != nil {
+			w.nHelped.Add(1)
+			w.runTask(t)
+			attempts = 0
+			continue
+		}
+		attempts++
+		if attempts < w.rt.cfg.StealAttemptsBeforePark {
+			continue
+		}
+		ch := j.park()
+		if j.finished() {
+			return
+		}
+		select {
+		case <-ch:
+		case <-time.After(500 * time.Microsecond):
+			// Re-check for stealable work periodically so a long-running
+			// stolen branch does not leave this worker idle.
+		}
+	}
+}
+
+// nextRand advances the worker's xorshift64* state.
+func (w *Worker) nextRand() uint64 {
+	x := w.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rngState = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// noteDequeDepth updates the deque high-water mark.
+func (w *Worker) noteDequeDepth(depth int) {
+	d := int64(depth)
+	for {
+		cur := w.maxDeque.Load()
+		if d <= cur || w.maxDeque.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker(%d)", w.id)
+}

@@ -1,0 +1,165 @@
+package spa
+
+import "fmt"
+
+// Addr is a global view-slot address: it identifies one 16-byte slot across
+// a sequence of SPA map pages.  It plays the role of the paper's tlmm_addr,
+// which is the same for every worker throughout the life span of a reducer.
+type Addr int
+
+// Page returns the SPA page index of the address.
+func (a Addr) Page() int { return int(a) / SlotsPerMap }
+
+// Slot returns the in-page slot index of the address.
+func (a Addr) Slot() int { return int(a) % SlotsPerMap }
+
+// MakeAddr builds an Addr from a page index and an in-page slot index.
+func MakeAddr(page, slot int) Addr { return Addr(page*SlotsPerMap + slot) }
+
+// MapSet is an ordered collection of SPA map pages addressed by Addr.  A
+// worker's private TLMM reducer area is one MapSet; the public SPA maps
+// produced by view transferal are another.
+type MapSet struct {
+	pages []*Map
+	// alloc is called to obtain a fresh (empty) map page; when nil, pages
+	// are allocated directly.  A pool-backed allocator can be plugged in.
+	alloc func() *Map
+	// release is called when Recycle returns pages to their pool.
+	release func(*Map)
+}
+
+// NewMapSet returns an empty map set using direct allocation.
+func NewMapSet() *MapSet { return &MapSet{} }
+
+// NewPooledMapSet returns an empty map set that obtains and releases pages
+// through the supplied functions.
+func NewPooledMapSet(alloc func() *Map, release func(*Map)) *MapSet {
+	return &MapSet{alloc: alloc, release: release}
+}
+
+// Pages returns the number of SPA pages in the set.
+func (ms *MapSet) Pages() int { return len(ms.pages) }
+
+// Page returns the i-th SPA page, or nil if it does not exist.
+func (ms *MapSet) Page(i int) *Map {
+	if i < 0 || i >= len(ms.pages) {
+		return nil
+	}
+	return ms.pages[i]
+}
+
+// Len returns the total number of valid views across all pages.
+func (ms *MapSet) Len() int {
+	n := 0
+	for _, p := range ms.pages {
+		n += p.Len()
+	}
+	return n
+}
+
+// IsEmpty reports whether no page holds any view.
+func (ms *MapSet) IsEmpty() bool { return ms.Len() == 0 }
+
+// EnsurePage grows the set until page index i exists and returns it.
+func (ms *MapSet) EnsurePage(i int) *Map {
+	for len(ms.pages) <= i {
+		var p *Map
+		if ms.alloc != nil {
+			p = ms.alloc()
+		} else {
+			p = New()
+		}
+		ms.pages = append(ms.pages, p)
+	}
+	return ms.pages[i]
+}
+
+// Get returns the view at addr, or nil if the page does not exist or the
+// slot is empty.  This is the lookup fast path at MapSet granularity.
+func (ms *MapSet) Get(addr Addr) any {
+	pi := addr.Page()
+	if pi < 0 || pi >= len(ms.pages) {
+		return nil
+	}
+	return ms.pages[pi].Get(addr.Slot())
+}
+
+// Insert stores a (view, monoid) pair at addr, growing the set as needed.
+func (ms *MapSet) Insert(addr Addr, view, monoid any) error {
+	if addr < 0 {
+		return fmt.Errorf("%w: %d", ErrSlotOutOfRange, addr)
+	}
+	return ms.EnsurePage(addr.Page()).Insert(addr.Slot(), view, monoid)
+}
+
+// Update replaces the view at an occupied addr.
+func (ms *MapSet) Update(addr Addr, view any) error {
+	pi := addr.Page()
+	if pi < 0 || pi >= len(ms.pages) {
+		return fmt.Errorf("%w: %d", ErrSlotEmpty, addr)
+	}
+	return ms.pages[pi].Update(addr.Slot(), view)
+}
+
+// Remove clears the slot at addr and returns its previous contents.
+func (ms *MapSet) Remove(addr Addr) (Slot, error) {
+	pi := addr.Page()
+	if pi < 0 || pi >= len(ms.pages) {
+		return Slot{}, fmt.Errorf("%w: %d", ErrSlotEmpty, addr)
+	}
+	return ms.pages[pi].Remove(addr.Slot())
+}
+
+// Range calls fn for every valid (addr, slot) pair across all pages.
+// Iteration stops early if fn returns false.
+func (ms *MapSet) Range(fn func(addr Addr, s Slot) bool) {
+	for pi, p := range ms.pages {
+		stop := false
+		p.Range(func(i int, s Slot) bool {
+			if !fn(MakeAddr(pi, i), s) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// TransferTo moves every view from ms into dst, page by page, leaving ms
+// empty.  It returns the number of views moved.
+func (ms *MapSet) TransferTo(dst *MapSet) (int, error) {
+	moved := 0
+	for pi, p := range ms.pages {
+		if p.IsEmpty() {
+			continue
+		}
+		n, err := p.TransferTo(dst.EnsurePage(pi))
+		moved += n
+		if err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// Reset empties every page in place, keeping the pages for reuse.
+func (ms *MapSet) Reset() {
+	for _, p := range ms.pages {
+		p.Reset()
+	}
+}
+
+// Recycle empties the set and returns its pages to the pool (when one was
+// configured).  After Recycle the set holds no pages.
+func (ms *MapSet) Recycle() {
+	for _, p := range ms.pages {
+		p.Reset()
+		if ms.release != nil {
+			ms.release(p)
+		}
+	}
+	ms.pages = ms.pages[:0]
+}

@@ -1,0 +1,337 @@
+// Package spa implements the sparse-accumulator (SPA) map that Cilk-M uses
+// to organise a worker's local views (Section 6 of the paper).
+//
+// A SPA map occupies one 4 KB page of the worker's TLMM region and holds
+//
+//   - a view array of 248 elements, each a pair of 8-byte pointers
+//     (local view, monoid),
+//   - a log array of 120 one-byte indices naming the valid elements,
+//   - a 4-byte count of valid elements, and
+//   - a 4-byte count of log entries.
+//
+// Empty elements are represented by a nil pair.  Lookups are constant time
+// (index the view array), and sequencing through the valid views is linear
+// in the number of views by walking the log.  If more views are inserted
+// than the log can describe, the log is abandoned and sequencing falls back
+// to scanning the whole view array; the insertion cost amortises the scan.
+package spa
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tlmm"
+)
+
+// Layout constants from the paper: a 2:1 ratio between the view array and
+// the log array within one 4 KB page.
+const (
+	// SlotsPerMap is the number of view slots in one SPA map page.
+	SlotsPerMap = 248
+	// LogCapacity is the number of one-byte indices in the log array.
+	LogCapacity = 120
+	// SlotBytes is the in-page size of one view slot (two 8-byte pointers).
+	SlotBytes = 16
+)
+
+// Compile-time style check that the modelled layout fits one page:
+// 248*16 + 120 + 4 + 4 = 4096.
+var _ = [1]struct{}{}[(SlotsPerMap*SlotBytes+LogCapacity+4+4)-tlmm.PageSize]
+
+// Errors returned by SPA maps.
+var (
+	ErrSlotOutOfRange = errors.New("spa: slot index out of range")
+	ErrSlotOccupied   = errors.New("spa: slot already holds a view")
+	ErrSlotEmpty      = errors.New("spa: slot holds no view")
+)
+
+// Slot is one element of the view array: a pointer to a local view paired
+// with the monoid needed to reduce it.  Both are nil when the slot is
+// empty; the runtime maintains the invariant that they are nil or non-nil
+// together.
+type Slot struct {
+	View   any
+	Monoid any
+}
+
+// IsEmpty reports whether the slot holds no view.
+func (s Slot) IsEmpty() bool { return s.View == nil && s.Monoid == nil }
+
+// Map is one SPA map page.
+type Map struct {
+	views [SlotsPerMap]Slot
+	log   [LogCapacity]uint8
+	// nviews is the number of valid elements in the view array.
+	nviews int32
+	// nlogs is the number of entries in the log array.  Once the log
+	// overflows, nlogs stops tracking insertions and logValid becomes
+	// false, signalling that sequencing must scan the whole view array.
+	nlogs    int32
+	logValid bool
+}
+
+// New returns an empty SPA map.
+func New() *Map {
+	return &Map{logValid: true}
+}
+
+// Reset returns the map to the empty state: all slots nil, counts zero, log
+// tracking re-enabled.  The paper's invariant is that only empty SPA maps
+// are recycled, so Reset is what a pool must call before reuse.
+func (m *Map) Reset() {
+	for i := range m.views {
+		m.views[i] = Slot{}
+	}
+	m.nviews = 0
+	m.nlogs = 0
+	m.logValid = true
+}
+
+// Len reports the number of valid views in the map.
+func (m *Map) Len() int { return int(m.nviews) }
+
+// LogLen reports the number of log entries currently recorded.
+func (m *Map) LogLen() int { return int(m.nlogs) }
+
+// LogValid reports whether the log still describes every valid view, i.e.
+// whether it has not overflowed since the last Reset.
+func (m *Map) LogValid() bool { return m.logValid }
+
+// IsEmpty reports whether the map holds no views.
+func (m *Map) IsEmpty() bool { return m.nviews == 0 }
+
+// Lookup returns the slot at index i.  It is the constant-time lookup of
+// the paper: one bounds check and one array index.
+func (m *Map) Lookup(i int) (Slot, error) {
+	if i < 0 || i >= SlotsPerMap {
+		return Slot{}, fmt.Errorf("%w: %d", ErrSlotOutOfRange, i)
+	}
+	return m.views[i], nil
+}
+
+// Get returns the view stored at slot i, or nil if the slot is empty or out
+// of range.  It is the unchecked fast path used by the reducer mechanism.
+func (m *Map) Get(i int) any {
+	if i < 0 || i >= SlotsPerMap {
+		return nil
+	}
+	return m.views[i].View
+}
+
+// Insert stores a (view, monoid) pair at slot i, which must be empty.
+func (m *Map) Insert(i int, view, monoid any) error {
+	if i < 0 || i >= SlotsPerMap {
+		return fmt.Errorf("%w: %d", ErrSlotOutOfRange, i)
+	}
+	if view == nil || monoid == nil {
+		return errors.New("spa: nil view or monoid")
+	}
+	if !m.views[i].IsEmpty() {
+		return fmt.Errorf("%w: %d", ErrSlotOccupied, i)
+	}
+	m.views[i] = Slot{View: view, Monoid: monoid}
+	m.nviews++
+	if m.logValid {
+		if int(m.nlogs) < LogCapacity {
+			m.log[m.nlogs] = uint8(i)
+			m.nlogs++
+		} else {
+			// The log array is full: stop keeping track of logs.  The
+			// cost of sequencing through the entire view array is
+			// amortised against the insertions that overflowed it.
+			m.logValid = false
+		}
+	}
+	return nil
+}
+
+// Update replaces the view stored at an occupied slot, leaving the monoid
+// unchanged.  It is used by hypermerges, which fold one view into another
+// in place.
+func (m *Map) Update(i int, view any) error {
+	if i < 0 || i >= SlotsPerMap {
+		return fmt.Errorf("%w: %d", ErrSlotOutOfRange, i)
+	}
+	if m.views[i].IsEmpty() {
+		return fmt.Errorf("%w: %d", ErrSlotEmpty, i)
+	}
+	if view == nil {
+		return errors.New("spa: nil view")
+	}
+	m.views[i].View = view
+	return nil
+}
+
+// Remove clears slot i (used when a reducer goes out of scope and its slot
+// is recycled) and returns the slot's previous contents.
+func (m *Map) Remove(i int) (Slot, error) {
+	if i < 0 || i >= SlotsPerMap {
+		return Slot{}, fmt.Errorf("%w: %d", ErrSlotOutOfRange, i)
+	}
+	s := m.views[i]
+	if s.IsEmpty() {
+		return Slot{}, fmt.Errorf("%w: %d", ErrSlotEmpty, i)
+	}
+	m.views[i] = Slot{}
+	m.nviews--
+	// The log may now contain a stale index; sequencing skips empty slots,
+	// so the log remains usable without compaction.
+	return s, nil
+}
+
+// Range calls fn for every valid (index, slot) pair.  If the log is valid
+// it walks only the logged indices (linear in the number of insertions);
+// otherwise it scans the whole view array.  Iteration stops early if fn
+// returns false.
+func (m *Map) Range(fn func(i int, s Slot) bool) {
+	if m.logValid {
+		for k := 0; k < int(m.nlogs); k++ {
+			i := int(m.log[k])
+			s := m.views[i]
+			if s.IsEmpty() {
+				continue
+			}
+			if !fn(i, s) {
+				return
+			}
+		}
+		return
+	}
+	for i := 0; i < SlotsPerMap; i++ {
+		s := m.views[i]
+		if s.IsEmpty() {
+			continue
+		}
+		if !fn(i, s) {
+			return
+		}
+	}
+}
+
+// Indices returns the indices of all valid views in ascending order.  It is
+// a convenience for tests and for deterministic sequencing in merges.
+func (m *Map) Indices() []int {
+	out := make([]int, 0, m.nviews)
+	for i := 0; i < SlotsPerMap; i++ {
+		if !m.views[i].IsEmpty() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TransferTo moves every valid view from m into dst (which must have the
+// corresponding slots empty) and clears m.  This is the copying strategy
+// for view transferal (Section 7): as the worker sequences through valid
+// indices it simultaneously zeroes them out in the source map, so that
+// after the transfer the private map is empty and may be reused by the
+// worker for its next trace.
+func (m *Map) TransferTo(dst *Map) (moved int, err error) {
+	transfer := func(i int, s Slot) bool {
+		if insErr := dst.Insert(i, s.View, s.Monoid); insErr != nil {
+			err = insErr
+			return false
+		}
+		m.views[i] = Slot{}
+		m.nviews--
+		moved++
+		return true
+	}
+	m.Range(transfer)
+	if err != nil {
+		return moved, err
+	}
+	// The source is now empty; restore its pristine state so it can be
+	// recycled (the paper requires that recycled SPA maps be empty).
+	m.nlogs = 0
+	m.logValid = true
+	return moved, nil
+}
+
+// Encode serialises the SPA map into its in-page byte layout inside buf,
+// which must be at least tlmm.PageSize bytes.  Views and monoids are
+// represented by the caller-provided handle function, which maps them to
+// 8-byte identifiers (a real system stores raw pointers; the model stores
+// stable handles so a page can round-trip through the TLMM page store).
+func (m *Map) Encode(buf []byte, handle func(any) uint64) error {
+	if len(buf) < tlmm.PageSize {
+		return fmt.Errorf("spa: encode buffer of %d bytes, need %d", len(buf), tlmm.PageSize)
+	}
+	off := 0
+	for i := 0; i < SlotsPerMap; i++ {
+		var hv, hm uint64
+		if !m.views[i].IsEmpty() {
+			hv = handle(m.views[i].View)
+			hm = handle(m.views[i].Monoid)
+		}
+		putLE64(buf[off:], hv)
+		putLE64(buf[off+8:], hm)
+		off += SlotBytes
+	}
+	copy(buf[off:off+LogCapacity], m.log[:])
+	off += LogCapacity
+	putLE32(buf[off:], uint32(m.nviews))
+	putLE32(buf[off+4:], uint32(m.nlogs))
+	return nil
+}
+
+// Decode reconstructs the SPA map from its in-page byte layout, resolving
+// 8-byte identifiers back to views/monoids through the lookup function.
+func (m *Map) Decode(buf []byte, lookup func(uint64) any) error {
+	if len(buf) < tlmm.PageSize {
+		return fmt.Errorf("spa: decode buffer of %d bytes, need %d", len(buf), tlmm.PageSize)
+	}
+	m.Reset()
+	off := 0
+	valid := 0
+	for i := 0; i < SlotsPerMap; i++ {
+		hv := getLE64(buf[off:])
+		hm := getLE64(buf[off+8:])
+		off += SlotBytes
+		if hv == 0 && hm == 0 {
+			continue
+		}
+		m.views[i] = Slot{View: lookup(hv), Monoid: lookup(hm)}
+		valid++
+	}
+	copy(m.log[:], buf[off:off+LogCapacity])
+	off += LogCapacity
+	m.nviews = int32(getLE32(buf[off:]))
+	m.nlogs = int32(getLE32(buf[off+4:]))
+	if int(m.nviews) != valid {
+		return fmt.Errorf("spa: decode count mismatch: header %d, slots %d", m.nviews, valid)
+	}
+	m.logValid = int(m.nlogs) <= LogCapacity && int(m.nviews) == int(m.nlogs)
+	return nil
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getLE64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getLE32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,488 @@
+package spa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tlmm"
+)
+
+type fakeMonoid struct{ name string }
+
+func TestNewMapIsEmpty(t *testing.T) {
+	m := New()
+	if !m.IsEmpty() || m.Len() != 0 || m.LogLen() != 0 || !m.LogValid() {
+		t.Fatalf("fresh map not in empty state: %+v", m)
+	}
+	for i := 0; i < SlotsPerMap; i++ {
+		s, err := m.Lookup(i)
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", i, err)
+		}
+		if !s.IsEmpty() {
+			t.Fatalf("slot %d not empty in fresh map", i)
+		}
+	}
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	v := new(int)
+	if err := m.Insert(7, v, mon); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if m.Len() != 1 || m.LogLen() != 1 {
+		t.Fatalf("Len/LogLen = %d/%d, want 1/1", m.Len(), m.LogLen())
+	}
+	if got := m.Get(7); got != any(v) {
+		t.Fatalf("Get(7) = %v, want inserted view", got)
+	}
+	if got := m.Get(8); got != nil {
+		t.Fatalf("Get(8) = %v, want nil", got)
+	}
+	if err := m.Insert(7, new(int), mon); !errors.Is(err, ErrSlotOccupied) {
+		t.Fatalf("double insert: got %v, want ErrSlotOccupied", err)
+	}
+	s, err := m.Remove(7)
+	if err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if s.View != any(v) {
+		t.Fatal("Remove returned wrong slot contents")
+	}
+	if _, err := m.Remove(7); !errors.Is(err, ErrSlotEmpty) {
+		t.Fatalf("Remove of empty slot: got %v, want ErrSlotEmpty", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after remove = %d, want 0", m.Len())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	if err := m.Insert(-1, new(int), mon); !errors.Is(err, ErrSlotOutOfRange) {
+		t.Fatalf("Insert(-1): got %v, want ErrSlotOutOfRange", err)
+	}
+	if err := m.Insert(SlotsPerMap, new(int), mon); !errors.Is(err, ErrSlotOutOfRange) {
+		t.Fatalf("Insert(248): got %v, want ErrSlotOutOfRange", err)
+	}
+	if err := m.Insert(0, nil, mon); err == nil {
+		t.Fatal("Insert of nil view should fail")
+	}
+	if err := m.Insert(0, new(int), nil); err == nil {
+		t.Fatal("Insert of nil monoid should fail")
+	}
+	if _, err := m.Lookup(SlotsPerMap); !errors.Is(err, ErrSlotOutOfRange) {
+		t.Fatalf("Lookup out of range: got %v, want ErrSlotOutOfRange", err)
+	}
+	if err := m.Update(5, new(int)); !errors.Is(err, ErrSlotEmpty) {
+		t.Fatalf("Update of empty slot: got %v, want ErrSlotEmpty", err)
+	}
+	if err := m.Update(-3, new(int)); !errors.Is(err, ErrSlotOutOfRange) {
+		t.Fatalf("Update out of range: got %v, want ErrSlotOutOfRange", err)
+	}
+	if _, err := m.Remove(SlotsPerMap + 1); !errors.Is(err, ErrSlotOutOfRange) {
+		t.Fatalf("Remove out of range: got %v, want ErrSlotOutOfRange", err)
+	}
+}
+
+func TestUpdateReplacesView(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	v1, v2 := new(int), new(int)
+	if err := m.Insert(3, v1, mon); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := m.Update(3, v2); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if got := m.Get(3); got != any(v2) {
+		t.Fatal("Update did not replace view")
+	}
+	if err := m.Update(3, nil); err == nil {
+		t.Fatal("Update with nil view should fail")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after update = %d, want 1", m.Len())
+	}
+}
+
+func TestRangeUsesLogWhenValid(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	order := []int{17, 3, 200, 45}
+	for _, i := range order {
+		if err := m.Insert(i, new(int), mon); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	var visited []int
+	m.Range(func(i int, s Slot) bool {
+		visited = append(visited, i)
+		return true
+	})
+	if len(visited) != len(order) {
+		t.Fatalf("Range visited %d slots, want %d", len(visited), len(order))
+	}
+	// With a valid log, visitation order is insertion order.
+	for k := range order {
+		if visited[k] != order[k] {
+			t.Fatalf("Range order %v, want insertion order %v", visited, order)
+		}
+	}
+	// Early termination.
+	count := 0
+	m.Range(func(i int, s Slot) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("Range early stop visited %d, want 2", count)
+	}
+}
+
+func TestRangeSkipsRemovedEntriesLoggedEarlier(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	for _, i := range []int{1, 2, 3} {
+		if err := m.Insert(i, new(int), mon); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if _, err := m.Remove(2); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	var visited []int
+	m.Range(func(i int, s Slot) bool {
+		visited = append(visited, i)
+		return true
+	})
+	if len(visited) != 2 || visited[0] != 1 || visited[1] != 3 {
+		t.Fatalf("Range after removal visited %v, want [1 3]", visited)
+	}
+}
+
+func TestLogOverflowFallsBackToScan(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	// Insert more views than the log can describe.
+	n := LogCapacity + 30
+	for i := 0; i < n; i++ {
+		if err := m.Insert(i, new(int), mon); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if m.LogValid() {
+		t.Fatal("log should be invalid after overflow")
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	seen := make(map[int]bool)
+	m.Range(func(i int, s Slot) bool {
+		if seen[i] {
+			t.Fatalf("slot %d visited twice", i)
+		}
+		seen[i] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range visited %d slots after overflow, want %d", len(seen), n)
+	}
+}
+
+func TestResetRestoresEmptyState(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	for i := 0; i < LogCapacity+10; i++ {
+		_ = m.Insert(i, new(int), mon)
+	}
+	m.Reset()
+	if !m.IsEmpty() || m.LogLen() != 0 || !m.LogValid() {
+		t.Fatal("Reset did not restore the empty state")
+	}
+	if got := len(m.Indices()); got != 0 {
+		t.Fatalf("Indices after Reset = %d entries, want 0", got)
+	}
+}
+
+func TestTransferToMovesAndEmptiesSource(t *testing.T) {
+	src := New()
+	dst := New()
+	mon := &fakeMonoid{"add"}
+	idx := []int{5, 9, 100, 247}
+	for _, i := range idx {
+		if err := src.Insert(i, new(int), mon); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	moved, err := src.TransferTo(dst)
+	if err != nil {
+		t.Fatalf("TransferTo: %v", err)
+	}
+	if moved != len(idx) {
+		t.Fatalf("moved %d views, want %d", moved, len(idx))
+	}
+	if !src.IsEmpty() || !src.LogValid() || src.LogLen() != 0 {
+		t.Fatal("source map not empty after transfer")
+	}
+	if dst.Len() != len(idx) {
+		t.Fatalf("destination has %d views, want %d", dst.Len(), len(idx))
+	}
+	for _, i := range idx {
+		if dst.Get(i) == nil {
+			t.Fatalf("destination missing view at slot %d", i)
+		}
+	}
+}
+
+func TestTransferToOccupiedDestinationFails(t *testing.T) {
+	src := New()
+	dst := New()
+	mon := &fakeMonoid{"add"}
+	_ = src.Insert(4, new(int), mon)
+	_ = dst.Insert(4, new(int), mon)
+	if _, err := src.TransferTo(dst); !errors.Is(err, ErrSlotOccupied) {
+		t.Fatalf("TransferTo into occupied slot: got %v, want ErrSlotOccupied", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := New()
+	mon := &fakeMonoid{"add"}
+	views := map[uint64]any{1: mon}
+	handleOf := map[any]uint64{mon: 1}
+	next := uint64(2)
+	for _, i := range []int{0, 10, 200} {
+		v := new(int)
+		*v = i
+		views[next] = v
+		handleOf[v] = next
+		next++
+		if err := m.Insert(i, v, mon); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	buf := make([]byte, tlmm.PageSize)
+	if err := m.Encode(buf, func(x any) uint64 { return handleOf[x] }); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var out Map
+	if err := out.Decode(buf, func(h uint64) any { return views[h] }); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Len() != m.Len() {
+		t.Fatalf("decoded Len = %d, want %d", out.Len(), m.Len())
+	}
+	for _, i := range []int{0, 10, 200} {
+		got, want := out.Get(i), m.Get(i)
+		if got != want {
+			t.Fatalf("decoded slot %d = %v, want %v", i, got, want)
+		}
+	}
+	if err := m.Encode(make([]byte, 10), func(any) uint64 { return 0 }); err == nil {
+		t.Fatal("Encode into short buffer should fail")
+	}
+	if err := out.Decode(make([]byte, 10), func(uint64) any { return nil }); err == nil {
+		t.Fatal("Decode from short buffer should fail")
+	}
+}
+
+func TestPropertyInsertedViewsAreFound(t *testing.T) {
+	mon := &fakeMonoid{"m"}
+	f := func(raw []uint8) bool {
+		m := New()
+		want := make(map[int]any)
+		for _, r := range raw {
+			i := int(r) % SlotsPerMap
+			if _, ok := want[i]; ok {
+				continue
+			}
+			v := new(int)
+			if err := m.Insert(i, v, mon); err != nil {
+				return false
+			}
+			want[i] = v
+		}
+		if m.Len() != len(want) {
+			return false
+		}
+		for i, v := range want {
+			if m.Get(i) != v {
+				return false
+			}
+		}
+		found := 0
+		m.Range(func(i int, s Slot) bool {
+			if want[i] != s.View {
+				return false
+			}
+			found++
+			return true
+		})
+		return found == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransferPreservesViews(t *testing.T) {
+	mon := &fakeMonoid{"m"}
+	f := func(raw []uint8) bool {
+		src, dst := New(), New()
+		want := make(map[int]any)
+		for _, r := range raw {
+			i := int(r) % SlotsPerMap
+			if _, ok := want[i]; ok {
+				continue
+			}
+			v := new(int)
+			_ = src.Insert(i, v, mon)
+			want[i] = v
+		}
+		moved, err := src.TransferTo(dst)
+		if err != nil || moved != len(want) {
+			return false
+		}
+		if !src.IsEmpty() {
+			return false
+		}
+		for i, v := range want {
+			if dst.Get(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapSetAddressing(t *testing.T) {
+	if MakeAddr(2, 17).Page() != 2 || MakeAddr(2, 17).Slot() != 17 {
+		t.Fatal("MakeAddr/Page/Slot mismatch")
+	}
+	ms := NewMapSet()
+	mon := &fakeMonoid{"add"}
+	addr := MakeAddr(3, 100)
+	v := new(int)
+	if got := ms.Get(addr); got != nil {
+		t.Fatalf("Get on empty set = %v, want nil", got)
+	}
+	if err := ms.Insert(addr, v, mon); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if ms.Pages() != 4 {
+		t.Fatalf("Pages = %d, want 4 (grown to cover page 3)", ms.Pages())
+	}
+	if got := ms.Get(addr); got != any(v) {
+		t.Fatal("Get did not return inserted view")
+	}
+	if ms.Len() != 1 || ms.IsEmpty() {
+		t.Fatalf("Len = %d, IsEmpty = %v", ms.Len(), ms.IsEmpty())
+	}
+	if err := ms.Insert(Addr(-1), v, mon); err == nil {
+		t.Fatal("Insert at negative addr should fail")
+	}
+	if err := ms.Update(addr, new(int)); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := ms.Update(MakeAddr(9, 0), new(int)); err == nil {
+		t.Fatal("Update beyond last page should fail")
+	}
+	if _, err := ms.Remove(MakeAddr(9, 0)); err == nil {
+		t.Fatal("Remove beyond last page should fail")
+	}
+	s, err := ms.Remove(addr)
+	if err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if s.IsEmpty() {
+		t.Fatal("Remove returned empty slot")
+	}
+	if ms.Page(0) == nil || ms.Page(7) != nil || ms.Page(-1) != nil {
+		t.Fatal("Page bounds handling incorrect")
+	}
+}
+
+func TestMapSetRangeAndTransfer(t *testing.T) {
+	mon := &fakeMonoid{"add"}
+	src := NewMapSet()
+	dst := NewMapSet()
+	rng := rand.New(rand.NewSource(42))
+	want := make(map[Addr]any)
+	for len(want) < 400 {
+		addr := MakeAddr(rng.Intn(3), rng.Intn(SlotsPerMap))
+		if _, ok := want[addr]; ok {
+			continue
+		}
+		v := new(int)
+		if err := src.Insert(addr, v, mon); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		want[addr] = v
+	}
+	count := 0
+	src.Range(func(addr Addr, s Slot) bool {
+		if want[addr] != s.View {
+			t.Fatalf("Range returned wrong view at %d", addr)
+		}
+		count++
+		return true
+	})
+	if count != len(want) {
+		t.Fatalf("Range visited %d, want %d", count, len(want))
+	}
+	// Early stop across pages.
+	count = 0
+	src.Range(func(addr Addr, s Slot) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("Range early stop visited %d, want 5", count)
+	}
+	moved, err := src.TransferTo(dst)
+	if err != nil {
+		t.Fatalf("TransferTo: %v", err)
+	}
+	if moved != len(want) || !src.IsEmpty() || dst.Len() != len(want) {
+		t.Fatalf("transfer moved %d, src empty %v, dst len %d", moved, src.IsEmpty(), dst.Len())
+	}
+	for addr, v := range want {
+		if dst.Get(addr) != v {
+			t.Fatalf("destination missing view at %d", addr)
+		}
+	}
+}
+
+func TestMapSetPooledRecycle(t *testing.T) {
+	allocated, released := 0, 0
+	ms := NewPooledMapSet(
+		func() *Map { allocated++; return New() },
+		func(*Map) { released++ },
+	)
+	mon := &fakeMonoid{"add"}
+	_ = ms.Insert(MakeAddr(1, 5), new(int), mon)
+	if allocated != 2 {
+		t.Fatalf("allocated %d pages, want 2", allocated)
+	}
+	ms.Reset()
+	if ms.Pages() != 2 || !ms.IsEmpty() {
+		t.Fatal("Reset should keep pages but empty them")
+	}
+	_ = ms.Insert(MakeAddr(0, 1), new(int), mon)
+	ms.Recycle()
+	if released != 2 {
+		t.Fatalf("released %d pages, want 2", released)
+	}
+	if ms.Pages() != 0 {
+		t.Fatalf("Pages after Recycle = %d, want 0", ms.Pages())
+	}
+}

@@ -1,0 +1,196 @@
+package tlmm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The x86-64 four-level page-table geometry modelled by the package: each
+// level indexes 9 bits of the virtual address, each directory holds 512
+// entries, and the bottom 12 bits are the page offset.
+const (
+	entriesPerDirectory = 512
+	levelBits           = 9
+	offsetBits          = 12
+	pageTableLevels     = 4
+)
+
+// pte is a page-table entry.  At intermediate levels it points to a child
+// directory; at the leaf level it points to a physical page.
+type pte struct {
+	dir  *directory
+	page *Page
+}
+
+// directory is one page directory (any level).
+type directory struct {
+	entries [entriesPerDirectory]pte
+}
+
+// walkIndices decomposes a virtual address into its four directory indices
+// and the in-page offset, from the root level (index 0) down to the leaf
+// level (index 3).
+func walkIndices(va uintptr) (idx [pageTableLevels]int, offset uintptr) {
+	offset = va & (PageSize - 1)
+	va >>= offsetBits
+	for level := pageTableLevels - 1; level >= 0; level-- {
+		idx[level] = int(va & (entriesPerDirectory - 1))
+		va >>= levelBits
+	}
+	return idx, offset
+}
+
+// rootIndex returns only the root-directory index of a virtual address.
+func rootIndex(va uintptr) int {
+	idx, _ := walkIndices(va)
+	return idx[0]
+}
+
+// tlmmRootIndex is the root-directory slot reserved for the TLMM region.
+var tlmmRootIndex = rootIndex(TLMMBase)
+
+// AddressSpace models the virtual address space of one process running on
+// TLMM-Linux.  Lower-level directories that correspond to the shared region
+// are populated once and referenced from every thread's root directory;
+// each thread owns the subtree hanging off the TLMM slot of its private
+// root directory.
+type AddressSpace struct {
+	Phys *PhysMem
+
+	mu sync.Mutex
+	// sharedRoot holds the canonical root entries for the shared region.
+	// Thread root directories mirror these entries; when a new shared
+	// subtree is created, every live thread's root is synchronised, which
+	// the model counts as a RootSync.
+	sharedRoot directory
+	threads    []*ThreadVM
+	nextThread int
+}
+
+// NewAddressSpace creates an address space backed by the given physical
+// memory.  If phys is nil a fresh PhysMem is created.
+func NewAddressSpace(phys *PhysMem) *AddressSpace {
+	if phys == nil {
+		phys = NewPhysMem()
+	}
+	return &AddressSpace{Phys: phys}
+}
+
+// NewThread creates the virtual-memory state for one worker thread: a
+// private root page directory whose shared entries alias the process-wide
+// shared directories and whose TLMM entry is private.
+func (as *AddressSpace) NewThread() *ThreadVM {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	t := &ThreadVM{
+		as: as,
+		id: as.nextThread,
+	}
+	as.nextThread++
+	// Mirror the current shared entries into the new thread's root.
+	t.root = as.sharedRoot
+	// The TLMM slot always points at a private subtree.
+	t.root.entries[tlmmRootIndex] = pte{}
+	as.threads = append(as.threads, t)
+	return t
+}
+
+// Threads returns the number of thread VMs created in this address space.
+func (as *AddressSpace) Threads() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return len(as.threads)
+}
+
+// ensureShared walks the shared subtree for va, creating directories as
+// needed, and returns the leaf directory plus leaf index.  If the root
+// entry had to be created, every thread's root directory is synchronised.
+func (as *AddressSpace) ensureShared(va uintptr) (*directory, int) {
+	idx, _ := walkIndices(va)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	rootChanged := false
+	dir := &as.sharedRoot
+	for level := 0; level < pageTableLevels-1; level++ {
+		e := &dir.entries[idx[level]]
+		if e.dir == nil {
+			e.dir = &directory{}
+			if level == 0 {
+				rootChanged = true
+			}
+		}
+		dir = e.dir
+	}
+	if rootChanged {
+		// TLMM-Linux must synchronise the root entries of every thread
+		// when a shared root slot is populated; lower levels are shared
+		// structurally and need no further work.
+		for _, t := range as.threads {
+			t.mu.Lock()
+			for i := 0; i < entriesPerDirectory; i++ {
+				if i != tlmmRootIndex {
+					t.root.entries[i] = as.sharedRoot.entries[i]
+				}
+			}
+			t.mu.Unlock()
+		}
+		as.Phys.rootSyncs.Add(1)
+	}
+	return dir, idx[pageTableLevels-1]
+}
+
+// MapShared maps the page named by pd at the page-aligned shared virtual
+// address va, visible to every thread.
+func (as *AddressSpace) MapShared(va uintptr, pd PD) error {
+	if va%PageSize != 0 {
+		return fmt.Errorf("%w: %#x", ErrMisaligned, va)
+	}
+	if va < SharedBase || va+PageSize > SharedEnd {
+		return fmt.Errorf("%w: %#x", ErrOutOfRange, va)
+	}
+	pg, err := as.Phys.page(pd)
+	if err != nil {
+		return err
+	}
+	as.Phys.kernelCrossings.Add(1)
+	leaf, li := as.ensureShared(va)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if old := leaf.entries[li].page; old != nil {
+		decRef(old)
+		as.Phys.pagesUnmapped.Add(1)
+	}
+	leaf.entries[li] = pte{page: pg}
+	incRef(pg)
+	as.Phys.pagesMapped.Add(1)
+	as.Phys.softFaults.Add(1)
+	return nil
+}
+
+// resolveShared translates a shared-region address without taking the
+// address-space lock on the fast path; leaf directories are only ever
+// appended to, never removed, so the data race window is acceptable for a
+// model (callers needing strictness use the locked Map* paths).
+func (as *AddressSpace) resolveShared(va uintptr) (*Page, uintptr, error) {
+	idx, off := walkIndices(va)
+	as.mu.Lock()
+	dir := &as.sharedRoot
+	for level := 0; level < pageTableLevels-1; level++ {
+		e := dir.entries[idx[level]]
+		if e.dir == nil {
+			as.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		dir = e.dir
+	}
+	pg := dir.entries[idx[pageTableLevels-1]].page
+	as.mu.Unlock()
+	if pg == nil {
+		return nil, 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+	}
+	return pg, off, nil
+}
+
+func incRef(pg *Page) { atomic.AddInt32(&pg.refs, 1) }
+func decRef(pg *Page) { atomic.AddInt32(&pg.refs, -1) }

@@ -1,0 +1,117 @@
+package tlmm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RegionLayout manages the split of the TLMM region that the paper
+// describes: the cactus stack is allocated at the highest TLMM addresses and
+// grows downwards, while the space reserved for reducers starts at the
+// lowest TLMM address and grows upwards.  Because the region is 512 GB the
+// two ends never meet in practice; the model still checks for collision.
+//
+// The layout itself is a process-wide agreement: every worker must use the
+// same virtual addresses for the same reducer pages, so reservations are
+// made once, globally, and each worker then maps its own physical page at
+// the reserved address.
+type RegionLayout struct {
+	mu sync.Mutex
+	// reducerNext is the next virtual address to hand out at the low end.
+	reducerNext uintptr
+	// stackNext is the next virtual address to hand out at the high end
+	// (exclusive: the reservation is [stackNext-size, stackNext)).
+	stackNext uintptr
+	// reservedReducer records reducer-end reservations for introspection.
+	reservedReducer []Reservation
+	// reservedStack records stack-end reservations.
+	reservedStack []Reservation
+}
+
+// Reservation is one address-range reservation inside the TLMM region.
+type Reservation struct {
+	Base  uintptr
+	Pages int
+}
+
+// End returns one past the last byte of the reservation.
+func (r Reservation) End() uintptr { return r.Base + uintptr(r.Pages)*PageSize }
+
+// NewRegionLayout returns a layout covering the whole TLMM region.
+func NewRegionLayout() *RegionLayout {
+	return &RegionLayout{
+		reducerNext: TLMMBase,
+		stackNext:   TLMMEnd,
+	}
+}
+
+// ReserveReducerPages reserves n pages at the low (reducer) end of the TLMM
+// region and returns the base virtual address of the reservation.  The same
+// address is valid in every worker's TLMM region; each worker maps its own
+// physical pages there.
+func (l *RegionLayout) ReserveReducerPages(n int) (uintptr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("tlmm: reservation of %d pages", n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base := l.reducerNext
+	end := base + uintptr(n)*PageSize
+	if end > l.stackNext {
+		return 0, fmt.Errorf("%w: reducer end %#x would cross stack end %#x",
+			ErrRegionOverflow, end, l.stackNext)
+	}
+	l.reducerNext = end
+	l.reservedReducer = append(l.reservedReducer, Reservation{Base: base, Pages: n})
+	return base, nil
+}
+
+// ReserveStackPages reserves n pages at the high (cactus-stack) end of the
+// TLMM region, growing downwards, and returns the base virtual address.
+func (l *RegionLayout) ReserveStackPages(n int) (uintptr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("tlmm: reservation of %d pages", n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base := l.stackNext - uintptr(n)*PageSize
+	if base < l.reducerNext {
+		return 0, fmt.Errorf("%w: stack end %#x would cross reducer end %#x",
+			ErrRegionOverflow, base, l.reducerNext)
+	}
+	l.stackNext = base
+	l.reservedStack = append(l.reservedStack, Reservation{Base: base, Pages: n})
+	return base, nil
+}
+
+// ReducerReservations returns a copy of the reducer-end reservations.
+func (l *RegionLayout) ReducerReservations() []Reservation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Reservation, len(l.reservedReducer))
+	copy(out, l.reservedReducer)
+	return out
+}
+
+// StackReservations returns a copy of the stack-end reservations.
+func (l *RegionLayout) StackReservations() []Reservation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Reservation, len(l.reservedStack))
+	copy(out, l.reservedStack)
+	return out
+}
+
+// ReducerBytesReserved reports the total bytes reserved at the reducer end.
+func (l *RegionLayout) ReducerBytesReserved() uintptr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reducerNext - TLMMBase
+}
+
+// StackBytesReserved reports the total bytes reserved at the stack end.
+func (l *RegionLayout) StackBytesReserved() uintptr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return TLMMEnd - l.stackNext
+}

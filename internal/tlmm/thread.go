@@ -1,0 +1,264 @@
+package tlmm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ThreadVM is the per-worker virtual-memory state: a private root page
+// directory whose TLMM subtree belongs exclusively to this thread while the
+// remaining entries alias the process-wide shared directories.
+type ThreadVM struct {
+	as *AddressSpace
+	id int
+
+	mu   sync.Mutex
+	root directory
+	// tlmmMapped records, by page-aligned TLMM offset, which descriptors
+	// this thread currently maps, so mappings can be enumerated and
+	// published to other workers (the paper's "mapping strategy" for view
+	// transferal) and so that unmapping maintains reference counts.
+	tlmmMapped map[uintptr]PD
+}
+
+// ID returns the thread's index within its address space.
+func (t *ThreadVM) ID() int { return t.id }
+
+// AddressSpace returns the owning address space.
+func (t *ThreadVM) AddressSpace() *AddressSpace { return t.as }
+
+// Pmap models sys_pmap: it maps the pages named by pds at consecutive
+// page-aligned virtual addresses starting at base inside this thread's TLMM
+// region.  A PDNull entry removes the mapping at its slot.  The whole call
+// counts as one kernel crossing regardless of how many descriptors are
+// passed, matching the batched interface the paper relies on to amortise
+// mapping costs against steals.
+func (t *ThreadVM) Pmap(base uintptr, pds []PD) error {
+	if base%PageSize != 0 {
+		return fmt.Errorf("%w: %#x", ErrMisaligned, base)
+	}
+	if base < TLMMBase || base+uintptr(len(pds))*PageSize > TLMMEnd {
+		return fmt.Errorf("%w: base %#x count %d", ErrRegionOverflow, base, len(pds))
+	}
+	t.as.Phys.kernelCrossings.Add(1)
+	t.as.Phys.pmapCalls.Add(1)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tlmmMapped == nil {
+		t.tlmmMapped = make(map[uintptr]PD)
+	}
+	for i, pd := range pds {
+		va := base + uintptr(i)*PageSize
+		if pd == PDNull {
+			if err := t.unmapLocked(va); err != nil {
+				return err
+			}
+			continue
+		}
+		pg, err := t.as.Phys.page(pd)
+		if err != nil {
+			return err
+		}
+		if err := t.unmapLocked(va); err != nil {
+			return err
+		}
+		leaf, li := t.ensureTLMMLocked(va)
+		leaf.entries[li] = pte{page: pg}
+		incRef(pg)
+		t.tlmmMapped[va] = pd
+		t.as.Phys.pagesMapped.Add(1)
+		t.as.Phys.softFaults.Add(1)
+	}
+	return nil
+}
+
+// unmapLocked removes any existing mapping at va in the TLMM region.
+func (t *ThreadVM) unmapLocked(va uintptr) error {
+	pd, ok := t.tlmmMapped[va]
+	if !ok {
+		return nil
+	}
+	leaf, li, err := t.findTLMMLeafLocked(va)
+	if err != nil {
+		return err
+	}
+	if pg := leaf.entries[li].page; pg != nil {
+		decRef(pg)
+		t.as.Phys.pagesUnmapped.Add(1)
+	}
+	leaf.entries[li] = pte{}
+	delete(t.tlmmMapped, va)
+	_ = pd
+	return nil
+}
+
+// ensureTLMMLocked walks (creating as needed) this thread's private TLMM
+// subtree for va and returns the leaf directory and leaf index.
+func (t *ThreadVM) ensureTLMMLocked(va uintptr) (*directory, int) {
+	idx, _ := walkIndices(va)
+	dir := &t.root
+	for level := 0; level < pageTableLevels-1; level++ {
+		e := &dir.entries[idx[level]]
+		if e.dir == nil {
+			e.dir = &directory{}
+		}
+		dir = e.dir
+	}
+	return dir, idx[pageTableLevels-1]
+}
+
+// findTLMMLeafLocked walks the private subtree without creating directories.
+func (t *ThreadVM) findTLMMLeafLocked(va uintptr) (*directory, int, error) {
+	idx, _ := walkIndices(va)
+	dir := &t.root
+	for level := 0; level < pageTableLevels-1; level++ {
+		e := dir.entries[idx[level]]
+		if e.dir == nil {
+			return nil, 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		dir = e.dir
+	}
+	return dir, idx[pageTableLevels-1], nil
+}
+
+// Mappings returns a copy of the (virtual address → page descriptor) map of
+// this thread's TLMM region.  Publishing these descriptors is how one
+// worker would let another map its SPA pages under the paper's alternative
+// "mapping strategy" for view transferal.
+func (t *ThreadVM) Mappings() map[uintptr]PD {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uintptr]PD, len(t.tlmmMapped))
+	for va, pd := range t.tlmmMapped {
+		out[va] = pd
+	}
+	return out
+}
+
+// MappedPages reports how many TLMM pages this thread currently maps.
+func (t *ThreadVM) MappedPages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tlmmMapped)
+}
+
+// UnmapAll removes every TLMM mapping held by this thread.
+func (t *ThreadVM) UnmapAll() error {
+	t.mu.Lock()
+	vas := make([]uintptr, 0, len(t.tlmmMapped))
+	for va := range t.tlmmMapped {
+		vas = append(vas, va)
+	}
+	t.mu.Unlock()
+	if len(vas) == 0 {
+		return nil
+	}
+	t.as.Phys.kernelCrossings.Add(1)
+	t.as.Phys.pmapCalls.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, va := range vas {
+		if err := t.unmapLocked(va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolve translates a virtual address in this thread's view of the address
+// space into a physical page and offset.
+func (t *ThreadVM) resolve(va uintptr) (*Page, uintptr, error) {
+	switch {
+	case va >= TLMMBase && va < TLMMEnd:
+		idx, off := walkIndices(va)
+		t.mu.Lock()
+		dir := &t.root
+		for level := 0; level < pageTableLevels-1; level++ {
+			e := dir.entries[idx[level]]
+			if e.dir == nil {
+				t.mu.Unlock()
+				return nil, 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+			}
+			dir = e.dir
+		}
+		pg := dir.entries[idx[pageTableLevels-1]].page
+		t.mu.Unlock()
+		if pg == nil {
+			return nil, 0, fmt.Errorf("%w: %#x", ErrUnmapped, va)
+		}
+		return pg, off, nil
+	case va >= SharedBase && va < SharedEnd:
+		return t.as.resolveShared(va)
+	default:
+		return nil, 0, fmt.Errorf("%w: %#x", ErrOutOfRange, va)
+	}
+}
+
+// Read copies len(buf) bytes from virtual address va into buf.  The access
+// must not cross a page boundary, mirroring the aligned word accesses the
+// runtime performs on SPA slots.
+func (t *ThreadVM) Read(va uintptr, buf []byte) error {
+	if crossesPage(va, len(buf)) {
+		return fmt.Errorf("%w: %#x+%d", ErrCrossesPage, va, len(buf))
+	}
+	pg, off, err := t.resolve(va)
+	if err != nil {
+		return err
+	}
+	copy(buf, pg.data[off:off+uintptr(len(buf))])
+	return nil
+}
+
+// Write copies buf into virtual address va.  The access must not cross a
+// page boundary.
+func (t *ThreadVM) Write(va uintptr, buf []byte) error {
+	if crossesPage(va, len(buf)) {
+		return fmt.Errorf("%w: %#x+%d", ErrCrossesPage, va, len(buf))
+	}
+	pg, off, err := t.resolve(va)
+	if err != nil {
+		return err
+	}
+	copy(pg.data[off:off+uintptr(len(buf))], buf)
+	return nil
+}
+
+// ReadWord reads an 8-byte little-endian word at va.
+func (t *ThreadVM) ReadWord(va uintptr) (uint64, error) {
+	var buf [8]byte
+	if err := t.Read(va, buf[:]); err != nil {
+		return 0, err
+	}
+	return leUint64(buf[:]), nil
+}
+
+// WriteWord writes an 8-byte little-endian word at va.
+func (t *ThreadVM) WriteWord(va uintptr, v uint64) error {
+	var buf [8]byte
+	lePutUint64(buf[:], v)
+	return t.Write(va, buf[:])
+}
+
+func crossesPage(va uintptr, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	return (va / PageSize) != ((va + uintptr(n) - 1) / PageSize)
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func lePutUint64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

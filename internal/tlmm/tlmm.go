@@ -1,0 +1,233 @@
+// Package tlmm provides a software model of thread-local memory mapping
+// (TLMM), the operating-system facility the paper adds to Linux so that a
+// work-stealing runtime can map one region of the shared virtual address
+// space privately per worker thread.
+//
+// The real TLMM-Linux gives every thread its own root page directory whose
+// entries are shared for the ordinary part of the address space and private
+// for one 512 GB "TLMM region".  Physical pages are named by page
+// descriptors (analogous to file descriptors) and three system calls —
+// sys_palloc, sys_pfree and sys_pmap — allocate, free, and map them.
+//
+// Go programs cannot modify page tables, so this package reproduces the
+// contract in software: a PhysMem holds the physical pages, an AddressSpace
+// holds the shared mappings and per-thread root directories, and each
+// ThreadVM can remap its private TLMM slice independently while reads and
+// writes through shared addresses observe a single common mapping.  Every
+// operation that would cross into the kernel on TLMM-Linux increments a
+// kernel-crossing counter so that higher layers can account for remapping
+// overhead the way the paper amortises it against steals.
+package tlmm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the size of one page in bytes, matching the x86-64 4 KB pages
+// used by TLMM-Linux.
+const PageSize = 4096
+
+// Address-space layout constants.  The paper reserves one entry of the
+// 512-entry root page directory for the TLMM region, i.e. 512 GB of a
+// 256 TB address space.  The model keeps the same proportions but expresses
+// them directly as virtual addresses.
+const (
+	// TLMMBase is the lowest virtual address of the TLMM region.
+	TLMMBase uintptr = 0x7f00_0000_0000
+	// TLMMSize is the size of the TLMM region in bytes (512 GB).
+	TLMMSize uintptr = 512 << 30
+	// TLMMEnd is one past the last byte of the TLMM region.
+	TLMMEnd = TLMMBase + TLMMSize
+
+	// SharedBase is the lowest virtual address of the modelled shared
+	// region (heap and data segments).
+	SharedBase uintptr = 0x0000_1000_0000
+	// SharedSize is the size of the modelled shared region.
+	SharedSize uintptr = 64 << 30
+	// SharedEnd is one past the last byte of the shared region.
+	SharedEnd = SharedBase + SharedSize
+)
+
+// PD is a page descriptor: a process-wide name for a physical page, in the
+// same way a file descriptor names an open file.  Any worker can map a page
+// into its TLMM region if it knows the page's descriptor.
+type PD int64
+
+// PDNull is the reserved descriptor value indicating "no page".  Passing
+// PDNull to Pmap removes the mapping at the corresponding slot.
+const PDNull PD = -1
+
+// Errors returned by the TLMM model.
+var (
+	ErrBadDescriptor  = errors.New("tlmm: invalid page descriptor")
+	ErrFreedPage      = errors.New("tlmm: page descriptor already freed")
+	ErrUnmapped       = errors.New("tlmm: access to unmapped address")
+	ErrOutOfRange     = errors.New("tlmm: address outside modelled regions")
+	ErrMisaligned     = errors.New("tlmm: base address not page aligned")
+	ErrRegionOverflow = errors.New("tlmm: mapping exceeds TLMM region")
+	ErrPageInUse      = errors.New("tlmm: page still mapped by a thread")
+	ErrCrossesPage    = errors.New("tlmm: access crosses a page boundary")
+)
+
+// Page is one physical page of memory.
+type Page struct {
+	pd   PD
+	data [PageSize]byte
+	// refs counts how many thread mappings currently reference the page.
+	refs int32
+	// freed records whether the descriptor has been released.
+	freed bool
+}
+
+// Descriptor returns the page descriptor that names this page.
+func (p *Page) Descriptor() PD { return p.pd }
+
+// Data exposes the page contents.  Callers must not retain the slice past
+// the page's lifetime.
+func (p *Page) Data() []byte { return p.data[:] }
+
+// Stats aggregates the cost-model counters maintained by the model.  The
+// counters correspond to the costs the paper reasons about: kernel
+// crossings for palloc/pfree/pmap, page-table synchronisation events when a
+// shared root-directory entry changes, and soft page faults taken on first
+// access to a freshly mapped page.
+type Stats struct {
+	KernelCrossings int64
+	PallocCalls     int64
+	PfreeCalls      int64
+	PmapCalls       int64
+	PagesMapped     int64
+	PagesUnmapped   int64
+	RootSyncs       int64
+	SoftFaults      int64
+	SharedPages     int64
+	TLMMPages       int64
+}
+
+// PhysMem is the modelled physical memory: a store of pages addressed by
+// page descriptor.
+type PhysMem struct {
+	mu     sync.Mutex
+	pages  map[PD]*Page
+	nextPD PD
+
+	kernelCrossings atomic.Int64
+	pallocCalls     atomic.Int64
+	pfreeCalls      atomic.Int64
+	pmapCalls       atomic.Int64
+	pagesMapped     atomic.Int64
+	pagesUnmapped   atomic.Int64
+	rootSyncs       atomic.Int64
+	softFaults      atomic.Int64
+}
+
+// NewPhysMem returns an empty physical-memory model.
+func NewPhysMem() *PhysMem {
+	return &PhysMem{pages: make(map[PD]*Page)}
+}
+
+// Palloc models sys_palloc: it allocates one physical page and returns its
+// descriptor.
+func (pm *PhysMem) Palloc() PD {
+	pm.kernelCrossings.Add(1)
+	pm.pallocCalls.Add(1)
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pd := pm.nextPD
+	pm.nextPD++
+	pm.pages[pd] = &Page{pd: pd}
+	return pd
+}
+
+// PallocN allocates n pages and returns their descriptors.  It counts as a
+// single kernel crossing, modelling a batched allocation.
+func (pm *PhysMem) PallocN(n int) []PD {
+	if n <= 0 {
+		return nil
+	}
+	pm.kernelCrossings.Add(1)
+	pm.pallocCalls.Add(1)
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pds := make([]PD, n)
+	for i := range pds {
+		pd := pm.nextPD
+		pm.nextPD++
+		pm.pages[pd] = &Page{pd: pd}
+		pds[i] = pd
+	}
+	return pds
+}
+
+// Pfree models sys_pfree: it releases a page descriptor and its physical
+// page.  Freeing a page that is still mapped by some thread is an error, as
+// is freeing an unknown or already-freed descriptor.
+func (pm *PhysMem) Pfree(pd PD) error {
+	pm.kernelCrossings.Add(1)
+	pm.pfreeCalls.Add(1)
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pg, ok := pm.pages[pd]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadDescriptor, pd)
+	}
+	if pg.freed {
+		return fmt.Errorf("%w: %d", ErrFreedPage, pd)
+	}
+	if atomic.LoadInt32(&pg.refs) != 0 {
+		return fmt.Errorf("%w: %d", ErrPageInUse, pd)
+	}
+	pg.freed = true
+	delete(pm.pages, pd)
+	return nil
+}
+
+// page looks up a live page by descriptor.
+func (pm *PhysMem) page(pd PD) (*Page, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pg, ok := pm.pages[pd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadDescriptor, pd)
+	}
+	if pg.freed {
+		return nil, fmt.Errorf("%w: %d", ErrFreedPage, pd)
+	}
+	return pg, nil
+}
+
+// LivePages reports the number of pages currently allocated.
+func (pm *PhysMem) LivePages() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return len(pm.pages)
+}
+
+// Stats returns a snapshot of the accumulated cost counters.
+func (pm *PhysMem) Stats() Stats {
+	return Stats{
+		KernelCrossings: pm.kernelCrossings.Load(),
+		PallocCalls:     pm.pallocCalls.Load(),
+		PfreeCalls:      pm.pfreeCalls.Load(),
+		PmapCalls:       pm.pmapCalls.Load(),
+		PagesMapped:     pm.pagesMapped.Load(),
+		PagesUnmapped:   pm.pagesUnmapped.Load(),
+		RootSyncs:       pm.rootSyncs.Load(),
+		SoftFaults:      pm.softFaults.Load(),
+	}
+}
+
+// ResetStats zeroes the cost counters.
+func (pm *PhysMem) ResetStats() {
+	pm.kernelCrossings.Store(0)
+	pm.pallocCalls.Store(0)
+	pm.pfreeCalls.Store(0)
+	pm.pmapCalls.Store(0)
+	pm.pagesMapped.Store(0)
+	pm.pagesUnmapped.Store(0)
+	pm.rootSyncs.Store(0)
+	pm.softFaults.Store(0)
+}

@@ -1,0 +1,399 @@
+package tlmm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPallocReturnsDistinctDescriptors(t *testing.T) {
+	pm := NewPhysMem()
+	seen := make(map[PD]bool)
+	for i := 0; i < 100; i++ {
+		pd := pm.Palloc()
+		if seen[pd] {
+			t.Fatalf("descriptor %d returned twice", pd)
+		}
+		seen[pd] = true
+	}
+	if got := pm.LivePages(); got != 100 {
+		t.Fatalf("LivePages = %d, want 100", got)
+	}
+}
+
+func TestPallocNBatch(t *testing.T) {
+	pm := NewPhysMem()
+	pds := pm.PallocN(10)
+	if len(pds) != 10 {
+		t.Fatalf("PallocN returned %d descriptors, want 10", len(pds))
+	}
+	st := pm.Stats()
+	if st.KernelCrossings != 1 {
+		t.Fatalf("batched PallocN should cost one kernel crossing, got %d", st.KernelCrossings)
+	}
+	if pm.PallocN(0) != nil {
+		t.Fatal("PallocN(0) should return nil")
+	}
+}
+
+func TestPfreeErrors(t *testing.T) {
+	pm := NewPhysMem()
+	if err := pm.Pfree(PD(42)); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("Pfree of unknown descriptor: got %v, want ErrBadDescriptor", err)
+	}
+	pd := pm.Palloc()
+	if err := pm.Pfree(pd); err != nil {
+		t.Fatalf("Pfree: %v", err)
+	}
+	if err := pm.Pfree(pd); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("double Pfree: got %v, want ErrBadDescriptor", err)
+	}
+}
+
+func TestPfreeMappedPageFails(t *testing.T) {
+	as := NewAddressSpace(nil)
+	tvm := as.NewThread()
+	pd := as.Phys.Palloc()
+	if err := tvm.Pmap(TLMMBase, []PD{pd}); err != nil {
+		t.Fatalf("Pmap: %v", err)
+	}
+	if err := as.Phys.Pfree(pd); !errors.Is(err, ErrPageInUse) {
+		t.Fatalf("Pfree of mapped page: got %v, want ErrPageInUse", err)
+	}
+	if err := tvm.Pmap(TLMMBase, []PD{PDNull}); err != nil {
+		t.Fatalf("unmap: %v", err)
+	}
+	if err := as.Phys.Pfree(pd); err != nil {
+		t.Fatalf("Pfree after unmap: %v", err)
+	}
+}
+
+func TestPmapValidation(t *testing.T) {
+	as := NewAddressSpace(nil)
+	tvm := as.NewThread()
+	pd := as.Phys.Palloc()
+	if err := tvm.Pmap(TLMMBase+1, []PD{pd}); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("misaligned Pmap: got %v, want ErrMisaligned", err)
+	}
+	if err := tvm.Pmap(SharedBase, []PD{pd}); !errors.Is(err, ErrRegionOverflow) {
+		t.Fatalf("Pmap outside TLMM region: got %v, want ErrRegionOverflow", err)
+	}
+	if err := tvm.Pmap(TLMMEnd-PageSize, []PD{pd, pd}); !errors.Is(err, ErrRegionOverflow) {
+		t.Fatalf("Pmap crossing region end: got %v, want ErrRegionOverflow", err)
+	}
+	if err := tvm.Pmap(TLMMBase, []PD{PD(999)}); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("Pmap of bad descriptor: got %v, want ErrBadDescriptor", err)
+	}
+}
+
+func TestThreadsSeeIndependentTLMMMappings(t *testing.T) {
+	// Reproduces the scenario of the paper's Figure 3: the same TLMM
+	// virtual address maps to different physical pages in different
+	// threads, while the shared region is common.
+	as := NewAddressSpace(nil)
+	t0 := as.NewThread()
+	t1 := as.NewThread()
+
+	pd0 := as.Phys.Palloc()
+	pd1 := as.Phys.Palloc()
+	va := TLMMBase
+
+	if err := t0.Pmap(va, []PD{pd0}); err != nil {
+		t.Fatalf("t0 Pmap: %v", err)
+	}
+	if err := t1.Pmap(va, []PD{pd1}); err != nil {
+		t.Fatalf("t1 Pmap: %v", err)
+	}
+	if err := t0.WriteWord(va, 0xAAAA); err != nil {
+		t.Fatalf("t0 write: %v", err)
+	}
+	if err := t1.WriteWord(va, 0xBBBB); err != nil {
+		t.Fatalf("t1 write: %v", err)
+	}
+	v0, err := t0.ReadWord(va)
+	if err != nil {
+		t.Fatalf("t0 read: %v", err)
+	}
+	v1, err := t1.ReadWord(va)
+	if err != nil {
+		t.Fatalf("t1 read: %v", err)
+	}
+	if v0 != 0xAAAA || v1 != 0xBBBB {
+		t.Fatalf("TLMM isolation violated: t0=%#x t1=%#x", v0, v1)
+	}
+}
+
+func TestSharedRegionVisibleToAllThreads(t *testing.T) {
+	as := NewAddressSpace(nil)
+	t0 := as.NewThread()
+	t1 := as.NewThread()
+	pd := as.Phys.Palloc()
+	va := SharedBase + 16*PageSize
+	if err := as.MapShared(va, pd); err != nil {
+		t.Fatalf("MapShared: %v", err)
+	}
+	if err := t0.WriteWord(va+8, 12345); err != nil {
+		t.Fatalf("t0 write: %v", err)
+	}
+	got, err := t1.ReadWord(va + 8)
+	if err != nil {
+		t.Fatalf("t1 read: %v", err)
+	}
+	if got != 12345 {
+		t.Fatalf("shared write not visible: got %d, want 12345", got)
+	}
+	// A thread created after the mapping also sees it.
+	t2 := as.NewThread()
+	got, err = t2.ReadWord(va + 8)
+	if err != nil {
+		t.Fatalf("t2 read: %v", err)
+	}
+	if got != 12345 {
+		t.Fatalf("late thread does not see shared mapping: got %d", got)
+	}
+}
+
+func TestViewTransferalByRemapping(t *testing.T) {
+	// A worker can publish its TLMM page descriptors and another worker
+	// can map the same physical pages, observing the first worker's data
+	// (the "mapping strategy" described in Section 7).
+	as := NewAddressSpace(nil)
+	w1 := as.NewThread()
+	w2 := as.NewThread()
+	pd := as.Phys.Palloc()
+	va := TLMMBase + 4*PageSize
+	if err := w1.Pmap(va, []PD{pd}); err != nil {
+		t.Fatalf("w1 Pmap: %v", err)
+	}
+	if err := w1.WriteWord(va, 777); err != nil {
+		t.Fatalf("w1 write: %v", err)
+	}
+	published := w1.Mappings()
+	gotPD, ok := published[va]
+	if !ok {
+		t.Fatalf("mapping at %#x not published", va)
+	}
+	if err := w2.Pmap(va, []PD{gotPD}); err != nil {
+		t.Fatalf("w2 Pmap: %v", err)
+	}
+	v, err := w2.ReadWord(va)
+	if err != nil {
+		t.Fatalf("w2 read: %v", err)
+	}
+	if v != 777 {
+		t.Fatalf("w2 sees %d at remapped page, want 777", v)
+	}
+}
+
+func TestPmapRemapReplacesExistingMapping(t *testing.T) {
+	as := NewAddressSpace(nil)
+	tvm := as.NewThread()
+	pdA := as.Phys.Palloc()
+	pdB := as.Phys.Palloc()
+	va := TLMMBase
+	if err := tvm.Pmap(va, []PD{pdA}); err != nil {
+		t.Fatalf("Pmap A: %v", err)
+	}
+	if err := tvm.WriteWord(va, 1); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tvm.Pmap(va, []PD{pdB}); err != nil {
+		t.Fatalf("Pmap B: %v", err)
+	}
+	v, err := tvm.ReadWord(va)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if v != 0 {
+		t.Fatalf("fresh page should read zero, got %d", v)
+	}
+	// pdA should be freeable now that it is unmapped.
+	if err := as.Phys.Pfree(pdA); err != nil {
+		t.Fatalf("Pfree A after remap: %v", err)
+	}
+}
+
+func TestUnmapAll(t *testing.T) {
+	as := NewAddressSpace(nil)
+	tvm := as.NewThread()
+	pds := as.Phys.PallocN(8)
+	if err := tvm.Pmap(TLMMBase, pds); err != nil {
+		t.Fatalf("Pmap: %v", err)
+	}
+	if got := tvm.MappedPages(); got != 8 {
+		t.Fatalf("MappedPages = %d, want 8", got)
+	}
+	if err := tvm.UnmapAll(); err != nil {
+		t.Fatalf("UnmapAll: %v", err)
+	}
+	if got := tvm.MappedPages(); got != 0 {
+		t.Fatalf("MappedPages after UnmapAll = %d, want 0", got)
+	}
+	for _, pd := range pds {
+		if err := as.Phys.Pfree(pd); err != nil {
+			t.Fatalf("Pfree %d: %v", pd, err)
+		}
+	}
+	if err := tvm.UnmapAll(); err != nil {
+		t.Fatalf("UnmapAll on empty region: %v", err)
+	}
+}
+
+func TestAccessErrors(t *testing.T) {
+	as := NewAddressSpace(nil)
+	tvm := as.NewThread()
+	if _, err := tvm.ReadWord(TLMMBase); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read of unmapped TLMM address: got %v, want ErrUnmapped", err)
+	}
+	if _, err := tvm.ReadWord(SharedBase); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read of unmapped shared address: got %v, want ErrUnmapped", err)
+	}
+	if _, err := tvm.ReadWord(0x10); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read outside modelled regions: got %v, want ErrOutOfRange", err)
+	}
+	pd := as.Phys.Palloc()
+	if err := tvm.Pmap(TLMMBase, []PD{pd}); err != nil {
+		t.Fatalf("Pmap: %v", err)
+	}
+	buf := make([]byte, 16)
+	if err := tvm.Read(TLMMBase+PageSize-8, buf); !errors.Is(err, ErrCrossesPage) {
+		t.Fatalf("page-crossing read: got %v, want ErrCrossesPage", err)
+	}
+	if err := tvm.Write(TLMMBase+PageSize-8, buf); !errors.Is(err, ErrCrossesPage) {
+		t.Fatalf("page-crossing write: got %v, want ErrCrossesPage", err)
+	}
+}
+
+func TestKernelCrossingAccounting(t *testing.T) {
+	as := NewAddressSpace(nil)
+	tvm := as.NewThread()
+	as.Phys.ResetStats()
+	pds := as.Phys.PallocN(4)                                    // 1 crossing
+	_ = tvm.Pmap(TLMMBase, pds)                                  // 1 crossing
+	_ = tvm.Pmap(TLMMBase, []PD{PDNull, PDNull, PDNull, PDNull}) // 1 crossing
+	for _, pd := range pds {
+		_ = as.Phys.Pfree(pd) // 4 crossings
+	}
+	st := as.Phys.Stats()
+	if st.KernelCrossings != 7 {
+		t.Fatalf("KernelCrossings = %d, want 7", st.KernelCrossings)
+	}
+	if st.PmapCalls != 2 {
+		t.Fatalf("PmapCalls = %d, want 2", st.PmapCalls)
+	}
+	if st.PagesMapped != 4 || st.PagesUnmapped != 4 {
+		t.Fatalf("mapped/unmapped = %d/%d, want 4/4", st.PagesMapped, st.PagesUnmapped)
+	}
+}
+
+func TestWalkIndicesRoundTrip(t *testing.T) {
+	f := func(va uint64) bool {
+		va &= (1 << 48) - 1 // canonical 48-bit addresses
+		idx, off := walkIndices(uintptr(va))
+		recon := off
+		shift := uint(offsetBits)
+		for level := pageTableLevels - 1; level >= 0; level-- {
+			recon |= uintptr(idx[level]) << shift
+			shift += levelBits
+		}
+		return recon == uintptr(va)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteWordRoundTrip(t *testing.T) {
+	as := NewAddressSpace(nil)
+	tvm := as.NewThread()
+	pd := as.Phys.Palloc()
+	if err := tvm.Pmap(TLMMBase, []PD{pd}); err != nil {
+		t.Fatalf("Pmap: %v", err)
+	}
+	f := func(slot uint16, v uint64) bool {
+		off := uintptr(slot%512) * 8
+		if err := tvm.WriteWord(TLMMBase+off, v); err != nil {
+			return false
+		}
+		got, err := tvm.ReadWord(TLMMBase + off)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionLayoutEndsGrowTowardEachOther(t *testing.T) {
+	l := NewRegionLayout()
+	r1, err := l.ReserveReducerPages(2)
+	if err != nil {
+		t.Fatalf("ReserveReducerPages: %v", err)
+	}
+	if r1 != TLMMBase {
+		t.Fatalf("first reducer reservation at %#x, want %#x", r1, TLMMBase)
+	}
+	r2, err := l.ReserveReducerPages(3)
+	if err != nil {
+		t.Fatalf("ReserveReducerPages: %v", err)
+	}
+	if r2 != TLMMBase+2*PageSize {
+		t.Fatalf("second reducer reservation at %#x, want %#x", r2, TLMMBase+2*PageSize)
+	}
+	s1, err := l.ReserveStackPages(4)
+	if err != nil {
+		t.Fatalf("ReserveStackPages: %v", err)
+	}
+	if s1 != TLMMEnd-4*PageSize {
+		t.Fatalf("first stack reservation at %#x, want %#x", s1, TLMMEnd-4*PageSize)
+	}
+	if got := l.ReducerBytesReserved(); got != 5*PageSize {
+		t.Fatalf("ReducerBytesReserved = %d, want %d", got, 5*PageSize)
+	}
+	if got := l.StackBytesReserved(); got != 4*PageSize {
+		t.Fatalf("StackBytesReserved = %d, want %d", got, 4*PageSize)
+	}
+	if n := len(l.ReducerReservations()); n != 2 {
+		t.Fatalf("ReducerReservations = %d, want 2", n)
+	}
+	if n := len(l.StackReservations()); n != 1 {
+		t.Fatalf("StackReservations = %d, want 1", n)
+	}
+	if _, err := l.ReserveReducerPages(0); err == nil {
+		t.Fatal("ReserveReducerPages(0) should fail")
+	}
+	if _, err := l.ReserveStackPages(-1); err == nil {
+		t.Fatal("ReserveStackPages(-1) should fail")
+	}
+}
+
+func TestRootSyncOnNewSharedSubtree(t *testing.T) {
+	as := NewAddressSpace(nil)
+	_ = as.NewThread()
+	_ = as.NewThread()
+	as.Phys.ResetStats()
+	pd := as.Phys.Palloc()
+	if err := as.MapShared(SharedBase, pd); err != nil {
+		t.Fatalf("MapShared: %v", err)
+	}
+	st := as.Phys.Stats()
+	if st.RootSyncs == 0 {
+		t.Fatal("expected a root synchronisation when a new shared root entry is populated")
+	}
+	if as.Threads() != 2 {
+		t.Fatalf("Threads = %d, want 2", as.Threads())
+	}
+}
+
+func TestMapSharedValidation(t *testing.T) {
+	as := NewAddressSpace(nil)
+	pd := as.Phys.Palloc()
+	if err := as.MapShared(SharedBase+1, pd); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("misaligned MapShared: got %v, want ErrMisaligned", err)
+	}
+	if err := as.MapShared(TLMMBase, pd); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("MapShared in TLMM region: got %v, want ErrOutOfRange", err)
+	}
+	if err := as.MapShared(SharedBase, PD(1234)); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("MapShared of bad descriptor: got %v, want ErrBadDescriptor", err)
+	}
+}
