@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the Chase–Lev deque's memory-ordering assumptions (the
+# concurrent stress tests in internal/sched) and the reducer engines under
+# the race detector.  Run it on every scheduler change.
+race:
+	$(GO) test -race ./internal/sched/... ./internal/core/...
+
+# bench runs the scheduler microbenchmarks: the allocation-free fork fast
+# path (expect 0 allocs/op on BenchmarkForkNoSteal), steal throughput, and
+# the fib fork-stress test.
+bench:
+	$(GO) test -run NONE -bench 'ForkNoSteal|StealThroughput|ParallelFor|Fib' -benchmem ./internal/sched/
+
+ci: build vet test race

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/locking"
@@ -49,7 +50,10 @@ func RunFig1(cfg Config) (*Fig1Result, error) {
 	basePerOp := baseSample.Min() / float64(x)
 
 	perOp := func(seconds float64) time.Duration {
-		return time.Duration(seconds / float64(x) * float64(time.Second))
+		// Round up: per-access times below 1ns (possible for the plain-add
+		// baseline on fast hosts) must not truncate to a zero Duration.
+		// Normalized carries the full-precision ratio.
+		return time.Duration(math.Ceil(seconds / float64(x) * float64(time.Second)))
 	}
 	addRow := func(name string, sample metrics.Sample, paper float64) {
 		res.Rows = append(res.Rows, Fig1Row{

@@ -29,7 +29,6 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -147,12 +146,6 @@ func (r *Reducer) markRetired() {
 	r.mu.Lock()
 	r.retired = true
 	r.mu.Unlock()
-}
-
-// lookupCounter is a padded per-worker lookup counter.
-type lookupCounter struct {
-	n atomic.Int64
-	_ [56]byte
 }
 
 // NewRegisteredReducer constructs a Reducer on behalf of an Engine

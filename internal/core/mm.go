@@ -52,7 +52,11 @@ type MM struct {
 	reservedPages int
 
 	countLookups bool
-	lookups      []lookupCounter
+	// lookups holds one cache-line-padded counter per worker, indexed
+	// directly by worker ID.  It is sized from the engine config at
+	// construction and re-sized in WorkerInit when a runtime with more
+	// workers attaches, so counts are never aliased across workers.
+	lookups []metrics.PaddedCounter
 
 	closedWorkers []*mmWorker
 }
@@ -105,7 +109,7 @@ func NewMM(cfg MMConfig) *MM {
 		cfg:      cfg,
 		rec:      metrics.NewRecorder(cfg.Workers),
 		registry: make(map[spa.Addr]*Reducer),
-		lookups:  make([]lookupCounter, cfg.Workers),
+		lookups:  make([]metrics.PaddedCounter, cfg.Workers),
 	}
 	e.rec.SetTiming(cfg.Timing)
 	e.countLookups = cfg.CountLookups
@@ -206,7 +210,7 @@ func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 		return r.Value()
 	}
 	if e.countLookups {
-		e.lookups[w.ID()%len(e.lookups)].n.Add(1)
+		e.lookups[w.ID()].Add(1)
 	}
 	if v := ws.private.Get(r.addr); v != nil {
 		return v
@@ -255,7 +259,16 @@ func (ws *mmWorker) ensureMapped(pi int) {
 
 // --- sched.ReducerRuntime hooks ---
 
-// WorkerInit implements sched.ReducerRuntime.
+// WorkerInit implements sched.ReducerRuntime.  It runs once per worker
+// while the attaching runtime is being constructed — before any of that
+// runtime's tasks execute — so it sizes the per-worker lookup counters
+// from the runtime's actual worker count.  Lookup can then index by
+// worker ID directly, and counts are never aliased when the engine config
+// and the runtime disagree about the number of workers.  An engine must
+// not be attached to a new runtime while a previously attached one is
+// executing: the resize would race with that runtime's lock-free Lookup
+// reads.  (Sessions couple one engine to one runtime, so no current
+// caller does this.)
 func (e *MM) WorkerInit(w *sched.Worker) {
 	ws := &mmWorker{
 		eng:     e,
@@ -267,6 +280,10 @@ func (e *MM) WorkerInit(w *sched.Worker) {
 	}
 	w.SetLocal(ws)
 	e.mu.Lock()
+	if n := w.Runtime().Workers(); n > len(e.lookups) {
+		e.lookups = append(e.lookups, make([]metrics.PaddedCounter, n-len(e.lookups))...)
+		e.rec.EnsureWorkers(n)
+	}
 	e.closedWorkers = append(e.closedWorkers, ws)
 	e.mu.Unlock()
 }
@@ -413,7 +430,7 @@ func (e *MM) Overheads() metrics.Breakdown { return e.rec.Snapshot() }
 func (e *MM) ResetOverheads() {
 	e.rec.Reset()
 	for i := range e.lookups {
-		e.lookups[i].n.Store(0)
+		e.lookups[i].Store(0)
 	}
 }
 
@@ -427,7 +444,7 @@ func (e *MM) SetCountLookups(on bool) { e.countLookups = on }
 func (e *MM) Lookups() int64 {
 	var n int64
 	for i := range e.lookups {
-		n += e.lookups[i].n.Load()
+		n += e.lookups[i].Load()
 	}
 	return n
 }

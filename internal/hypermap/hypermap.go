@@ -15,7 +15,6 @@ package hypermap
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -50,12 +49,11 @@ type Engine struct {
 	workers   []*hmWorker
 
 	countLookups bool
-	lookups      []padCounter
-}
-
-type padCounter struct {
-	n atomic.Int64
-	_ [56]byte
+	// lookups holds one cache-line-padded counter per worker, indexed
+	// directly by worker ID.  It is sized from the engine config at
+	// construction and re-sized in WorkerInit when a runtime with more
+	// workers attaches, so counts are never aliased across workers.
+	lookups []metrics.PaddedCounter
 }
 
 // hmWorker is the per-worker state: the user hypermap of the trace the
@@ -105,7 +103,7 @@ func New(cfg Config) *Engine {
 		cfg:      cfg,
 		rec:      metrics.NewRecorder(cfg.Workers),
 		registry: make(map[spa.Addr]*core.Reducer),
-		lookups:  make([]padCounter, cfg.Workers),
+		lookups:  make([]metrics.PaddedCounter, cfg.Workers),
 	}
 	e.rec.SetTiming(cfg.Timing)
 	e.countLookups = cfg.CountLookups
@@ -176,7 +174,7 @@ func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 		return r.Value()
 	}
 	if e.countLookups {
-		e.lookups[w.ID()%len(e.lookups)].add(1)
+		e.lookups[w.ID()].Add(1)
 	}
 	if ent := ws.user.lookup(r.Addr()); ent != nil {
 		return ent.view
@@ -195,15 +193,26 @@ func (e *Engine) lookupSlow(w *sched.Worker, ws *hmWorker, r *core.Reducer) any 
 	return view
 }
 
-func (c *padCounter) add(n int64) { c.n.Add(n) }
-
 // --- sched.ReducerRuntime hooks ---
 
-// WorkerInit implements sched.ReducerRuntime.
+// WorkerInit implements sched.ReducerRuntime.  It runs once per worker
+// while the attaching runtime is being constructed — before any of that
+// runtime's tasks execute — so it sizes the per-worker lookup counters
+// from the runtime's actual worker count.  Lookup can then index by
+// worker ID directly, and counts are never aliased when the engine config
+// and the runtime disagree about the number of workers.  An engine must
+// not be attached to a new runtime while a previously attached one is
+// executing: the resize would race with that runtime's lock-free Lookup
+// reads.  (Sessions couple one engine to one runtime, so no current
+// caller does this.)
 func (e *Engine) WorkerInit(w *sched.Worker) {
 	ws := &hmWorker{eng: e, w: w, user: e.newHypermap()}
 	w.SetLocal(ws)
 	e.mu.Lock()
+	if n := w.Runtime().Workers(); n > len(e.lookups) {
+		e.lookups = append(e.lookups, make([]metrics.PaddedCounter, n-len(e.lookups))...)
+		e.rec.EnsureWorkers(n)
+	}
 	e.workers = append(e.workers, ws)
 	e.mu.Unlock()
 }
@@ -312,7 +321,7 @@ func (e *Engine) Overheads() metrics.Breakdown { return e.rec.Snapshot() }
 func (e *Engine) ResetOverheads() {
 	e.rec.Reset()
 	for i := range e.lookups {
-		e.lookups[i].n.Store(0)
+		e.lookups[i].Store(0)
 	}
 }
 
@@ -326,7 +335,7 @@ func (e *Engine) SetCountLookups(on bool) { e.countLookups = on }
 func (e *Engine) Lookups() int64 {
 	var n int64
 	for i := range e.lookups {
-		n += e.lookups[i].n.Load()
+		n += e.lookups[i].Load()
 	}
 	return n
 }

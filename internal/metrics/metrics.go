@@ -88,6 +88,34 @@ func (b Breakdown) String() string {
 // cacheLinePad separates per-worker counters to avoid false sharing.
 type cacheLinePad [64]byte
 
+// PaddedCounter is an atomic int64 counter padded out to a cache line, so
+// that slices of per-worker counters (scheduler statistics, the reducer
+// engines' lookup counters) do not false-share.  The zero value is ready
+// to use.
+type PaddedCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Add atomically adds delta and returns the new value.
+func (c *PaddedCounter) Add(delta int64) int64 { return c.n.Add(delta) }
+
+// Load atomically reads the counter.
+func (c *PaddedCounter) Load() int64 { return c.n.Load() }
+
+// Store atomically sets the counter.
+func (c *PaddedCounter) Store(v int64) { c.n.Store(v) }
+
+// Max raises the counter to v if v is greater than the current value.
+func (c *PaddedCounter) Max(v int64) {
+	for {
+		cur := c.n.Load()
+		if v <= cur || c.n.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // workerCounters is one worker's slice of the recorder.
 type workerCounters struct {
 	nanos  [numOverheads]atomic.Int64
@@ -112,6 +140,25 @@ func NewRecorder(n int) *Recorder {
 	r := &Recorder{workers: make([]workerCounters, n)}
 	r.timing.Store(true)
 	return r
+}
+
+// EnsureWorkers grows the recorder to at least n per-worker slots,
+// preserving accumulated counts.  Like the engines' lookup counters it may
+// only be called while nothing else touches the recorder — at attach time,
+// before the runtime executes tasks — so that Record/Stop can keep
+// indexing without a lock.
+func (r *Recorder) EnsureWorkers(n int) {
+	if n <= len(r.workers) {
+		return
+	}
+	grown := make([]workerCounters, n)
+	for i := range r.workers {
+		for o := 0; o < int(numOverheads); o++ {
+			grown[i].nanos[o].Store(r.workers[i].nanos[o].Load())
+			grown[i].counts[o].Store(r.workers[i].counts[o].Load())
+		}
+	}
+	r.workers = grown
 }
 
 // SetTiming enables or disables duration recording.  Disabling it removes

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 func TestOverheadStrings(t *testing.T) {
@@ -188,5 +189,64 @@ func TestTableRendering(t *testing.T) {
 	empty.AddRow("a", "b")
 	if !strings.Contains(empty.String(), "a") {
 		t.Fatal("headerless table should still render rows")
+	}
+}
+
+func TestPaddedCounter(t *testing.T) {
+	var c PaddedCounter
+	if c.Load() != 0 {
+		t.Fatal("zero value should read 0")
+	}
+	if got := c.Add(5); got != 5 {
+		t.Fatalf("Add returned %d, want 5", got)
+	}
+	c.Max(3)
+	if c.Load() != 5 {
+		t.Fatalf("Max(3) lowered the counter to %d", c.Load())
+	}
+	c.Max(9)
+	if c.Load() != 9 {
+		t.Fatalf("Max(9) = %d, want 9", c.Load())
+	}
+	c.Store(-2)
+	if c.Load() != -2 {
+		t.Fatalf("Store/Load = %d, want -2", c.Load())
+	}
+	if unsafe.Sizeof(c) != 64 {
+		t.Fatalf("PaddedCounter is %d bytes, want one 64-byte cache line", unsafe.Sizeof(c))
+	}
+}
+
+func TestPaddedCounterConcurrentMax(t *testing.T) {
+	var c PaddedCounter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Max(int64(g*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 7999 {
+		t.Fatalf("concurrent Max converged to %d, want 7999", c.Load())
+	}
+}
+
+func TestRecorderEnsureWorkers(t *testing.T) {
+	r := NewRecorder(2)
+	r.RecordCount(1, Hypermerge, 7)
+	r.EnsureWorkers(5)
+	r.RecordCount(4, Hypermerge, 3)
+	if got := r.Snapshot().Count(Hypermerge); got != 10 {
+		t.Fatalf("counts after grow = %d, want 10", got)
+	}
+	r.EnsureWorkers(1) // never shrinks
+	r.RecordCount(4, Hypermerge, 1)
+	if got := r.Snapshot().Count(Hypermerge); got != 11 {
+		t.Fatalf("counts after no-op grow = %d, want 11", got)
 	}
 }

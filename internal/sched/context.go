@@ -26,24 +26,33 @@ func (c *Context) Runtime() *Runtime { return c.w.rt }
 // merges those views back in serial order at the join.
 func (c *Context) Fork(left, right func(*Context)) {
 	w := c.w
-	w.nForks.Add(1)
-	j := &join{}
-	t := &task{fn: right, join: j, owner: w.id}
-	w.dq.pushBottom(t)
-	w.noteDequeDepth(w.dq.size())
-	w.rt.signalWork()
+	w.forksLocal++
+	j := w.newJoin()
+	t := w.newTask(right, j)
+	w.pushTask(t)
+
+	// If left (or anything it calls) panics, there is no cleanup here:
+	// the panic unwinds to runRoot/runTask, whose abortScope settles this
+	// task along with everything else the failed scope pushed.
 
 	left(c)
 
-	if w.dq.popBottomIf(t) {
-		// Serial fast path: the continuation was not stolen.
+	if w.tryPopOwn(t) {
+		// Serial fast path: the continuation was not stolen.  Both
+		// objects go straight back to the free lists — the pop proves no
+		// other worker ever saw the join.
+		w.popLiveFork(j)
+		w.freeTask(t)
+		w.freeJoin(j)
 		right(c)
 		return
 	}
 	// The continuation was stolen and promoted; wait for it, helping with
-	// other work in the meantime, then fold its views back in.
+	// other work in the meantime, then fold its views back in.  The thief
+	// recycles the task; the join is left to the GC (see join's doc).
 	w.waitJoin(j)
 	w.rt.reducers.Merge(w, w.curTrace, j.deposit)
+	w.popLiveFork(j)
 	if j.panicVal != nil {
 		panic(fmt.Sprintf("sched: stolen branch panicked: %v", j.panicVal))
 	}
@@ -104,7 +113,7 @@ func (c *Context) pfor(lo, hi, grain int, body func(*Context, int)) {
 		return
 	}
 	mid := lo + (hi-lo)/2
-	c.w.nPForSplits.Add(1)
+	c.w.splitsLocal++
 	c.Fork(
 		func(c2 *Context) { c2.pfor(lo, mid, grain, body) },
 		func(c2 *Context) { c2.pfor(mid, hi, grain, body) },
@@ -119,6 +128,18 @@ func (c *Context) pfor(lo, hi, grain int, body func(*Context, int)) {
 // execution whenever the parent performs no reducer updates between its
 // Spawn calls (or the monoid is commutative).  Code that needs exact serial
 // semantics with interleaved parent updates should use Fork or ForkN.
+//
+// Every Spawn must be matched by a Wait before the enclosing task or Run
+// returns: un-Waited children are abandoned — their contributions are
+// never merged and their task objects confuse the runtime's recycling.
+//
+// A Group is bound to the worker that created it.  Spawn and Wait must be
+// called from code executing on that worker: the serial branch that
+// called NewGroup, including the left (inline) branch of a nested Fork —
+// but never from a right-hand continuation, which a thief may execute on
+// another worker (the deque and free lists are owner-only structures, so
+// that would be a data race, as it already was for traces in the
+// mutex-deque runtime).
 type Group struct {
 	ctx      *Context
 	children []*groupChild
@@ -128,6 +149,13 @@ type Group struct {
 type groupChild struct {
 	t *task
 	j *join
+	// idx is the child's entry in the worker's liveForks stack, recorded
+	// at Spawn time: Wait may run inside a Fork branch pushed after the
+	// Spawns, so the children are not necessarily the newest entries.
+	idx int
+	// local records that the parent popped and ran the child itself, so
+	// its join was never visible to a thief and can be recycled.
+	local bool
 }
 
 // NewGroup creates an empty spawn group bound to this context.
@@ -141,13 +169,13 @@ func (g *Group) Spawn(fn func(*Context)) {
 		panic("sched: Spawn after Wait")
 	}
 	w := g.ctx.w
-	w.nForks.Add(1)
-	j := &join{}
-	t := &task{fn: fn, join: j, owner: w.id}
-	g.children = append(g.children, &groupChild{t: t, j: j})
-	w.dq.pushBottom(t)
-	w.noteDequeDepth(w.dq.size())
-	w.rt.signalWork()
+	w.forksLocal++
+	j := w.newJoin()
+	t := w.newTask(fn, j)
+	ch := &groupChild{t: t, j: j}
+	g.children = append(g.children, ch)
+	w.pushTask(t)
+	ch.idx = len(w.liveForks) - 1
 }
 
 // Wait blocks until every spawned child has completed and merges their view
@@ -160,12 +188,21 @@ func (g *Group) Wait() {
 	}
 	g.waited = true
 	w := g.ctx.w
+	// Children are zeroed out of the live-fork stack by their recorded
+	// indices as they resolve, so a panic mid-Wait leaves abortScope
+	// exactly the unresolved ones; trailing zeroes are swept at the end.
 	// Reclaim and run children that are still in our own deque, newest
 	// first (they are at the bottom).
 	for i := len(g.children) - 1; i >= 0; i-- {
 		ch := g.children[i]
-		if w.dq.popBottomIf(ch.t) {
+		if w.tryPopOwn(ch.t) {
+			ch.local = true
 			w.runTask(ch.t)
+			// Resolved: the child's join is complete, so a panic later
+			// in Wait must not let abortScope touch this entry.  (The
+			// entry is live here, so it cannot have been swept and the
+			// index is in range.)
+			w.liveForks[ch.idx] = liveFork{}
 		}
 	}
 	// Wait for the rest and merge everything in spawn order.
@@ -178,6 +215,26 @@ func (g *Group) Wait() {
 		if ch.j.panicVal != nil && panicked == nil {
 			panicked = ch.j.panicVal
 		}
+		if ch.local {
+			// This worker completed the join itself, so no thief can hold
+			// a stale reference; recycle both objects now that the
+			// child's identity-check window is closed (runTask leaves
+			// owner-pushed tasks unrecycled precisely for this).
+			w.freeJoinUsed(ch.j)
+			w.freeTask(ch.t)
+		}
+		if ch.idx < len(w.liveForks) {
+			// In range only if the entry still exists: a nested Wait's
+			// sweep inside an earlier child may already have truncated
+			// this child's zeroed entry away.
+			w.liveForks[ch.idx] = liveFork{}
+		}
+	}
+	// Sweep resolved entries off the top of the stack.  When Wait ran
+	// inside a newer Fork branch, that fork's live entry stays below-top
+	// zeroes that the enclosing scope's truncation will remove.
+	for n := len(w.liveForks); n > 0 && w.liveForks[n-1].j == nil; n-- {
+		w.liveForks = w.liveForks[:n-1]
 	}
 	g.children = g.children[:0]
 	if panicked != nil {

@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeGrowth pushes far past the initial buffer capacity without any
+// pops, then drains from both ends, checking FIFO order at the top and LIFO
+// order at the bottom.
+func TestDequeGrowth(t *testing.T) {
+	var d deque
+	const n = dequeInitialSize*8 + 3
+	tasks := make([]*task, n)
+	for i := range tasks {
+		tasks[i] = &task{owner: i}
+		d.pushBottom(tasks[i])
+	}
+	if d.size() != n {
+		t.Fatalf("size = %d, want %d", d.size(), n)
+	}
+	// Steal the oldest half in FIFO order.
+	for i := 0; i < n/2; i++ {
+		got := d.stealTop()
+		if got != tasks[i] {
+			t.Fatalf("stealTop %d: got task %v, want %d", i, got, i)
+		}
+	}
+	// Pop the rest in LIFO order.
+	for i := n - 1; i >= n/2; i-- {
+		got := d.popBottom()
+		if got != tasks[i] {
+			t.Fatalf("popBottom: got %v, want task %d", got, i)
+		}
+	}
+	if d.popBottom() != nil || d.stealTop() != nil || d.size() != 0 {
+		t.Fatal("deque should be empty after draining")
+	}
+}
+
+// TestDequeStressOwnerVsThieves hammers one deque with its owner (pushing
+// in bursts and popping) and several concurrent thieves.  Every task must
+// be claimed exactly once — the Chase–Lev last-element race must never
+// hand one task to two claimants or lose one.  Run with -race to exercise
+// the memory-ordering assumptions.
+func TestDequeStressOwnerVsThieves(t *testing.T) {
+	const total = 100_000
+	const nThieves = 4
+	var d deque
+	tasks := make([]*task, total)
+	for i := range tasks {
+		tasks[i] = &task{owner: i}
+	}
+	claims := make([]atomic.Int32, total)
+	var stolen atomic.Int64
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for k := 0; k < nThieves; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if tk := d.stealTop(); tk != nil {
+					claims[tk.owner].Add(1)
+					stolen.Add(1)
+					continue
+				}
+				if stop.Load() {
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	// Owner: push in bursts of varying size, popping one task every few
+	// pushes so the bottom end stays hot.
+	popped := 0
+	i := 0
+	for i < total {
+		burst := 1 + i%7
+		for j := 0; j < burst && i < total; j++ {
+			d.pushBottom(tasks[i])
+			i++
+		}
+		if i%3 == 0 {
+			if tk := d.popBottom(); tk != nil {
+				claims[tk.owner].Add(1)
+				popped++
+			}
+		}
+	}
+	// Drain whatever the thieves have not taken.
+	for {
+		tk := d.popBottom()
+		if tk == nil {
+			break
+		}
+		claims[tk.owner].Add(1)
+		popped++
+	}
+	stop.Store(true)
+	wg.Wait()
+	for idx := range claims {
+		if got := claims[idx].Load(); got != 1 {
+			t.Fatalf("task %d claimed %d times, want exactly 1", idx, got)
+		}
+	}
+	if popped+int(stolen.Load()) != total {
+		t.Fatalf("popped %d + stolen %d != total %d", popped, stolen.Load(), total)
+	}
+}
+
+// TestDequeStressForkPattern replays Fork's exact access pattern — push
+// one task, do some work, conditionally pop it back — against concurrent
+// thieves.  Each task must be executed exactly once, by the owner iff
+// popBottomIf succeeded.
+func TestDequeStressForkPattern(t *testing.T) {
+	const total = 100_000
+	const nThieves = 3
+	var d deque
+	claims := make([]atomic.Int32, total)
+	var stolen atomic.Int64
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for k := 0; k < nThieves; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if tk := d.stealTop(); tk != nil {
+					claims[tk.owner].Add(1)
+					stolen.Add(1)
+					continue
+				}
+				if stop.Load() {
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	ownerRan := 0
+	spin := 0
+	for i := 0; i < total; i++ {
+		tk := &task{owner: i}
+		d.pushBottom(tk)
+		// A little "left branch" work so thieves get a window.
+		spin += i % 13
+		if d.popBottomIf(tk) {
+			claims[i].Add(1)
+			ownerRan++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	_ = spin
+	for idx := range claims {
+		if got := claims[idx].Load(); got != 1 {
+			t.Fatalf("task %d claimed %d times, want exactly 1", idx, got)
+		}
+	}
+	if ownerRan+int(stolen.Load()) != total {
+		t.Fatalf("owner %d + stolen %d != total %d", ownerRan, stolen.Load(), total)
+	}
+	if testing.Verbose() {
+		t.Logf("owner ran %d, thieves stole %d", ownerRan, stolen.Load())
+	}
+}
+
+// TestDequePopBottomIfDeclines checks the guard Group.Wait relies on: when
+// the bottom task is not the wanted one, popBottomIf must leave the deque
+// intact.
+func TestDequePopBottomIfDeclines(t *testing.T) {
+	var d deque
+	t1, t2 := &task{}, &task{}
+	d.pushBottom(t1)
+	d.pushBottom(t2)
+	if d.popBottomIf(t1) {
+		t.Fatal("popBottomIf popped a task that was not at the bottom")
+	}
+	if d.size() != 2 {
+		t.Fatalf("size = %d after declined pop, want 2", d.size())
+	}
+	if !d.popBottomIf(t2) || !d.popBottomIf(t1) {
+		t.Fatal("popBottomIf should succeed for bottom tasks in order")
+	}
+	if d.popBottomIf(t1) {
+		t.Fatal("popBottomIf succeeded on an empty deque")
+	}
+}

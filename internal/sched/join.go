@@ -5,7 +5,14 @@ import "sync/atomic"
 // join coordinates one Fork: it is the model's analogue of a promoted
 // ("full") frame.  It is created lazily in the sense that it only matters
 // when the continuation is actually stolen; in the serial fast path the
-// struct is allocated but never synchronised on.
+// struct is taken from the worker's free list but never synchronised on,
+// and is recycled as soon as the owner pops its continuation back.
+//
+// Joins whose continuation WAS stolen are not recycled: after the owner
+// observes finished() the thief may still be inside complete(), between
+// setting done and closing the waiter channel, so handing the object to a
+// new fork could let that stale close hit the new fork's waiter.  Stolen
+// joins are rare (steals are rare) and are left to the garbage collector.
 type join struct {
 	// done is set by the thief after it has published its deposit.
 	done atomic.Bool
@@ -19,10 +26,22 @@ type join struct {
 	// panicVal carries a panic out of a stolen branch so the forking
 	// worker can re-raise it after the join.
 	panicVal any
+	// next links joins in a worker's free list while recycled.
+	next *join
+}
+
+// reset clears the join for reuse from a worker's free list.
+func (j *join) reset() {
+	j.done.Store(false)
+	j.waiter.Store(nil)
+	j.deposit = nil
+	j.panicVal = nil
 }
 
 // complete is called by the thief once the stolen continuation has finished
-// and its views have been transferred out.
+// and its views have been transferred out.  done is set before the waiter
+// is read, pairing with park's store-then-recheck, so the owner can never
+// sleep on a channel complete will not close.
 func (j *join) complete(d Deposit) {
 	j.deposit = d
 	j.done.Store(true)

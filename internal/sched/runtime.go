@@ -214,7 +214,11 @@ func (rt *Runtime) ResetStats() {
 	}
 }
 
-// signalWork wakes one parked worker, if any.
+// signalWork wakes one parked worker, if any.  Callers publish their work
+// (the deque push, the inbox send) before calling it; a parker registers in
+// rt.parked before re-checking for work.  Under sequentially-consistent
+// atomics one side always observes the other, so no wakeup is lost and
+// workers never need a timed poll.
 func (rt *Runtime) signalWork() {
 	if rt.parked.Load() == 0 {
 		return
@@ -222,5 +226,22 @@ func (rt *Runtime) signalWork() {
 	select {
 	case rt.wake <- struct{}{}:
 	default:
+		// The buffer already holds one token per worker; every parked
+		// worker is guaranteed a wakeup, so dropping this one is safe.
 	}
+}
+
+// workAvailable reports whether any worker other than except holds a
+// stealable task.  Parking workers call it after registering in rt.parked
+// to close the race with a concurrent push.  The caller's own deque is
+// excluded: a worker stalled at a join may still hold its enclosing
+// continuations, which it can neither steal (trySteal skips itself) nor
+// run early — counting them would make it spin instead of park.
+func (rt *Runtime) workAvailable(except *Worker) bool {
+	for _, w := range rt.workers {
+		if w != except && w.dq.size() > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -2,15 +2,24 @@ package sched
 
 import (
 	"fmt"
-	"sync/atomic"
-	"time"
+
+	"repro/internal/metrics"
 )
 
 // Worker is one processor surrogate: a goroutine with its own deque that
 // executes tasks and participates in randomized work stealing.
+//
+// Field layout matters: the deque's indices are padded internally, the
+// owner-only hot fields (rng state, trace, free lists) sit together, and
+// every statistics counter is a cache-line-padded metrics.PaddedCounter so
+// that neither thieves CASing on the deque nor Stats() readers false-share
+// with the owner's fast path.
 type Worker struct {
 	rt *Runtime
 	id int
+
+	// dq is the worker's Chase–Lev deque; its top/bottom indices are
+	// individually padded inside the struct.
 	dq deque
 
 	// rngState drives victim selection (xorshift64*).
@@ -24,14 +33,43 @@ type Worker struct {
 	// local is per-worker storage for the reducer mechanism.
 	local any
 
-	nForks        atomic.Int64
-	nSteals       atomic.Int64
-	nFailedSteals atomic.Int64
-	nStalledJoins atomic.Int64
-	nHelped       atomic.Int64
-	nTasks        atomic.Int64
-	nPForSplits   atomic.Int64
-	maxDeque      atomic.Int64
+	// freeTasks and freeJoins are owner-only free lists backing the
+	// allocation-free fork fast path.  Tasks are recycled by whichever
+	// worker takes them out of circulation; joins only by their owner on
+	// the no-steal path (see join's doc comment).
+	freeTasks *task
+	freeJoins *join
+
+	// liveForks is the owner-only stack of forks this worker has pushed
+	// whose joins are not yet resolved, in push order.  Each entry keeps
+	// its own join pointer, captured at push time: the entry's task
+	// pointer is used only for popBottomIf identity comparison, never
+	// dereferenced, because once stolen the task belongs to its executor
+	// (stolen tasks are left to the GC, never recycled — see runTask).
+	// Normal fork/join flow maintains strict stack discipline (Group.Wait
+	// zeroes entries it consumes out of order); abortScope walks the
+	// stack when a task scope panics, so nothing a failed Run pushed can
+	// outlive the Run.
+	liveForks []liveFork
+
+	// Owner-only plain counters for the fork fast path; flushCounters
+	// folds them into the atomic counters below at task boundaries
+	// (before a join completes or a root returns), so Stats() is exact
+	// once a Run has returned without any atomic RMW per fork.
+	forksLocal    int64
+	splitsLocal   int64
+	maxDequeLocal int64
+
+	_ [64]byte // keep the counters off the owner's hot line
+
+	nForks        metrics.PaddedCounter
+	nSteals       metrics.PaddedCounter
+	nFailedSteals metrics.PaddedCounter
+	nStalledJoins metrics.PaddedCounter
+	nHelped       metrics.PaddedCounter
+	nTasks        metrics.PaddedCounter
+	nPForSplits   metrics.PaddedCounter
+	maxDeque      metrics.PaddedCounter
 }
 
 func newWorker(rt *Runtime, id int, seed uint64) *Worker {
@@ -60,7 +98,173 @@ func (w *Worker) CurrentTrace() Trace { return w.curTrace }
 // Steals returns the number of successful steals this worker has performed.
 func (w *Worker) Steals() int64 { return w.nSteals.Load() }
 
-// loop is the worker's scheduling loop.
+// newTask takes a task from the worker's free list, or allocates one.
+// Owner-goroutine only.
+func (w *Worker) newTask(fn func(*Context), j *join) *task {
+	if t := w.freeTasks; t != nil {
+		w.freeTasks = t.next
+		t.fn, t.join, t.owner, t.next = fn, j, w.id, nil
+		return t
+	}
+	return &task{fn: fn, join: j, owner: w.id}
+}
+
+// freeTask recycles a task whose identity-check window has closed: popped
+// back by its owner on the fast path, or a Group child the owner ran
+// locally and has finished waiting on.
+func (w *Worker) freeTask(t *task) {
+	t.fn, t.join = nil, nil
+	t.next = w.freeTasks
+	w.freeTasks = t
+}
+
+// newJoin takes a join from the worker's free list, or allocates one.
+func (w *Worker) newJoin() *join {
+	if j := w.freeJoins; j != nil {
+		w.freeJoins = j.next
+		j.next = nil
+		return j
+	}
+	return &join{}
+}
+
+// freeJoin recycles a join that is still in its pristine (reset) state: on
+// the fork fast path the pop proves no thief ever touched it, so the two
+// atomic stores of a reset would be pure overhead.
+func (w *Worker) freeJoin(j *join) {
+	j.next = w.freeJoins
+	w.freeJoins = j
+}
+
+// freeJoinUsed recycles a join this worker itself completed (a Group child
+// it popped and ran locally): no other worker can hold a reference, but the
+// fields must be cleared before reuse.
+func (w *Worker) freeJoinUsed(j *join) {
+	j.reset()
+	j.next = w.freeJoins
+	w.freeJoins = j
+}
+
+// pushTask publishes t on this worker's deque and applies the wake
+// protocol: only the empty→non-empty transition can turn a parked worker's
+// situation from "nothing to steal" into "something to steal", so it is
+// the only push that signals; trySteal re-signals while a deep deque
+// drains.  Fork and Group.Spawn share this so the protocol lives in one
+// place.
+func (w *Worker) pushTask(t *task) {
+	w.liveForks = append(w.liveForks, liveFork{t: t, j: t.join})
+	wasEmpty, depth := w.dq.pushBottom(t)
+	if depth > w.maxDequeLocal {
+		w.maxDequeLocal = depth
+	}
+	if wasEmpty {
+		w.rt.signalWork()
+	}
+}
+
+// tryPopOwn pops t from the bottom of this worker's deque if it is still
+// there.  On decline it re-signals when the deque holds other work: the
+// declined pop transiently lowers bottom, and a parking worker whose
+// pre-park scan ran in that window may have seen this deque as empty.
+// Every owner-side conditional pop must go through here so the wake
+// protocol's no-lost-wakeup invariant cannot be forgotten at a call site.
+func (w *Worker) tryPopOwn(t *task) bool {
+	if w.dq.popBottomIf(t) {
+		return true
+	}
+	if w.dq.size() > 0 {
+		w.rt.signalWork()
+	}
+	return false
+}
+
+// popLiveFork removes the calling fork's own liveForks entry, identified
+// by its join.  Usually it is the newest live entry — zeroed entries from
+// an out-of-order Group.Wait may sit above it and are swept by the
+// truncation — but children spawned into a still-un-Waited Group during
+// the fork's left branch are live entries above ours and must be kept: in
+// that case our entry is zeroed in place, preserving the indices Wait
+// recorded at Spawn time.
+func (w *Worker) popLiveFork(j *join) {
+	i := len(w.liveForks) - 1
+	for i >= 0 && w.liveForks[i].j == nil {
+		i--
+	}
+	if i >= 0 && w.liveForks[i].j == j {
+		vacated := w.liveForks[i:]
+		w.liveForks = w.liveForks[:i]
+		for k := range vacated {
+			// Clear the vacated backing slots: they hold recycled
+			// task/join pointers that must neither pin memory nor be
+			// resurrected by a later reslice.
+			vacated[k] = liveFork{}
+		}
+		return
+	}
+	for ; i >= 0; i-- {
+		if w.liveForks[i].j == j {
+			w.liveForks[i] = liveFork{}
+			return
+		}
+	}
+	panic("sched: fork's live entry missing from its worker's stack")
+}
+
+// liveFork is one liveForks entry: a pushed task and the join captured at
+// push time (carried separately so the entry never needs to dereference
+// the task, which belongs to its executor once stolen).
+type liveFork struct {
+	t *task
+	j *join
+}
+
+// abortScope runs when the task scope that begins at liveForks[mark]
+// panics: every task the scope pushed is either reclaimed from the deque
+// (never seen by a thief — both objects recycle) or, if stolen, waited
+// out with its deposit dropped, so no user code from a failed Run keeps
+// executing after Run has returned.  Entries are processed newest-first;
+// zero entries were already consumed by the normal join paths.
+func (w *Worker) abortScope(mark int) {
+	for i := len(w.liveForks) - 1; i >= mark; i-- {
+		lf := w.liveForks[i]
+		if lf.j == nil {
+			continue
+		}
+		if w.tryPopOwn(lf.t) {
+			w.freeTask(lf.t)
+			w.freeJoin(lf.j)
+		} else {
+			w.waitJoin(lf.j)
+		}
+	}
+	w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
+}
+
+// flushCounters publishes the owner-local fast-path counters into the
+// atomic ones.  It runs before a task's join completes (and before a root
+// reports done), so every fork a Run performed is visible to Stats() by the
+// time Run returns.
+func (w *Worker) flushCounters() {
+	if w.forksLocal != 0 {
+		w.nForks.Add(w.forksLocal)
+		w.forksLocal = 0
+	}
+	if w.splitsLocal != 0 {
+		w.nPForSplits.Add(w.splitsLocal)
+		w.splitsLocal = 0
+	}
+	if w.maxDequeLocal != 0 {
+		w.maxDeque.Max(w.maxDequeLocal)
+		w.maxDequeLocal = 0
+	}
+}
+
+// loop is the worker's scheduling loop.  Parking follows a Dekker-style
+// protocol with signalWork: the worker registers itself in rt.parked and
+// then re-checks every deque, while a forking worker publishes its push and
+// then reads rt.parked.  Go atomics are sequentially consistent, so one of
+// the two always sees the other and no wakeup is lost — there is no timed
+// poll anywhere.
 func (w *Worker) loop() {
 	rt := w.rt
 	rt.started.Done()
@@ -76,9 +280,13 @@ func (w *Worker) loop() {
 			continue
 		default:
 		}
-		// Nothing to do: park until work is signalled, a root task
-		// arrives, or the runtime shuts down.
+		// Nothing found: register as parked, then re-check for work that
+		// raced with the registration before actually sleeping.
 		rt.parked.Add(1)
+		if rt.workAvailable(w) {
+			rt.parked.Add(-1)
+			continue
+		}
 		select {
 		case <-rt.quit:
 			rt.parked.Add(-1)
@@ -87,8 +295,6 @@ func (w *Worker) loop() {
 			rt.parked.Add(-1)
 			w.runRoot(root)
 		case <-rt.wake:
-			rt.parked.Add(-1)
-		case <-time.After(2 * time.Millisecond):
 			rt.parked.Add(-1)
 		}
 	}
@@ -99,29 +305,37 @@ func (w *Worker) runRoot(root *rootTask) {
 	w.nTasks.Add(1)
 	prev := w.curTrace
 	w.curTrace = w.rt.reducers.BeginTrace(w)
+	mark := len(w.liveForks)
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				// Leave the trace in a defined (empty) state before
-				// reporting the panic to the Run caller.
+				// Settle everything the failed root pushed, then leave
+				// the trace in a defined (empty) state before reporting
+				// the panic to the Run caller.
+				w.abortScope(mark)
 				_ = w.rt.reducers.EndTrace(w, w.curTrace)
 				w.curTrace = prev
+				w.flushCounters()
 				root.err <- p
 			}
 		}()
 		ctx := &Context{w: w}
 		root.fn(ctx)
+		w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
 		d := w.rt.reducers.EndTrace(w, w.curTrace)
 		w.curTrace = prev
+		w.flushCounters()
 		root.done <- d
 	}()
 }
 
-// runTask executes a stolen task as a fresh trace and completes its join.
+// runTask executes a stolen task as a fresh trace, completes its join, and
+// recycles the task object into this worker's free list.
 func (w *Worker) runTask(t *task) {
 	w.nTasks.Add(1)
 	prev := w.curTrace
 	w.curTrace = w.rt.reducers.BeginTrace(w)
+	mark := len(w.liveForks)
 	var panicked any
 	func() {
 		defer func() {
@@ -132,16 +346,37 @@ func (w *Worker) runTask(t *task) {
 		ctx := &Context{w: w}
 		t.fn(ctx)
 	}()
+	if panicked != nil {
+		w.abortScope(mark)
+	}
+	// Drop any resolved (zeroed) entries the scope left behind — and, like
+	// the seed runtime, stop tracking children a misused Group never
+	// Waited for.  Clamp to len: a nested Wait's sweep may have truncated
+	// below mark, and reslicing up would resurrect vacated slots.
+	w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
 	d := w.rt.reducers.EndTrace(w, w.curTrace)
 	w.curTrace = prev
 	if panicked != nil {
 		t.join.panicVal = panicked
 	}
+	w.flushCounters()
 	t.join.complete(d)
+	// The task is deliberately NOT recycled here.  Recycling is only safe
+	// once no suspended frame can still hold the pointer for a later
+	// popBottomIf identity check, and the executor cannot know that: a
+	// remote-stolen task's pointer could migrate through thieves' pools
+	// back into the origin worker's free list and forge an identity match
+	// (ABA) while the pushing fork is still suspended.  Only the two
+	// sites that provably close a task's window recycle it: Fork's
+	// fast-path pop and Group.Wait's local children.  Stolen and
+	// self-stolen tasks go to the GC — part of the steal cost the paper's
+	// accounting already budgets for.
 }
 
 // trySteal performs one sweep over the other workers in random order and
-// returns a stolen task, or nil if every deque was empty.
+// returns a stolen task, or nil if every deque was empty.  When a steal
+// leaves the victim's deque non-empty, another parked worker is woken so
+// that a deep deque drains in parallel.
 func (w *Worker) trySteal() *task {
 	rt := w.rt
 	n := len(rt.workers)
@@ -156,6 +391,9 @@ func (w *Worker) trySteal() *task {
 		}
 		if t := victim.dq.stealTop(); t != nil {
 			w.nSteals.Add(1)
+			if victim.dq.size() > 0 {
+				rt.signalWork()
+			}
 			return t
 		}
 	}
@@ -165,9 +403,13 @@ func (w *Worker) trySteal() *task {
 
 // waitJoin blocks until the stolen continuation recorded in j completes,
 // stealing and executing other tasks while it waits so the worker does not
-// idle.
+// idle.  When there is nothing to help with, the worker parks on the join's
+// waiter channel and on the runtime's wake channel (registering in
+// rt.parked first, like loop), so it is woken immediately by either the
+// completing thief or by new work — no timed polling.
 func (w *Worker) waitJoin(j *join) {
 	w.nStalledJoins.Add(1)
+	rt := w.rt
 	attempts := 0
 	for !j.finished() {
 		if t := w.trySteal(); t != nil {
@@ -176,20 +418,48 @@ func (w *Worker) waitJoin(j *join) {
 			attempts = 0
 			continue
 		}
-		attempts++
-		if attempts < w.rt.cfg.StealAttemptsBeforePark {
+		// Self-steal: with nothing to take from other workers, pop and run
+		// our own newest continuation exactly as a thief would (fresh
+		// trace, deposit, merge at its fork's join).  Any thief could
+		// legally run it concurrently with the suspended branch, so this
+		// is a valid parallel interleaving — and it is the only way to
+		// make progress when the join we are waiting on depends on a task
+		// stuck in our own deque (e.g. a group child spawned before the
+		// fork being joined, with no other worker free to steal it).
+		if t := w.dq.popBottom(); t != nil {
+			w.nHelped.Add(1)
+			w.runTask(t)
+			attempts = 0
 			continue
 		}
+		attempts++
+		if attempts < rt.cfg.StealAttemptsBeforePark {
+			continue
+		}
+		attempts = 0
 		ch := j.park()
 		if j.finished() {
 			return
 		}
+		rt.parked.Add(1)
+		if rt.workAvailable(w) {
+			rt.parked.Add(-1)
+			continue
+		}
 		select {
 		case <-ch:
-		case <-time.After(500 * time.Microsecond):
-			// Re-check for stealable work periodically so a long-running
-			// stolen branch does not leave this worker idle.
+		case <-rt.wake:
+			// The token may have been meant for stealable work anywhere —
+			// including this worker's own deque, whose tasks other
+			// workers can take.  If the join happens to have completed
+			// too, the loop exits without a steal sweep, so pass the
+			// token on rather than swallow it; a spurious extra wake
+			// just re-parks.
+			if rt.workAvailable(nil) {
+				rt.signalWork()
+			}
 		}
+		rt.parked.Add(-1)
 	}
 }
 
@@ -201,17 +471,6 @@ func (w *Worker) nextRand() uint64 {
 	x ^= x >> 27
 	w.rngState = x
 	return x * 0x2545F4914F6CDD1D
-}
-
-// noteDequeDepth updates the deque high-water mark.
-func (w *Worker) noteDequeDepth(depth int) {
-	d := int64(depth)
-	for {
-		cur := w.maxDeque.Load()
-		if d <= cur || w.maxDeque.CompareAndSwap(cur, d) {
-			return
-		}
-	}
 }
 
 // String implements fmt.Stringer for debugging.
