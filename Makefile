@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_OUT ?= BENCH_pr2.json
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench bench-json fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -23,4 +24,25 @@ race:
 bench:
 	$(GO) test -run NONE -bench 'ForkNoSteal|StealThroughput|ParallelFor|Fib' -benchmem ./internal/sched/
 
-ci: build vet test race
+# bench-json runs the sched and core microbenchmarks (fork/steal, lookup,
+# merge pipeline) and records them as a machine-readable perf-trajectory
+# artifact.  Numbers are advisory — the target fails only on build or run
+# errors, never on regressions.  The go test output goes through a file
+# rather than a pipe so its exit status is checked (a plain pipe would let
+# a broken benchmark build slip through with the converter's status).
+bench-json:
+	@$(GO) test -run NONE -bench 'ForkNoSteal|StealThroughput|Lookup|Merge' \
+		-benchmem -benchtime=0.5s -count=3 \
+		./internal/sched/ ./internal/core/ > $(BENCH_OUT).txt 2>&1 \
+		|| { cat $(BENCH_OUT).txt; rm -f $(BENCH_OUT).txt; exit 1; }
+	@$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $(BENCH_OUT).txt
+	@rm -f $(BENCH_OUT).txt
+
+# fmt-check fails when any file is not gofmt-clean, printing the offenders.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: build fmt-check vet test race

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// MergePipelineRow is one measurement of the batched hypermerge pipeline:
+// a controlled sequence of view-transferal/hypermerge cycles over n
+// reducers, with the pipeline counters captured afterwards.
+type MergePipelineRow struct {
+	N          int
+	Merges     int64
+	Slots      int64
+	Batches    int64
+	Parallel   int64
+	PoolOps    int64 // pagepool round-trips (bulk ops count one)
+	MergeTasks int64 // batches executed by thieves
+	Elapsed    time.Duration
+}
+
+// MergePipelineResult holds the merge-pipeline study.
+type MergePipelineResult struct {
+	Workers int
+	Rows    []MergePipelineRow
+}
+
+// RunMergePipeline exercises the batched, parallel hypermerge pipeline
+// under controlled conditions: for each reducer count it drives explicit
+// trace cycles — begin a trace, touch every reducer, transfer the views
+// out, and hypermerge the deposit back — so that every repetition performs
+// exactly one bulk page fetch, one full-width merge and one bulk page
+// return, independent of steal luck.  The first cycle adopts views; every
+// later cycle reduces n pairs, which is the path that batches and, past
+// the threshold, fans out through the scheduler.
+func RunMergePipeline(cfg Config) (*MergePipelineResult, error) {
+	cfg = cfg.normalize()
+	workers := clampWorkers(cfg.MaxWorkers)
+	reps := cfg.Repetitions * 8
+	if reps < 16 {
+		reps = 16
+	}
+	res := &MergePipelineResult{Workers: workers}
+	for _, n := range []int{64, 256, 1024} {
+		eng := core.NewMM(core.MMConfig{Workers: workers})
+		s := core.NewSession(workers, eng)
+		rs := make([]*core.Reducer, n)
+		for i := range rs {
+			r, err := eng.Register(addMonoid{})
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			rs[i] = r
+		}
+		start := time.Now()
+		err := s.Run(func(c *sched.Context) {
+			w := c.Worker()
+			for rep := 0; rep < reps; rep++ {
+				tr := eng.BeginTrace(w)
+				for _, r := range rs {
+					eng.Lookup(c, r).(*addView).v++
+				}
+				d := eng.EndTrace(w, tr)
+				eng.Merge(w, w.CurrentTrace(), d)
+			}
+		})
+		elapsed := time.Since(start)
+		ms := eng.MergeStats()
+		st := s.Runtime().Stats()
+		pool := eng.PoolStats()
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, MergePipelineRow{
+			N:          n,
+			Merges:     ms.Merges,
+			Slots:      ms.SlotsMerged,
+			Batches:    ms.Batches,
+			Parallel:   ms.ParallelMerges,
+			PoolOps:    pool.RoundTrips(),
+			MergeTasks: st.MergeTasks,
+			Elapsed:    elapsed,
+		})
+	}
+	return res, nil
+}
+
+// addMonoid/addView is a local integer-sum monoid for the pipeline study.
+type addMonoid struct{}
+
+type addView struct{ v int64 }
+
+func (addMonoid) Identity() any { return &addView{} }
+func (addMonoid) Reduce(l, r any) any {
+	lv := l.(*addView)
+	lv.v += r.(*addView).v
+	return lv
+}
+
+// Table renders the merge-pipeline study.
+func (r *MergePipelineResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Merge pipeline: batched hypermerge with bulk page movement",
+		"reducers", "merges", "slots", "batches", "parallel", "pool ops", "merge tasks", "elapsed")
+	for _, row := range r.Rows {
+		t.AddRow(row.N, row.Merges, row.Slots, row.Batches, row.Parallel,
+			row.PoolOps, row.MergeTasks, row.Elapsed)
+	}
+	return t
+}

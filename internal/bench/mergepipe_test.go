@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergePipeline(t *testing.T) {
+	res, err := RunMergePipeline(quickCfg())
+	if err != nil {
+		t.Fatalf("RunMergePipeline: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Merges == 0 || row.Slots == 0 || row.Batches == 0 {
+			t.Fatalf("pipeline counters empty for n=%d: %+v", row.N, row)
+		}
+		// The headline property: bulk page movement keeps the number of
+		// pagepool round-trips strictly below the number of slots merged.
+		if row.PoolOps >= row.Slots {
+			t.Fatalf("n=%d: %d pool ops for %d merged slots — batching not engaged",
+				row.N, row.PoolOps, row.Slots)
+		}
+		// Wide merges must take the parallel path (threshold default 96).
+		if row.N >= 256 && row.Parallel == 0 {
+			t.Fatalf("n=%d: no merge was fanned out through the scheduler", row.N)
+		}
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "pool ops") || !strings.Contains(out, "1024") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,301 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/sched"
+)
+
+// engines returns one of each reducer engine for cross-mechanism tests.
+func engines(workers int) map[string]core.Engine {
+	return map[string]core.Engine{
+		"mm":       core.NewMM(core.MMConfig{Workers: workers}),
+		"hypermap": hypermap.New(hypermap.Config{Workers: workers}),
+	}
+}
+
+// TestUnregisterSlotRecyclingBothEngines covers the full recycle cycle on
+// both engines: register → unregister → register reuses the slot, and the
+// unregistered reducer's final value stays readable.
+func TestUnregisterSlotRecyclingBothEngines(t *testing.T) {
+	for name, eng := range engines(2) {
+		t.Run(name, func(t *testing.T) {
+			s := core.NewSession(2, eng)
+			defer s.Close()
+			r1, err := eng.Register(sumMonoid{})
+			if err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+			if err := s.Run(func(c *sched.Context) {
+				c.ParallelForGrain(0, 100, 1, func(c *sched.Context, i int) {
+					eng.Lookup(c, r1).(*sumView).v++
+				})
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			addr := r1.Addr()
+			eng.Unregister(r1)
+			if !r1.Retired() {
+				t.Fatal("reducer not marked retired")
+			}
+			// The final value must survive unregistration.
+			if got := r1.Value().(*sumView).v; got != 100 {
+				t.Fatalf("final value after Unregister = %d, want 100", got)
+			}
+			if got := eng.Lookup(nil, r1).(*sumView).v; got != 100 {
+				t.Fatalf("nil-context Lookup after Unregister = %d, want 100", got)
+			}
+			// A new registration must reuse the recycled slot without
+			// inheriting any state from the retired reducer.
+			r2, err := eng.Register(sumMonoid{})
+			if err != nil {
+				t.Fatalf("re-Register: %v", err)
+			}
+			if r2.Addr() != addr {
+				t.Fatalf("slot not recycled: got %d, want %d", r2.Addr(), addr)
+			}
+			if got := r2.Value().(*sumView).v; got != 0 {
+				t.Fatalf("recycled slot leaked a value: %d", got)
+			}
+			if err := s.Run(func(c *sched.Context) {
+				eng.Lookup(c, r2).(*sumView).v += 7
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := r2.Value().(*sumView).v; got != 7 {
+				t.Fatalf("recycled reducer value = %d, want 7", got)
+			}
+		})
+	}
+}
+
+// TestLookupNilContextBothEngines checks that a nil context (serial code
+// outside the scheduler) reads the leftmost view on both engines.
+func TestLookupNilContextBothEngines(t *testing.T) {
+	for name, eng := range engines(1) {
+		t.Run(name, func(t *testing.T) {
+			r, err := eng.Register(sumMonoid{})
+			if err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+			if got := eng.Lookup(nil, r).(*sumView).v; got != 0 {
+				t.Fatalf("nil-context identity lookup = %d, want 0", got)
+			}
+			r.SetValue(&sumView{v: 9})
+			if got := eng.Lookup(nil, r).(*sumView).v; got != 9 {
+				t.Fatalf("nil-context lookup = %d, want 9", got)
+			}
+			// Repeated nil-context lookups must not be confused by any
+			// cached state from a previous parallel region.
+			s := core.NewSession(1, eng)
+			if err := s.Run(func(c *sched.Context) {
+				eng.Lookup(c, r).(*sumView).v++
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			s.Close()
+			if got := eng.Lookup(nil, r).(*sumView).v; got != 10 {
+				t.Fatalf("nil-context lookup after run = %d, want 10", got)
+			}
+		})
+	}
+}
+
+// TestParallelMergePreservesSerialOrder drives lanes of a noncommutative
+// monoid through a steal-heavy computation with the parallel merge path
+// forced on (threshold 1, batch size 1, so every multi-slot hypermerge
+// fans out), and checks that every lane's final string equals the serial
+// left-to-right concatenation.
+func TestParallelMergePreservesSerialOrder(t *testing.T) {
+	const lanes = 16
+	const steps = 26
+	workers := 4
+	eng := core.NewMM(core.MMConfig{
+		Workers:                workers,
+		MergeBatchSize:         1,
+		ParallelMergeThreshold: 1,
+	})
+	s := core.NewSession(workers, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, lanes)
+	for i := range rs {
+		r, err := eng.Register(catMonoid{})
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		rs[i] = r
+	}
+	err := s.Run(func(c *sched.Context) {
+		c.ParallelForGrain(0, lanes*steps, 1, func(c *sched.Context, i int) {
+			time.Sleep(20 * time.Microsecond) // widen the steal window
+			lane := i % lanes
+			step := i / lanes
+			eng.Lookup(c, rs[lane]).(*catView).s += string(rune('a' + step))
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := ""
+	for step := 0; step < steps; step++ {
+		want += string(rune('a' + step))
+	}
+	for lane, r := range rs {
+		if got := r.Value().(*catView).s; got != want {
+			t.Fatalf("lane %d reduced out of order: got %q, want %q", lane, got, want)
+		}
+	}
+	if s.Runtime().Stats().Steals == 0 {
+		t.Skip("no steals occurred; serial-order check vacuous this run")
+	}
+}
+
+// TestMergePipelineCounters drives controlled trace cycles and checks the
+// pipeline's accounting: every slot is merged, batches are formed, wide
+// merges fan out, and bulk page movement keeps pagepool round-trips
+// strictly below the number of slots merged.
+func TestMergePipelineCounters(t *testing.T) {
+	const n = 300 // > default parallel threshold, spans two SPA pages
+	const reps = 10
+	workers := 4
+	eng := core.NewMM(core.MMConfig{Workers: workers})
+	s := core.NewSession(workers, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, n)
+	for i := range rs {
+		rs[i], _ = eng.Register(sumMonoid{})
+	}
+	err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		for rep := 0; rep < reps; rep++ {
+			tr := eng.BeginTrace(w)
+			for _, r := range rs {
+				eng.Lookup(c, r).(*sumView).v++
+			}
+			d := eng.EndTrace(w, tr)
+			eng.Merge(w, w.CurrentTrace(), d)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(func(c *sched.Context) {}); err != nil {
+		t.Fatalf("flush run: %v", err)
+	}
+	for i, r := range rs {
+		if got := r.Value().(*sumView).v; got != reps {
+			t.Fatalf("reducer %d = %d, want %d", i, got, reps)
+		}
+	}
+	ms := eng.MergeStats()
+	if ms.Merges < reps {
+		t.Fatalf("Merges = %d, want >= %d", ms.Merges, reps)
+	}
+	if ms.SlotsMerged < int64(n*reps) {
+		t.Fatalf("SlotsMerged = %d, want >= %d", ms.SlotsMerged, n*reps)
+	}
+	// First cycle adopts, the rest reduce full width.
+	if ms.Adopts < n || ms.Reduces < int64(n*(reps-1)) {
+		t.Fatalf("adopts=%d reduces=%d, want >= %d / %d", ms.Adopts, ms.Reduces, n, n*(reps-1))
+	}
+	if ms.ParallelMerges == 0 {
+		t.Fatal("no merge crossed the parallel threshold")
+	}
+	if ms.BulkPageFetches < reps || ms.BulkPageReturns < reps {
+		t.Fatalf("bulk page movement missing: fetches=%d returns=%d", ms.BulkPageFetches, ms.BulkPageReturns)
+	}
+	pool := eng.PoolStats()
+	if got := pool.RoundTrips(); got >= ms.SlotsMerged {
+		t.Fatalf("%d pagepool round-trips for %d merged slots — batching not engaged", got, ms.SlotsMerged)
+	}
+	if pool.RejectedDirty != 0 {
+		t.Fatalf("dirty pages recycled: %+v", pool)
+	}
+}
+
+// TestLookupCacheCountsHits checks that with lookup counting enabled, the
+// per-context cache records hits for repeated same-reducer lookups on both
+// engines, and that cached and uncached lookups agree.
+func TestLookupCacheCountsHits(t *testing.T) {
+	type hitCounter interface {
+		CacheHits() int64
+	}
+	for name, eng := range engines(1) {
+		t.Run(name, func(t *testing.T) {
+			eng.SetCountLookups(true)
+			s := core.NewSession(1, eng)
+			defer s.Close()
+			r, _ := eng.Register(sumMonoid{})
+			const iters = 1000
+			if err := s.Run(func(c *sched.Context) {
+				for i := 0; i < iters; i++ {
+					eng.Lookup(c, r).(*sumView).v++
+				}
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := r.Value().(*sumView).v; got != iters {
+				t.Fatalf("sum = %d, want %d", got, iters)
+			}
+			if got := eng.Lookups(); got != iters {
+				t.Fatalf("Lookups = %d, want %d", got, iters)
+			}
+			hc, ok := eng.(hitCounter)
+			if !ok {
+				t.Fatalf("%T does not expose CacheHits", eng)
+			}
+			// Everything after the first lookup of the trace must hit.
+			if got := hc.CacheHits(); got < iters-1 {
+				t.Fatalf("CacheHits = %d, want >= %d", got, iters-1)
+			}
+		})
+	}
+}
+
+// TestMergeBatchSizesEquivalent runs the same deterministic workload under
+// several batch/threshold settings and requires identical results — the
+// batching must be invisible to the monoid algebra.
+func TestMergeBatchSizesEquivalent(t *testing.T) {
+	run := func(batch, threshold int) []string {
+		const lanes = 8
+		const steps = 12
+		eng := core.NewMM(core.MMConfig{
+			Workers:                4,
+			MergeBatchSize:         batch,
+			ParallelMergeThreshold: threshold,
+		})
+		s := core.NewSession(4, eng)
+		defer s.Close()
+		rs := make([]*core.Reducer, lanes)
+		for i := range rs {
+			rs[i], _ = eng.Register(catMonoid{})
+		}
+		if err := s.Run(func(c *sched.Context) {
+			c.ParallelForGrain(0, lanes*steps, 1, func(c *sched.Context, i int) {
+				time.Sleep(5 * time.Microsecond)
+				eng.Lookup(c, rs[i%lanes]).(*catView).s += fmt.Sprint(i / lanes % 10)
+			})
+		}); err != nil {
+			t.Fatalf("Run(batch=%d,thresh=%d): %v", batch, threshold, err)
+		}
+		out := make([]string, lanes)
+		for i, r := range rs {
+			out[i] = r.Value().(*catView).s
+		}
+		return out
+	}
+	serial := run(1, 1<<30) // parallel path disabled
+	for _, cfg := range [][2]int{{1, 1}, {4, 2}, {32, 96}} {
+		got := run(cfg[0], cfg[1])
+		for lane := range serial {
+			if got[lane] != serial[lane] {
+				t.Fatalf("batch=%d threshold=%d lane %d: got %q, want %q",
+					cfg[0], cfg[1], lane, got[lane], serial[lane])
+			}
+		}
+	}
+}

@@ -29,7 +29,22 @@ type MMConfig struct {
 	// kernel modification provides; disable it for the tightest possible
 	// lookup fast path.
 	ModelAddressSpace bool
+	// MergeBatchSize is the number of occupied SPA slots grouped into one
+	// unit of hypermerge work.  Zero selects the default (32).
+	MergeBatchSize int
+	// ParallelMergeThreshold is the number of reduce pairs a single
+	// hypermerge must carry before its batches are fanned out through the
+	// scheduler as forked merge tasks; below it the owner folds the slots
+	// serially.  Zero selects the default (96); set it very large to keep
+	// every merge serial.
+	ParallelMergeThreshold int
 }
+
+// Default batching parameters of the hypermerge pipeline.
+const (
+	defaultMergeBatchSize         = 32
+	defaultParallelMergeThreshold = 96
+)
 
 // MM is the memory-mapping reducer engine (the paper's Cilk-M mechanism).
 type MM struct {
@@ -57,6 +72,16 @@ type MM struct {
 	// construction and re-sized in WorkerInit when a runtime with more
 	// workers attaches, so counts are never aliased across workers.
 	lookups []metrics.PaddedCounter
+	// cacheHits counts per-context lookup-cache hits per worker; like
+	// lookups it is only maintained while lookup counting is enabled, so
+	// the cached fast path stays free of atomic writes otherwise.
+	cacheHits []metrics.PaddedCounter
+
+	// mergeBatch and parallelThreshold are the normalised batching knobs.
+	mergeBatch        int
+	parallelThreshold int
+	// mergePipe aggregates the hypermerge pipeline counters.
+	mergePipe metrics.MergePipeline
 
 	closedWorkers []*mmWorker
 }
@@ -105,11 +130,20 @@ func NewMM(cfg MMConfig) *MM {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
+	if cfg.MergeBatchSize <= 0 {
+		cfg.MergeBatchSize = defaultMergeBatchSize
+	}
+	if cfg.ParallelMergeThreshold <= 0 {
+		cfg.ParallelMergeThreshold = defaultParallelMergeThreshold
+	}
 	e := &MM{
-		cfg:      cfg,
-		rec:      metrics.NewRecorder(cfg.Workers),
-		registry: make(map[spa.Addr]*Reducer),
-		lookups:  make([]metrics.PaddedCounter, cfg.Workers),
+		cfg:               cfg,
+		rec:               metrics.NewRecorder(cfg.Workers),
+		registry:          make(map[spa.Addr]*Reducer),
+		lookups:           make([]metrics.PaddedCounter, cfg.Workers),
+		cacheHits:         make([]metrics.PaddedCounter, cfg.Workers),
+		mergeBatch:        cfg.MergeBatchSize,
+		parallelThreshold: cfg.ParallelMergeThreshold,
 	}
 	e.rec.SetTiming(cfg.Timing)
 	e.countLookups = cfg.CountLookups
@@ -199,7 +233,11 @@ func (e *MM) Registered() int {
 
 // Lookup implements Engine.  The fast path is the paper's two memory
 // accesses and a predictable branch: read the reducer's tlmm_addr, index
-// the worker's private view slots, and test the resulting pointer.
+// the worker's private view slots, and test the resulting pointer.  Ahead
+// of it sits the per-context single-entry cache: when a loop body looks up
+// the same reducer repeatedly, two compares (reducer identity and the
+// worker's view epoch) replace even the SPA indexing, and a steal, view
+// transferal or hypermerge invalidates the cache by bumping the epoch.
 func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 	if c == nil {
 		return r.Value()
@@ -212,15 +250,22 @@ func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 	if e.countLookups {
 		e.lookups[w.ID()].Add(1)
 	}
-	if v := ws.private.Get(r.addr); v != nil {
+	if v, ok := c.CachedView(r.id); ok {
+		if e.countLookups {
+			e.cacheHits[w.ID()].Add(1)
+		}
 		return v
 	}
-	return e.lookupSlow(w, ws, r)
+	if v := ws.private.Get(r.addr); v != nil {
+		c.CacheView(r.id, v)
+		return v
+	}
+	return e.lookupSlow(c, w, ws, r)
 }
 
 // lookupSlow creates and installs an identity view: it runs at most once
 // per reducer per steal.
-func (e *MM) lookupSlow(w *sched.Worker, ws *mmWorker, r *Reducer) any {
+func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Reducer) any {
 	// Ensure the worker's TLMM region backs the SPA page holding this slot.
 	if ws.vm != nil {
 		ws.ensureMapped(r.addr.Page())
@@ -237,6 +282,7 @@ func (e *MM) lookupSlow(w *sched.Worker, ws *mmWorker, r *Reducer) any {
 		panic(fmt.Sprintf("core: SPA slot %d unexpectedly occupied: %v", r.addr, err))
 	}
 	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
+	c.CacheView(r.id, view)
 	return view
 }
 
@@ -282,6 +328,7 @@ func (e *MM) WorkerInit(w *sched.Worker) {
 	e.mu.Lock()
 	if n := w.Runtime().Workers(); n > len(e.lookups) {
 		e.lookups = append(e.lookups, make([]metrics.PaddedCounter, n-len(e.lookups))...)
+		e.cacheHits = append(e.cacheHits, make([]metrics.PaddedCounter, n-len(e.cacheHits))...)
 		e.rec.EnsureWorkers(n)
 	}
 	e.closedWorkers = append(e.closedWorkers, ws)
@@ -304,14 +351,16 @@ func (e *MM) BeginTrace(w *sched.Worker) sched.Trace {
 	} else {
 		ws.private = spa.NewMapSet()
 	}
+	w.InvalidateLookupCache()
 	return tr
 }
 
 // EndTrace implements sched.ReducerRuntime: it performs view transferal.
-// The worker copies the view pointers from its private SPA maps into public
-// SPA pages drawn from the shared pool, zeroing the private slots as it
-// sequences through them, returns the public pages as the deposit, and
-// restores the suspended outer trace's maps.
+// The worker fetches every public SPA page the deposit will need from the
+// pool in one bulk round-trip, copies the view pointers from its private
+// SPA maps into them (zeroing the private slots as it sequences through),
+// returns the public pages as the deposit, and restores the suspended outer
+// trace's maps.
 func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	ws, _ := w.Local().(*mmWorker)
 	if ws == nil {
@@ -319,12 +368,11 @@ func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	}
 	mt, _ := tr.(*mmTrace)
 	var dep *MMDeposit
-	if !ws.private.IsEmpty() {
+	if span := ws.private.OccupiedPageSpan(); span > 0 {
 		start := e.rec.Start()
-		public := spa.NewPooledMapSet(
-			func() *spa.Map { return e.pool.Get(w.ID()) },
-			func(m *spa.Map) { e.pool.Put(w.ID(), m) },
-		)
+		public := spa.NewMapSet()
+		public.AttachPages(e.pool.GetN(w.ID(), span))
+		e.mergePipe.BulkPageFetches.Add(1)
 		moved, err := ws.private.TransferTo(public)
 		if err != nil {
 			panic(fmt.Sprintf("core: view transferal failed: %v", err))
@@ -337,17 +385,51 @@ func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 		ws.spare = ws.private
 		ws.private = mt.saved
 	}
+	w.InvalidateLookupCache()
 	if dep == nil {
 		return nil
 	}
 	return dep
 }
 
-// Merge implements sched.ReducerRuntime: the hypermerge.  The worker's
-// current views are the serially-earlier ones, so each deposited view is
-// reduced as current ⊗ deposited.  Deposited views with no matching current
-// view are adopted by writing their pointer into the worker's private SPA
-// slot (a view insertion).  The emptied public pages are recycled.
+// mergeOp is one reduce pair of a hypermerge: the slot address, the
+// serially-earlier current view, the deposited view, and the monoid that
+// folds them.
+type mergeOp struct {
+	addr spa.Addr
+	cur  any
+	dep  any
+	m    Monoid
+}
+
+// runMergeBatch folds one batch of reduce pairs into the current trace's
+// private SPA slots.  Distinct batches touch disjoint slots, so batches may
+// run concurrently; within a batch each Reduce keeps the serially-earlier
+// view on the left, preserving the serial order of every reducer's view
+// chain.
+func runMergeBatch(cur *spa.MapSet, ops []mergeOp) {
+	for i := range ops {
+		op := &ops[i]
+		combined := op.m.Reduce(op.cur, op.dep)
+		if combined != op.cur {
+			if err := cur.Update(op.addr, combined); err != nil {
+				panic(fmt.Sprintf("core: hypermerge update: %v", err))
+			}
+		}
+	}
+}
+
+// Merge implements sched.ReducerRuntime: the hypermerge, rebuilt as a
+// batched pipeline.  One pass over the deposit partitions the occupied
+// slots: views with no matching current view are adopted immediately (a
+// view insertion, done serially because it mutates the map structure),
+// while matched pairs are gathered into batches of MergeBatchSize reduce
+// operations.  Small merges fold their batches serially; once the pair
+// count crosses ParallelMergeThreshold the batches are fanned out through
+// the scheduler as forked merge tasks, which is sound because distinct
+// reducers' Reduce calls are independent and each reducer still sees
+// current ⊗ deposited exactly once per deposit.  The emptied public pages
+// go back to the pool in one bulk round-trip.
 func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	dep, _ := d.(*MMDeposit)
 	if dep == nil {
@@ -358,29 +440,47 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 		return
 	}
 	start := e.rec.Start()
-	reduces := int64(0)
+	// Capture the merging trace's map set once: if the fan-out below
+	// stalls and this worker helps with other stolen work, ws.private is
+	// temporarily swapped, but every batch must keep targeting the trace
+	// that owns the join.
+	cur := ws.private
+	var ops []mergeOp
 	adopts := int64(0)
 	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
-		if cur := ws.private.Get(addr); cur != nil {
-			monoid := s.Monoid.(Monoid)
-			combined := monoid.Reduce(cur, s.View)
-			if combined != cur {
-				if err := ws.private.Update(addr, combined); err != nil {
-					panic(fmt.Sprintf("core: hypermerge update: %v", err))
-				}
+		if curView := cur.Get(addr); curView != nil {
+			if ops == nil {
+				ops = make([]mergeOp, 0, dep.count)
 			}
-			reduces++
+			ops = append(ops, mergeOp{addr: addr, cur: curView, dep: s.View, m: s.Monoid.(Monoid)})
 			return true
 		}
 		if ws.vm != nil {
 			ws.ensureMapped(addr.Page())
 		}
-		if err := ws.private.Insert(addr, s.View, s.Monoid); err != nil {
+		if err := cur.Insert(addr, s.View, s.Monoid); err != nil {
 			panic(fmt.Sprintf("core: hypermerge insert: %v", err))
 		}
 		adopts++
 		return true
 	})
+	reduces := int64(len(ops))
+	batches := 0
+	if len(ops) > 0 {
+		batches = (len(ops) + e.mergeBatch - 1) / e.mergeBatch
+	}
+	if len(ops) >= e.parallelThreshold && batches > 1 {
+		fns := make([]func(), 0, batches)
+		for lo := 0; lo < len(ops); lo += e.mergeBatch {
+			batch := ops[lo:min(lo+e.mergeBatch, len(ops))]
+			fns = append(fns, func() { runMergeBatch(cur, batch) })
+		}
+		e.mergePipe.ParallelMerges.Add(1)
+		w.ForkMergeTasks(fns)
+	} else if len(ops) > 0 {
+		runMergeBatch(cur, ops)
+	}
+	w.InvalidateLookupCache()
 	e.rec.Stop(w.ID(), metrics.Hypermerge, start)
 	if reduces > 1 {
 		e.rec.RecordCount(w.ID(), metrics.Hypermerge, reduces-1)
@@ -388,7 +488,15 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	if adopts > 0 {
 		e.rec.RecordCount(w.ID(), metrics.ViewInsertion, adopts)
 	}
-	dep.views.Recycle()
+	e.mergePipe.Merges.Add(1)
+	e.mergePipe.SlotsMerged.Add(reduces + adopts)
+	e.mergePipe.Reduces.Add(reduces)
+	e.mergePipe.Adopts.Add(adopts)
+	e.mergePipe.Batches.Add(int64(batches))
+	if pages := dep.views.DrainPages(); len(pages) > 0 {
+		e.pool.PutN(w.ID(), pages)
+		e.mergePipe.BulkPageReturns.Add(1)
+	}
 	dep.views = nil
 	dep.count = 0
 }
@@ -416,7 +524,10 @@ func (e *MM) MergeRootDeposit(d sched.Deposit) {
 		// went out of scope.
 		return true
 	})
-	dep.views.Recycle()
+	if pages := dep.views.DrainPages(); len(pages) > 0 {
+		e.pool.PutN(0, pages)
+		e.mergePipe.BulkPageReturns.Add(1)
+	}
 	dep.views = nil
 	dep.count = 0
 }
@@ -432,6 +543,29 @@ func (e *MM) ResetOverheads() {
 	for i := range e.lookups {
 		e.lookups[i].Store(0)
 	}
+	for i := range e.cacheHits {
+		e.cacheHits[i].Store(0)
+	}
+	e.mergePipe.Reset()
+}
+
+// MergeStats returns a snapshot of the hypermerge pipeline counters, with
+// CacheHits filled in from the per-worker hit counters.
+func (e *MM) MergeStats() metrics.MergePipelineStats {
+	s := e.mergePipe.Snapshot()
+	s.CacheHits = e.CacheHits()
+	return s
+}
+
+// CacheHits reports the number of lookups served by the per-context cache
+// since the last reset.  Like Lookups it only counts while lookup counting
+// is enabled.
+func (e *MM) CacheHits() int64 {
+	var n int64
+	for i := range e.cacheHits {
+		n += e.cacheHits[i].Load()
+	}
+	return n
 }
 
 // SetTiming implements Engine.

@@ -54,6 +54,12 @@ type Engine struct {
 	// construction and re-sized in WorkerInit when a runtime with more
 	// workers attaches, so counts are never aliased across workers.
 	lookups []metrics.PaddedCounter
+	// cacheHits counts per-context lookup-cache hits per worker, so that
+	// the Figure comparisons stay apples-to-apples with the memory-mapped
+	// engine: both mechanisms run the same single-entry cache ahead of
+	// their respective lookup structures.  Maintained only while lookup
+	// counting is enabled.
+	cacheHits []metrics.PaddedCounter
 }
 
 // hmWorker is the per-worker state: the user hypermap of the trace the
@@ -100,10 +106,11 @@ func New(cfg Config) *Engine {
 		cfg.Workers = 1
 	}
 	e := &Engine{
-		cfg:      cfg,
-		rec:      metrics.NewRecorder(cfg.Workers),
-		registry: make(map[spa.Addr]*core.Reducer),
-		lookups:  make([]metrics.PaddedCounter, cfg.Workers),
+		cfg:       cfg,
+		rec:       metrics.NewRecorder(cfg.Workers),
+		registry:  make(map[spa.Addr]*core.Reducer),
+		lookups:   make([]metrics.PaddedCounter, cfg.Workers),
+		cacheHits: make([]metrics.PaddedCounter, cfg.Workers),
 	}
 	e.rec.SetTiming(cfg.Timing)
 	e.countLookups = cfg.CountLookups
@@ -163,7 +170,10 @@ func (e *Engine) Registered() int {
 }
 
 // Lookup implements core.Engine: a hash-table lookup keyed by the reducer's
-// address, creating and inserting an identity view on a miss.
+// address, creating and inserting an identity view on a miss.  The same
+// per-context single-entry cache the memory-mapped engine runs sits ahead
+// of the hash table, so repeated lookups of one reducer in a loop body skip
+// the hashing entirely and the Figure comparisons stay apples-to-apples.
 func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 	if c == nil {
 		return r.Value()
@@ -176,13 +186,20 @@ func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 	if e.countLookups {
 		e.lookups[w.ID()].Add(1)
 	}
+	if v, ok := c.CachedView(r.ID()); ok {
+		if e.countLookups {
+			e.cacheHits[w.ID()].Add(1)
+		}
+		return v
+	}
 	if ent := ws.user.lookup(r.Addr()); ent != nil {
+		c.CacheView(r.ID(), ent.view)
 		return ent.view
 	}
-	return e.lookupSlow(w, ws, r)
+	return e.lookupSlow(c, w, ws, r)
 }
 
-func (e *Engine) lookupSlow(w *sched.Worker, ws *hmWorker, r *core.Reducer) any {
+func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *core.Reducer) any {
 	start := e.rec.Start()
 	view := r.Monoid().Identity()
 	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
@@ -190,6 +207,7 @@ func (e *Engine) lookupSlow(w *sched.Worker, ws *hmWorker, r *core.Reducer) any 
 	start = e.rec.Start()
 	ws.user.insert(r.Addr(), &entry{view: view, monoid: r.Monoid()})
 	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
+	c.CacheView(r.ID(), view)
 	return view
 }
 
@@ -211,6 +229,7 @@ func (e *Engine) WorkerInit(w *sched.Worker) {
 	e.mu.Lock()
 	if n := w.Runtime().Workers(); n > len(e.lookups) {
 		e.lookups = append(e.lookups, make([]metrics.PaddedCounter, n-len(e.lookups))...)
+		e.cacheHits = append(e.cacheHits, make([]metrics.PaddedCounter, n-len(e.cacheHits))...)
 		e.rec.EnsureWorkers(n)
 	}
 	e.workers = append(e.workers, ws)
@@ -227,6 +246,7 @@ func (e *Engine) BeginTrace(w *sched.Worker) sched.Trace {
 	}
 	tr := &hmTrace{ws: ws, saved: ws.user}
 	ws.user = e.newHypermap()
+	w.InvalidateLookupCache()
 	return tr
 }
 
@@ -251,6 +271,7 @@ func (e *Engine) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	} else if ws.user == nil {
 		ws.user = e.newHypermap()
 	}
+	w.InvalidateLookupCache()
 	if dep == nil {
 		return nil
 	}
@@ -285,6 +306,7 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 		inserts++
 	})
 	dep.views = nil
+	w.InvalidateLookupCache()
 	e.rec.Stop(w.ID(), metrics.Hypermerge, start)
 	if reduces > 1 {
 		e.rec.RecordCount(w.ID(), metrics.Hypermerge, reduces-1)
@@ -323,6 +345,20 @@ func (e *Engine) ResetOverheads() {
 	for i := range e.lookups {
 		e.lookups[i].Store(0)
 	}
+	for i := range e.cacheHits {
+		e.cacheHits[i].Store(0)
+	}
+}
+
+// CacheHits reports the number of lookups served by the per-context cache
+// since the last reset.  Like Lookups it only counts while lookup counting
+// is enabled.
+func (e *Engine) CacheHits() int64 {
+	var n int64
+	for i := range e.cacheHits {
+		n += e.cacheHits[i].Load()
+	}
+	return n
 }
 
 // SetTiming implements core.Engine.

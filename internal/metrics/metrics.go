@@ -116,6 +116,66 @@ func (c *PaddedCounter) Max(v int64) {
 	}
 }
 
+// MergePipeline aggregates the counters of the batched, parallel hypermerge
+// pipeline: how many deposits were merged, how many occupied SPA slots they
+// carried, how those slots were grouped into batches, and how often the
+// batches were fanned out through the scheduler as forked merge tasks.  The
+// pipeline's efficiency claim — bulk page movement means fewer pagepool
+// round-trips than slots merged — is checked against these counters together
+// with pagepool.Stats.RoundTrips.
+type MergePipeline struct {
+	Merges          PaddedCounter // deposits folded by Merge
+	SlotsMerged     PaddedCounter // occupied slots processed (reduces + adopts)
+	Reduces         PaddedCounter // slots reduced current ⊗ deposited
+	Adopts          PaddedCounter // slots adopted (deposit only)
+	Batches         PaddedCounter // reduce batches formed
+	ParallelMerges  PaddedCounter // merges fanned out as forked merge tasks
+	BulkPageFetches PaddedCounter // bulk pagepool fetches by view transferal
+	BulkPageReturns PaddedCounter // bulk pagepool returns after merging
+}
+
+// MergePipelineStats is a point-in-time snapshot of MergePipeline.
+// CacheHits is not tracked by the pipeline itself — the engines keep
+// per-worker hit counters next to their lookup counters and fill the field
+// in when snapshotting (see MM.MergeStats).
+type MergePipelineStats struct {
+	Merges          int64
+	SlotsMerged     int64
+	Reduces         int64
+	Adopts          int64
+	Batches         int64
+	ParallelMerges  int64
+	BulkPageFetches int64
+	BulkPageReturns int64
+	CacheHits       int64
+}
+
+// Snapshot reads every counter.
+func (m *MergePipeline) Snapshot() MergePipelineStats {
+	return MergePipelineStats{
+		Merges:          m.Merges.Load(),
+		SlotsMerged:     m.SlotsMerged.Load(),
+		Reduces:         m.Reduces.Load(),
+		Adopts:          m.Adopts.Load(),
+		Batches:         m.Batches.Load(),
+		ParallelMerges:  m.ParallelMerges.Load(),
+		BulkPageFetches: m.BulkPageFetches.Load(),
+		BulkPageReturns: m.BulkPageReturns.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (m *MergePipeline) Reset() {
+	m.Merges.Store(0)
+	m.SlotsMerged.Store(0)
+	m.Reduces.Store(0)
+	m.Adopts.Store(0)
+	m.Batches.Store(0)
+	m.ParallelMerges.Store(0)
+	m.BulkPageFetches.Store(0)
+	m.BulkPageReturns.Store(0)
+}
+
 // workerCounters is one worker's slice of the recorder.
 type workerCounters struct {
 	nanos  [numOverheads]atomic.Int64

@@ -23,6 +23,18 @@ type Stats struct {
 	GlobalPages   int64 // pages currently held by the global pool
 	LocalPages    int64 // pages currently held across local pools
 	RejectedDirty int64 // releases rejected because the page was not empty
+	SingleGets    int64 // Get calls (one lock round-trip each)
+	SinglePuts    int64 // Put calls (one lock round-trip each)
+	BulkGets      int64 // GetN calls (one round-trip regardless of count)
+	BulkPuts      int64 // PutN calls (one round-trip regardless of count)
+}
+
+// RoundTrips returns the number of pool operations performed: a single-page
+// Get or Put counts one, and a bulk GetN or PutN counts one regardless of
+// how many pages it moved.  The batched hypermerge pipeline's invariant —
+// fewer pool operations than slots merged — is asserted against this.
+func (s Stats) RoundTrips() int64 {
+	return s.SingleGets + s.SinglePuts + s.BulkGets + s.BulkPuts
 }
 
 // Pool is a Hoard-style two-level page pool for values of type T.
@@ -49,6 +61,10 @@ type Pool[T any] struct {
 	globalHits    atomic.Int64
 	rebalances    atomic.Int64
 	rejectedDirty atomic.Int64
+	singleGets    atomic.Int64
+	singlePuts    atomic.Int64
+	bulkGets      atomic.Int64
+	bulkPuts      atomic.Int64
 }
 
 type localPool[T any] struct {
@@ -102,6 +118,7 @@ func (p *Pool[T]) Workers() int { return len(p.locals) }
 // pool, then the global pool, then a fresh allocation.
 func (p *Pool[T]) Get(worker int) T {
 	p.allocs.Add(1)
+	p.singleGets.Add(1)
 	lp := p.local(worker)
 
 	lp.mu.Lock()
@@ -139,11 +156,16 @@ func (p *Pool[T]) Put(worker int, page T) {
 		return
 	}
 	p.frees.Add(1)
+	p.singlePuts.Add(1)
 	lp := p.local(worker)
 	lp.mu.Lock()
 	lp.pages = append(lp.pages, page)
 	if len(lp.pages) > p.localMax {
-		spill := lp.pages[p.localMax/2:]
+		// Copy the spill before unlocking: the suffix slots are about to be
+		// vacated, and another Put for the same worker id could otherwise
+		// overwrite them while they are still aliased here.
+		spill := append([]T(nil), lp.pages[p.localMax/2:]...)
+		clearTail(lp.pages, len(lp.pages)-p.localMax/2)
 		lp.pages = lp.pages[:p.localMax/2]
 		lp.mu.Unlock()
 		p.rebalances.Add(1)
@@ -153,6 +175,102 @@ func (p *Pool[T]) Put(worker int, page T) {
 		return
 	}
 	lp.mu.Unlock()
+}
+
+// GetN returns n pages for the given worker in one pool round-trip: the
+// worker's local pool is drained first, then the global pool, each under a
+// single lock acquisition, and any shortfall is made up with fresh pages.
+// The batched view-transferal path uses it to fetch all the public SPA
+// pages a deposit needs at once instead of one pool trip per page.
+func (p *Pool[T]) GetN(worker int, n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	p.allocs.Add(int64(n))
+	p.bulkGets.Add(1)
+	out := make([]T, 0, n)
+
+	lp := p.local(worker)
+	lp.mu.Lock()
+	if take := min(n, len(lp.pages)); take > 0 {
+		out = append(out, lp.pages[len(lp.pages)-take:]...)
+		clearTail(lp.pages, take)
+		lp.pages = lp.pages[:len(lp.pages)-take]
+		p.localHits.Add(int64(take))
+	}
+	lp.mu.Unlock()
+
+	if len(out) < n {
+		p.global.mu.Lock()
+		if take := min(n-len(out), len(p.global.pages)); take > 0 {
+			out = append(out, p.global.pages[len(p.global.pages)-take:]...)
+			clearTail(p.global.pages, take)
+			p.global.pages = p.global.pages[:len(p.global.pages)-take]
+			p.globalHits.Add(int64(take))
+		}
+		p.global.mu.Unlock()
+	}
+
+	for len(out) < n {
+		p.fresh.Add(1)
+		out = append(out, p.newPage())
+	}
+	return out
+}
+
+// PutN returns pages to the given worker's local pool in one round-trip.
+// Non-empty pages are dropped (and counted) exactly as in Put; a local pool
+// that ends up over its bound spills half to the global pool.  The caller's
+// slice is never mutated: when a dirty page forces filtering, the clean
+// pages are gathered into a fresh slice.
+func (p *Pool[T]) PutN(worker int, pages []T) {
+	p.bulkPuts.Add(1)
+	kept := pages
+	if p.isEmpty != nil {
+		for i := range pages {
+			if p.isEmpty(pages[i]) {
+				continue
+			}
+			fresh := append(make([]T, 0, len(pages)-1), pages[:i]...)
+			for _, pg := range pages[i:] {
+				if p.isEmpty(pg) {
+					fresh = append(fresh, pg)
+				} else {
+					p.rejectedDirty.Add(1)
+				}
+			}
+			kept = fresh
+			break
+		}
+	}
+	if len(kept) == 0 {
+		return
+	}
+	p.frees.Add(int64(len(kept)))
+	lp := p.local(worker)
+	lp.mu.Lock()
+	lp.pages = append(lp.pages, kept...)
+	if len(lp.pages) > p.localMax {
+		spill := append([]T(nil), lp.pages[p.localMax/2:]...)
+		clearTail(lp.pages, len(lp.pages)-p.localMax/2)
+		lp.pages = lp.pages[:p.localMax/2]
+		lp.mu.Unlock()
+		p.rebalances.Add(1)
+		p.global.mu.Lock()
+		p.global.pages = append(p.global.pages, spill...)
+		p.global.mu.Unlock()
+		return
+	}
+	lp.mu.Unlock()
+}
+
+// clearTail zeroes the last n slots of pages so vacated entries do not pin
+// page memory through the slice's backing array.
+func clearTail[T any](pages []T, n int) {
+	var zero T
+	for i := len(pages) - n; i < len(pages); i++ {
+		pages[i] = zero
+	}
 }
 
 // Prime pre-populates the global pool with n fresh pages.
@@ -179,6 +297,10 @@ func (p *Pool[T]) Stats() Stats {
 		GlobalHits:    p.globalHits.Load(),
 		Rebalances:    p.rebalances.Load(),
 		RejectedDirty: p.rejectedDirty.Load(),
+		SingleGets:    p.singleGets.Load(),
+		SinglePuts:    p.singlePuts.Load(),
+		BulkGets:      p.bulkGets.Load(),
+		BulkPuts:      p.bulkPuts.Load(),
 	}
 	p.global.mu.Lock()
 	s.GlobalPages = int64(len(p.global.pages))

@@ -195,3 +195,107 @@ func TestPropertyPoolNeverHandsOutDirtyOrDuplicatePages(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGetNDrainsLocalThenGlobalThenFresh(t *testing.T) {
+	p, _ := newPool(2, 8)
+	// Seed: 2 pages in worker 0's local pool, 3 in the global pool.
+	local := []*page{p.Get(0), p.Get(0)}
+	for _, pg := range local {
+		p.Put(0, pg)
+	}
+	p.Prime(3)
+
+	got := p.GetN(0, 7)
+	if len(got) != 7 {
+		t.Fatalf("GetN returned %d pages, want 7", len(got))
+	}
+	seen := map[*page]bool{}
+	for _, pg := range got {
+		if pg == nil || seen[pg] {
+			t.Fatal("GetN returned nil or duplicate page")
+		}
+		seen[pg] = true
+	}
+	st := p.Stats()
+	if st.BulkGets != 1 {
+		t.Fatalf("BulkGets = %d, want 1", st.BulkGets)
+	}
+	if st.LocalHits != 2 || st.GlobalHits != 3 {
+		t.Fatalf("hits local=%d global=%d, want 2/3", st.LocalHits, st.GlobalHits)
+	}
+	if st.LocalPages != 0 || st.GlobalPages != 0 {
+		t.Fatalf("pools not drained: %+v", st)
+	}
+}
+
+func TestGetNZeroAndNegative(t *testing.T) {
+	p, _ := newPool(1, 4)
+	if got := p.GetN(0, 0); got != nil {
+		t.Fatalf("GetN(0) = %v, want nil", got)
+	}
+	if got := p.GetN(0, -3); got != nil {
+		t.Fatalf("GetN(-3) = %v, want nil", got)
+	}
+	if rt := p.Stats().RoundTrips(); rt != 0 {
+		t.Fatalf("RoundTrips = %d, want 0", rt)
+	}
+}
+
+func TestPutNRejectsDirtyAndSpills(t *testing.T) {
+	p, _ := newPool(1, 4)
+	pages := p.GetN(0, 8)
+	pages[3].dirty = true
+	p.PutN(0, pages)
+	st := p.Stats()
+	if st.BulkPuts != 1 {
+		t.Fatalf("BulkPuts = %d, want 1", st.BulkPuts)
+	}
+	if st.RejectedDirty != 1 || st.Frees != 7 {
+		t.Fatalf("rejected=%d frees=%d, want 1/7", st.RejectedDirty, st.Frees)
+	}
+	// localMax is 4, so the local pool must have spilled to global.
+	if st.Rebalances != 1 || st.LocalPages+st.GlobalPages != 7 {
+		t.Fatalf("spill bookkeeping wrong: %+v", st)
+	}
+	// Every clean page must come back out exactly once, clean.
+	out := map[*page]bool{}
+	for i := 0; i < 7; i++ {
+		pg := p.Get(0)
+		if pg.dirty || out[pg] {
+			t.Fatal("dirty or duplicate page recycled")
+		}
+		out[pg] = true
+	}
+}
+
+func TestRoundTripsCountsOpsNotPages(t *testing.T) {
+	p, _ := newPool(1, 16)
+	pages := p.GetN(0, 10)
+	p.PutN(0, pages)
+	one := p.Get(0)
+	p.Put(0, one)
+	st := p.Stats()
+	if got := st.RoundTrips(); got != 4 {
+		t.Fatalf("RoundTrips = %d, want 4 (GetN+PutN+Get+Put)", got)
+	}
+	if st.Allocs != 11 || st.Frees != 11 {
+		t.Fatalf("page counts wrong: %+v", st)
+	}
+}
+
+func TestPutNDoesNotMutateCallerSlice(t *testing.T) {
+	p, _ := newPool(1, 16)
+	pages := p.GetN(0, 5)
+	snapshot := append([]*page(nil), pages...)
+	pages[1].dirty = true
+	pages[4].dirty = true
+	p.PutN(0, pages)
+	for i := range pages {
+		if pages[i] != snapshot[i] {
+			t.Fatalf("PutN mutated caller slice at %d", i)
+		}
+	}
+	if st := p.Stats(); st.RejectedDirty != 2 || st.Frees != 3 {
+		t.Fatalf("rejected=%d frees=%d, want 2/3", st.RejectedDirty, st.Frees)
+	}
+}

@@ -49,6 +49,14 @@ type EngineOptions struct {
 	// ModelAddressSpace backs the memory-mapped engine's SPA pages with
 	// the simulated TLMM address space (ignored by the hypermap engine).
 	ModelAddressSpace bool
+	// MergeBatchSize sets the memory-mapped engine's hypermerge batch
+	// size; zero keeps the default (ignored by the hypermap engine).
+	MergeBatchSize int
+	// ParallelMergeThreshold sets how many reduce pairs one hypermerge
+	// must carry before the memory-mapped engine fans its batches out
+	// through the scheduler; zero keeps the default (ignored by the
+	// hypermap engine).
+	ParallelMergeThreshold int
 }
 
 // NewEngine creates a reducer engine of the requested mechanism sized for
@@ -63,10 +71,12 @@ func NewEngine(m Mechanism, workers int, opts EngineOptions) core.Engine {
 		})
 	default:
 		return core.NewMM(core.MMConfig{
-			Workers:           workers,
-			Timing:            opts.Timing,
-			CountLookups:      opts.CountLookups,
-			ModelAddressSpace: opts.ModelAddressSpace,
+			Workers:                workers,
+			Timing:                 opts.Timing,
+			CountLookups:           opts.CountLookups,
+			ModelAddressSpace:      opts.ModelAddressSpace,
+			MergeBatchSize:         opts.MergeBatchSize,
+			ParallelMergeThreshold: opts.ParallelMergeThreshold,
 		})
 	}
 }

@@ -16,6 +16,12 @@ import "sync/atomic"
 type task struct {
 	fn   func(*Context)
 	join *join
+	// mfn, when non-nil, marks a runtime-internal merge task (see
+	// Worker.ForkMergeTasks): the executor runs it without beginning a
+	// reducer trace, because the closure operates on view state owned and
+	// coordinated by the forking worker's hypermerge, not on the executing
+	// worker's own views.  A task carries either fn or mfn, never both.
+	mfn func()
 	// owner is the worker that pushed the task; recorded for statistics.
 	owner int
 	// next links tasks in a worker's free list while recycled.
@@ -61,13 +67,13 @@ type deque struct {
 	// Leading pad: the deque is embedded in Worker after other hot fields
 	// (rt, id), and the thief-contended top index must not share their
 	// cache line.
-	_   [64]byte
-	top atomic.Int64
-	_   [56]byte // keep thieves' CAS target off the owner's line
+	_      [64]byte
+	top    atomic.Int64
+	_      [56]byte // keep thieves' CAS target off the owner's line
 	bottom atomic.Int64
 	_      [56]byte
-	buf atomic.Pointer[dequeBuf]
-	_   [56]byte
+	buf    atomic.Pointer[dequeBuf]
+	_      [56]byte
 }
 
 // pushBottom appends t at the newest end.  Owner only.  It reports whether

@@ -1,0 +1,93 @@
+package sched
+
+import "fmt"
+
+// This file is the scheduler's merge-task hook: the narrow facility through
+// which a reducer mechanism fans the independent per-reducer Reduce calls of
+// a large hypermerge out across the worker pool.  Merge tasks ride the same
+// deques, join objects and wake protocol as ordinary forked continuations,
+// but they are runtime-internal: executing one begins no reducer trace and
+// produces no deposit, because the closure operates on view state owned (and
+// lifetime-managed) by the worker that is performing the hypermerge.
+
+// runMergeTask executes a stolen runtime-internal merge task: no trace is
+// begun and no views are transferred — the closure mutates SPA slots that
+// belong to the hypermerging worker, which coordinates slot disjointness so
+// concurrent batches never touch the same slot.
+func (w *Worker) runMergeTask(t *task) {
+	w.nMergeTasks.Add(1)
+	var panicked any
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = p
+			}
+		}()
+		t.mfn()
+	}()
+	if panicked != nil {
+		t.join.panicVal = panicked
+	}
+	t.join.complete(nil)
+	// Like other stolen tasks, the object is left to the GC: its pointer
+	// may still sit in the forking worker's liveForks stack for a later
+	// popBottomIf identity check (see runTask's recycling note).
+}
+
+// ForkMergeTasks executes fns as logically parallel runtime-internal tasks
+// and returns when all of them have completed.  fns[0] runs immediately on
+// the calling worker; the rest are published for stealing, newest last, and
+// any that no thief takes are run inline by the caller on the way out —
+// exactly Fork's fast path, so an unstolen fan-out costs no allocation
+// beyond the closure slice and completes in serial order.
+//
+// The caller must be on w's goroutine, mid-join (its liveForks discipline is
+// the same as Fork's: entries are pushed here and resolved here, newest
+// first, and a panicking closure leaves the remainder to abortScope).  The
+// closures must write disjoint state: the scheduler provides no ordering
+// between them beyond completion of all before return.
+func (w *Worker) ForkMergeTasks(fns []func()) {
+	n := len(fns)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		fns[0]()
+		return
+	}
+	type mergeFork struct {
+		t *task
+		j *join
+	}
+	forks := make([]mergeFork, n-1)
+	for i := 1; i < n; i++ {
+		j := w.newJoin()
+		t := w.newMergeTask(fns[i], j)
+		forks[i-1] = mergeFork{t: t, j: j}
+		w.pushTask(t)
+	}
+	fns[0]()
+	var panicked any
+	for i := n - 2; i >= 0; i-- {
+		mf := forks[i]
+		if w.tryPopOwn(mf.t) {
+			// Not stolen: run the batch inline.  The pop proves no thief
+			// ever saw the join, so both objects recycle immediately; a
+			// panic below unwinds to the scope's abortScope, which settles
+			// the remaining entries.
+			w.popLiveFork(mf.j)
+			w.freeTask(mf.t)
+			w.freeJoin(mf.j)
+			fns[i+1]()
+			continue
+		}
+		w.waitJoin(mf.j)
+		w.popLiveFork(mf.j)
+		if mf.j.panicVal != nil && panicked == nil {
+			panicked = mf.j.panicVal
+		}
+	}
+	if panicked != nil {
+		panic(fmt.Sprintf("sched: merge task panicked: %v", panicked))
+	}
+}

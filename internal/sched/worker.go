@@ -33,6 +33,14 @@ type Worker struct {
 	// local is per-worker storage for the reducer mechanism.
 	local any
 
+	// viewEpoch is bumped by the reducer mechanism (via
+	// InvalidateLookupCache) whenever the worker's view state may have
+	// changed under an existing context — a trace boundary or a
+	// hypermerge.  The per-context single-entry lookup cache is valid only
+	// while its recorded epoch matches, so a steal, a view transferal or a
+	// merge silently invalidates every cache built before it.  Owner-only.
+	viewEpoch uint64
+
 	// freeTasks and freeJoins are owner-only free lists backing the
 	// allocation-free fork fast path.  Tasks are recycled by whichever
 	// worker takes them out of circulation; joins only by their owner on
@@ -63,6 +71,7 @@ type Worker struct {
 	_ [64]byte // keep the counters off the owner's hot line
 
 	nForks        metrics.PaddedCounter
+	nMergeTasks   metrics.PaddedCounter
 	nSteals       metrics.PaddedCounter
 	nFailedSteals metrics.PaddedCounter
 	nStalledJoins metrics.PaddedCounter
@@ -95,6 +104,13 @@ func (w *Worker) SetLocal(v any) { w.local = v }
 // CurrentTrace returns the worker's current reducer trace.
 func (w *Worker) CurrentTrace() Trace { return w.curTrace }
 
+// InvalidateLookupCache bumps the worker's view epoch, invalidating every
+// per-context lookup cache built against the previous epoch.  Reducer
+// mechanisms call it whenever the views a context might have cached can
+// change beneath it: at trace boundaries and after hypermerges.  It must be
+// called from the worker's own goroutine.
+func (w *Worker) InvalidateLookupCache() { w.viewEpoch++ }
+
 // Steals returns the number of successful steals this worker has performed.
 func (w *Worker) Steals() int64 { return w.nSteals.Load() }
 
@@ -103,17 +119,29 @@ func (w *Worker) Steals() int64 { return w.nSteals.Load() }
 func (w *Worker) newTask(fn func(*Context), j *join) *task {
 	if t := w.freeTasks; t != nil {
 		w.freeTasks = t.next
-		t.fn, t.join, t.owner, t.next = fn, j, w.id, nil
+		t.fn, t.mfn, t.join, t.owner, t.next = fn, nil, j, w.id, nil
 		return t
 	}
 	return &task{fn: fn, join: j, owner: w.id}
+}
+
+// newMergeTask takes a task from the free list (or allocates one) and
+// configures it as a runtime-internal merge task: mfn runs without trace
+// hooks.  Owner-goroutine only.
+func (w *Worker) newMergeTask(fn func(), j *join) *task {
+	if t := w.freeTasks; t != nil {
+		w.freeTasks = t.next
+		t.fn, t.mfn, t.join, t.owner, t.next = nil, fn, j, w.id, nil
+		return t
+	}
+	return &task{mfn: fn, join: j, owner: w.id}
 }
 
 // freeTask recycles a task whose identity-check window has closed: popped
 // back by its owner on the fast path, or a Group child the owner ran
 // locally and has finished waiting on.
 func (w *Worker) freeTask(t *task) {
-	t.fn, t.join = nil, nil
+	t.fn, t.mfn, t.join = nil, nil, nil
 	t.next = w.freeTasks
 	w.freeTasks = t
 }
@@ -332,6 +360,10 @@ func (w *Worker) runRoot(root *rootTask) {
 // runTask executes a stolen task as a fresh trace, completes its join, and
 // recycles the task object into this worker's free list.
 func (w *Worker) runTask(t *task) {
+	if t.mfn != nil {
+		w.runMergeTask(t)
+		return
+	}
 	w.nTasks.Add(1)
 	prev := w.curTrace
 	w.curTrace = w.rt.reducers.BeginTrace(w)

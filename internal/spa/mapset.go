@@ -18,24 +18,14 @@ func MakeAddr(page, slot int) Addr { return Addr(page*SlotsPerMap + slot) }
 
 // MapSet is an ordered collection of SPA map pages addressed by Addr.  A
 // worker's private TLMM reducer area is one MapSet; the public SPA maps
-// produced by view transferal are another.
+// produced by view transferal are another.  Pool-backed callers move pages
+// in and out in bulk via AttachPages and DrainPages.
 type MapSet struct {
 	pages []*Map
-	// alloc is called to obtain a fresh (empty) map page; when nil, pages
-	// are allocated directly.  A pool-backed allocator can be plugged in.
-	alloc func() *Map
-	// release is called when Recycle returns pages to their pool.
-	release func(*Map)
 }
 
-// NewMapSet returns an empty map set using direct allocation.
+// NewMapSet returns an empty map set.
 func NewMapSet() *MapSet { return &MapSet{} }
-
-// NewPooledMapSet returns an empty map set that obtains and releases pages
-// through the supplied functions.
-func NewPooledMapSet(alloc func() *Map, release func(*Map)) *MapSet {
-	return &MapSet{alloc: alloc, release: release}
-}
 
 // Pages returns the number of SPA pages in the set.
 func (ms *MapSet) Pages() int { return len(ms.pages) }
@@ -63,13 +53,7 @@ func (ms *MapSet) IsEmpty() bool { return ms.Len() == 0 }
 // EnsurePage grows the set until page index i exists and returns it.
 func (ms *MapSet) EnsurePage(i int) *Map {
 	for len(ms.pages) <= i {
-		var p *Map
-		if ms.alloc != nil {
-			p = ms.alloc()
-		} else {
-			p = New()
-		}
-		ms.pages = append(ms.pages, p)
+		ms.pages = append(ms.pages, New())
 	}
 	return ms.pages[i]
 }
@@ -145,21 +129,41 @@ func (ms *MapSet) TransferTo(dst *MapSet) (int, error) {
 	return moved, nil
 }
 
+// OccupiedPageSpan returns the number of leading pages the set would need
+// to receive every view currently held here: one past the highest non-empty
+// page index, or 0 when the set is empty.  The batched view-transferal path
+// uses it to size one bulk pagepool fetch for the whole deposit.
+func (ms *MapSet) OccupiedPageSpan() int {
+	for pi := len(ms.pages) - 1; pi >= 0; pi-- {
+		if !ms.pages[pi].IsEmpty() {
+			return pi + 1
+		}
+	}
+	return 0
+}
+
+// AttachPages appends already-allocated empty pages to the set, so that a
+// caller who fetched pages from a pool in bulk can install them without
+// going through EnsurePage's one-at-a-time allocator.
+func (ms *MapSet) AttachPages(pages []*Map) {
+	ms.pages = append(ms.pages, pages...)
+}
+
+// DrainPages resets every page and returns them all, leaving the set empty
+// and pageless.  The pages are guaranteed empty, so the caller can hand the
+// whole slice back to a pagepool in one bulk Put.
+func (ms *MapSet) DrainPages() []*Map {
+	pages := ms.pages
+	for _, p := range pages {
+		p.Reset()
+	}
+	ms.pages = nil
+	return pages
+}
+
 // Reset empties every page in place, keeping the pages for reuse.
 func (ms *MapSet) Reset() {
 	for _, p := range ms.pages {
 		p.Reset()
 	}
-}
-
-// Recycle empties the set and returns its pages to the pool (when one was
-// configured).  After Recycle the set holds no pages.
-func (ms *MapSet) Recycle() {
-	for _, p := range ms.pages {
-		p.Reset()
-		if ms.release != nil {
-			ms.release(p)
-		}
-	}
-	ms.pages = ms.pages[:0]
 }

@@ -462,27 +462,75 @@ func TestMapSetRangeAndTransfer(t *testing.T) {
 	}
 }
 
-func TestMapSetPooledRecycle(t *testing.T) {
-	allocated, released := 0, 0
-	ms := NewPooledMapSet(
-		func() *Map { allocated++; return New() },
-		func(*Map) { released++ },
-	)
+func TestMapSetResetKeepsPages(t *testing.T) {
+	ms := NewMapSet()
 	mon := &fakeMonoid{"add"}
 	_ = ms.Insert(MakeAddr(1, 5), new(int), mon)
-	if allocated != 2 {
-		t.Fatalf("allocated %d pages, want 2", allocated)
+	if ms.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2", ms.Pages())
 	}
 	ms.Reset()
 	if ms.Pages() != 2 || !ms.IsEmpty() {
 		t.Fatal("Reset should keep pages but empty them")
 	}
-	_ = ms.Insert(MakeAddr(0, 1), new(int), mon)
-	ms.Recycle()
-	if released != 2 {
-		t.Fatalf("released %d pages, want 2", released)
+}
+
+func TestMapSetOccupiedPageSpan(t *testing.T) {
+	ms := NewMapSet()
+	if got := ms.OccupiedPageSpan(); got != 0 {
+		t.Fatalf("empty set span = %d, want 0", got)
 	}
-	if ms.Pages() != 0 {
-		t.Fatalf("Pages after Recycle = %d, want 0", ms.Pages())
+	mustInsert := func(addr Addr) {
+		if err := ms.Insert(addr, "v", "m"); err != nil {
+			t.Fatalf("Insert(%d): %v", addr, err)
+		}
+	}
+	mustInsert(MakeAddr(0, 3))
+	if got := ms.OccupiedPageSpan(); got != 1 {
+		t.Fatalf("span = %d, want 1", got)
+	}
+	mustInsert(MakeAddr(2, 7))
+	if got := ms.OccupiedPageSpan(); got != 3 {
+		t.Fatalf("span = %d, want 3 (page 1 empty but in-span)", got)
+	}
+	if _, err := ms.Remove(MakeAddr(2, 7)); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if got := ms.OccupiedPageSpan(); got != 1 {
+		t.Fatalf("span after remove = %d, want 1", got)
+	}
+}
+
+func TestMapSetAttachAndDrainPages(t *testing.T) {
+	src := NewMapSet()
+	for i := 0; i < 3; i++ {
+		if err := src.Insert(MakeAddr(i, i), i, "m"); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	dst := NewMapSet()
+	pages := []*Map{New(), New(), New()}
+	dst.AttachPages(pages)
+	if dst.Pages() != 3 {
+		t.Fatalf("Pages = %d, want 3", dst.Pages())
+	}
+	moved, err := src.TransferTo(dst)
+	if err != nil || moved != 3 {
+		t.Fatalf("TransferTo moved %d err %v", moved, err)
+	}
+	// The attached pages must be the ones that received the views.
+	for i, p := range pages {
+		if p.Get(i) != i {
+			t.Fatalf("attached page %d missing its view", i)
+		}
+	}
+	drained := dst.DrainPages()
+	if len(drained) != 3 || dst.Pages() != 0 || !dst.IsEmpty() {
+		t.Fatalf("DrainPages left set in bad state: %d pages returned, %d held", len(drained), dst.Pages())
+	}
+	for i, p := range drained {
+		if !p.IsEmpty() || !p.LogValid() {
+			t.Fatalf("drained page %d not pristine", i)
+		}
 	}
 }
