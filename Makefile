@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 
-.PHONY: build vet test race bench bench-json fmt-check ci
+.PHONY: build vet test race bench bench-directory bench-json fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -24,16 +24,30 @@ race:
 bench:
 	$(GO) test -run NONE -bench 'ForkNoSteal|StealThroughput|ParallelFor|Fib' -benchmem ./internal/sched/
 
+# bench-directory runs the sharded reducer-directory microbenchmarks at 8
+# procs: concurrent register churn and growth against the seed single-mutex
+# baseline, and the lookup fast path at small vs 1e5-live populations.
+bench-directory:
+	$(GO) test -run NONE -bench 'RegisterChurn|RegisterGrowth|MMLookup4Live|MMLookup100kLive' \
+		-benchmem -benchtime=0.5s -cpu 8 ./internal/core/
+
 # bench-json runs the sched and core microbenchmarks (fork/steal, lookup,
-# merge pipeline) and records them as a machine-readable perf-trajectory
-# artifact.  Numbers are advisory — the target fails only on build or run
-# errors, never on regressions.  The go test output goes through a file
-# rather than a pipe so its exit status is checked (a plain pipe would let
-# a broken benchmark build slip through with the converter's status).
+# merge pipeline, reducer-directory registration) and records them as a
+# machine-readable perf-trajectory artifact.  Numbers are advisory — the
+# target fails only on build or run errors, never on regressions.  The go
+# test output goes through a file rather than a pipe so its exit status is
+# checked (a plain pipe would let a broken benchmark build slip through
+# with the converter's status).  The directory benchmarks run at -cpu 8 so
+# the artifact records the concurrent-registration scaling the PR 3
+# acceptance criteria name.
 bench-json:
 	@$(GO) test -run NONE -bench 'ForkNoSteal|StealThroughput|Lookup|Merge' \
 		-benchmem -benchtime=0.5s -count=3 \
 		./internal/sched/ ./internal/core/ > $(BENCH_OUT).txt 2>&1 \
+		|| { cat $(BENCH_OUT).txt; rm -f $(BENCH_OUT).txt; exit 1; }
+	@$(GO) test -run NONE -bench 'RegisterChurn|RegisterGrowth' \
+		-benchmem -benchtime=0.5s -count=3 -cpu 8 \
+		./internal/core/ >> $(BENCH_OUT).txt 2>&1 \
 		|| { cat $(BENCH_OUT).txt; rm -f $(BENCH_OUT).txt; exit 1; }
 	@$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $(BENCH_OUT).txt
 	@rm -f $(BENCH_OUT).txt

@@ -38,6 +38,10 @@ type Config struct {
 	GraphScale float64
 	// Seed seeds workload generation.
 	Seed int64
+	// Quick marks a smoke-run configuration: experiments with their own
+	// sizing sweeps (manyreducers) shrink them rather than inferring
+	// smallness from the other knobs.
+	Quick bool
 }
 
 // DefaultConfig returns a configuration sized for a laptop-class machine.
@@ -63,6 +67,7 @@ func QuickConfig() Config {
 		Repetitions: 3,
 		GraphScale:  1.0 / 2048,
 		Seed:        1,
+		Quick:       true,
 	}
 }
 

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/reducers"
+	"repro/internal/sched"
+)
+
+// ManyReducersRow is one measurement of the sharded-directory study: a
+// dynamic per-key histogram with `Live` keys, each backed by its own add
+// reducer registered on the fly from inside the parallel region.
+type ManyReducersRow struct {
+	Mechanism string
+	Live      int
+	// RegNs and RegPerSec describe the concurrent-registration phase: all
+	// Live reducers are registered from inside one ParallelFor.
+	RegNs     float64
+	RegPerSec float64
+	// LookupNs is the per-update cost of the histogram phase: random keys
+	// into the Live-wide reducer table, so it measures the lookup fast
+	// path at population Live.
+	LookupNs float64
+	// Shards and FreeRetries come from the directory stats: retries count
+	// CAS contention on the shard free stacks.
+	Shards      int
+	FreeRetries int64
+}
+
+// ManyReducersResult holds the many-reducers study.
+type ManyReducersResult struct {
+	Workers int
+	Lookups int
+	Rows    []ManyReducersRow
+}
+
+// manyReducersLives returns the live-reducer populations to sweep: the
+// paper-scale sweep (1e3 / 1e5 / 1e6) for real runs, a shrunk one for
+// explicitly quick configurations so smoke tests stay fast.
+func manyReducersLives(cfg Config) []int {
+	if cfg.Quick {
+		return []int{1_000, 10_000}
+	}
+	return []int{1_000, 100_000, 1_000_000}
+}
+
+// RunManyReducers exercises dynamic reducer creation at scale on both
+// mechanisms: for each live-reducer population it measures (1) the
+// throughput of registering every reducer concurrently from inside a
+// parallel region — the path the sharded directory made lock-free — and
+// (2) the per-update cost of a random-key histogram over that population,
+// which holds the paper's O(1) lookup claim to populations up to 1e6.
+func RunManyReducers(cfg Config) (*ManyReducersResult, error) {
+	cfg = cfg.normalize()
+	workers := clampWorkers(cfg.MaxWorkers)
+	res := &ManyReducersResult{Workers: workers, Lookups: cfg.Lookups}
+	for _, m := range reducers.Mechanisms() {
+		for _, live := range manyReducersLives(cfg) {
+			row, err := runManyReducersRow(m, workers, live, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: manyreducers %s/%d: %w", m, live, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runManyReducersRow(m reducers.Mechanism, workers, live int, cfg Config) (ManyReducersRow, error) {
+	row := ManyReducersRow{Mechanism: m.String(), Live: live}
+	eng := reducers.NewEngine(m, workers, reducers.EngineOptions{})
+	s := core.NewSessionWithConfig(sched.Config{Workers: workers}, eng)
+	defer s.Close()
+
+	// Phase 1 — concurrent registration: every key's reducer is created
+	// from inside the parallel region, the way a server would create one
+	// per request key or per graph component.
+	sums := make([]*reducers.Add[int64], live)
+	nChunks := chunks(live)
+	start := time.Now()
+	err := s.Run(func(c *sched.Context) {
+		c.ParallelFor(0, nChunks, func(c *sched.Context, chunk int) {
+			lo := chunk * chunkSize
+			hi := min(lo+chunkSize, live)
+			for i := lo; i < hi; i++ {
+				sums[i] = reducers.NewAdd[int64](eng)
+			}
+		})
+	})
+	regElapsed := time.Since(start)
+	if err != nil {
+		return row, err
+	}
+	if got := eng.Registered(); got != live {
+		return row, fmt.Errorf("registered %d reducers, want %d", got, live)
+	}
+	row.RegNs = float64(regElapsed.Nanoseconds()) / float64(live)
+	row.RegPerSec = float64(live) / regElapsed.Seconds()
+
+	// Phase 2 — the histogram: x random-key updates across the live
+	// population.  Keys come from the xorshift stream, so lookups spray
+	// across the whole directory-backed address range.
+	x := cfg.Lookups
+	base := uint64(cfg.Seed)*2654435761 + 1
+	nChunks = chunks(x)
+	start = time.Now()
+	err = s.Run(func(c *sched.Context) {
+		c.ParallelFor(0, nChunks, func(c *sched.Context, chunk int) {
+			lo := chunk * chunkSize
+			hi := min(lo+chunkSize, x)
+			state := xorshift(base + uint64(chunk))
+			for i := lo; i < hi; i++ {
+				state = xorshift(state)
+				sums[state%uint64(live)].Add(c, 1)
+			}
+		})
+	})
+	lookupElapsed := time.Since(start)
+	if err != nil {
+		return row, err
+	}
+	row.LookupNs = float64(lookupElapsed.Nanoseconds()) / float64(x)
+
+	// The histogram total must be exact: every update landed in exactly
+	// one reducer and every view was merged.
+	var total int64
+	for _, sr := range sums {
+		total += sr.Value()
+	}
+	if total != int64(x) {
+		return row, fmt.Errorf("histogram total %d, want %d", total, x)
+	}
+	if ds, ok := eng.(interface {
+		DirectoryStats() metrics.DirectoryStats
+	}); ok {
+		st := ds.DirectoryStats()
+		row.Shards = st.Shards
+		row.FreeRetries = st.FreeRetries
+	}
+	return row, nil
+}
+
+// Table renders the many-reducers study.
+func (r *ManyReducersResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Many reducers: dynamic per-key histogram (%d workers, %d updates)", r.Workers, r.Lookups),
+		"mechanism", "live", "reg ns", "regs/sec", "lookup ns", "shards", "free retries")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mechanism, row.Live, row.RegNs, row.RegPerSec, row.LookupNs,
+			row.Shards, row.FreeRetries)
+	}
+	return t
+}

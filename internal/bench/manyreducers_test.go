@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestRunManyReducersQuick smoke-runs the dynamic-registration study at the
+// quick configuration and checks its internal consistency: the histogram
+// totals are validated inside the harness, so success already proves every
+// concurrently registered reducer merged exactly its own updates.
+func TestRunManyReducersQuick(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunManyReducers(cfg)
+	if err != nil {
+		t.Fatalf("RunManyReducers: %v", err)
+	}
+	wantRows := 2 * len(manyReducersLives(cfg)) // both mechanisms
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	for _, row := range res.Rows {
+		if row.RegPerSec <= 0 || row.LookupNs <= 0 {
+			t.Fatalf("row %+v: non-positive measurement", row)
+		}
+		if row.Shards == 0 {
+			t.Fatalf("row %+v: directory stats missing", row)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -55,10 +55,22 @@ type Engine interface {
 
 	// Register creates a reducer backed by the given monoid.  The
 	// reducer's leftmost view is initialised to the monoid's identity.
+	// Register is safe to call concurrently, including from inside
+	// parallel regions.
 	Register(m Monoid) (*Reducer, error)
-	// Unregister retires a reducer, recycling its slot.  The reducer's
-	// leftmost view (its final value) remains readable.
+	// Unregister retires a reducer, recycling its slot address.  The
+	// reducer's leftmost view (its value as of the unregister) remains
+	// readable; local views still in flight inside a running parallel
+	// region are dropped rather than merged (a worker that already holds
+	// such a view may keep reading it until its trace ends, but no other
+	// reducer — in particular none registered at the recycled address —
+	// can ever observe it).  Unregister is safe to call concurrently; a
+	// second Unregister of the same handle is a no-op even after the slot
+	// has been recycled to a new reducer.
 	Unregister(r *Reducer)
+	// Registered reports the number of live reducers.  Both engines answer
+	// from the directory's atomic live counter, without taking a lock.
+	Registered() int
 	// Lookup returns the local view of r for the execution context c.
 	// With a nil context (serial code outside the scheduler) it returns
 	// the leftmost view.
@@ -87,10 +99,15 @@ type Engine interface {
 // all workers; what differs per worker is the local view the engine hands
 // out at Lookup time.
 type Reducer struct {
-	id     uint64
-	addr   spa.Addr
-	monoid Monoid
-	eng    Engine
+	id   uint64
+	addr spa.Addr
+	// slotEpoch is the incarnation of the directory slot this reducer was
+	// registered under.  The slot's epoch is bumped on every unregister, so
+	// a handle kept across Unregister can never pass Directory.Valid once
+	// its address has been recycled (see directory.go).
+	slotEpoch uint64
+	monoid    Monoid
+	eng       Engine
 
 	mu       sync.Mutex
 	leftmost any
@@ -146,19 +163,6 @@ func (r *Reducer) markRetired() {
 	r.mu.Lock()
 	r.retired = true
 	r.mu.Unlock()
-}
-
-// NewRegisteredReducer constructs a Reducer on behalf of an Engine
-// implemented outside this package (such as the hypermap baseline).  The
-// reducer's leftmost view is initialised to the monoid's identity.
-func NewRegisteredReducer(eng Engine, id uint64, addr spa.Addr, m Monoid) *Reducer {
-	return &Reducer{
-		id:       id,
-		addr:     addr,
-		monoid:   m,
-		eng:      eng,
-		leftmost: m.Identity(),
-	}
 }
 
 // AbsorbView folds a deposited view into the reducer's leftmost view in

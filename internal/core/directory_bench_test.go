@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/sched"
+)
+
+// The seed single-mutex baseline these benchmarks are compared against
+// lives in seedbaseline_bench_test.go (package core, so it constructs the
+// same Reducer values): BenchmarkRegisterChurnSeedBaseline and
+// BenchmarkRegisterGrowthSeedBaseline.
+
+// BenchmarkRegisterChurnDirectory is the same churn through the sharded
+// directory on the memory-mapped engine: lock-free slot pop/push per
+// shard.  The acceptance target is >= 4x the mutex baseline at -cpu 8.
+func BenchmarkRegisterChurnDirectory(b *testing.B) {
+	eng := core.NewMM(core.MMConfig{Workers: 8})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r, err := eng.Register(benchMonoid{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Unregister(r)
+		}
+	})
+}
+
+// BenchmarkRegisterChurnDirectoryHypermap is the same churn through the
+// hypermap engine, which shares the directory implementation.
+func BenchmarkRegisterChurnDirectoryHypermap(b *testing.B) {
+	eng := hypermap.New(hypermap.Config{Workers: 8})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r, err := eng.Register(benchMonoid{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Unregister(r)
+		}
+	})
+}
+
+// BenchmarkRegisterGrowthDirectory registers without unregistering, so
+// every allocation takes a fresh slot and the directory's RCU slot arrays
+// and page-growth path are exercised rather than the free lists.
+func BenchmarkRegisterGrowthDirectory(b *testing.B) {
+	eng := core.NewMM(core.MMConfig{Workers: 8})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Register(benchMonoid{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// lookupAtScale measures the lookup fast path with `live` registered
+// reducers, rotating over four of them the way BenchmarkMMLookupRaw does.
+// The acceptance criterion is that the 1e5-live figure stays within 10% of
+// the small-registry figure: the fast path is one array index plus one
+// owner compare, independent of the registry population.
+func lookupAtScale(b *testing.B, live int) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, live)
+	for i := range rs {
+		rs[i], _ = eng.Register(benchMonoid{})
+	}
+	// Rotate over four reducers spread across the registry so the
+	// per-context cache misses on every access, as in the Raw benchmarks.
+	probes := []*core.Reducer{rs[0], rs[live/3], rs[2*live/3], rs[live-1]}
+	b.ResetTimer()
+	_ = s.Run(func(c *sched.Context) {
+		idx := 0
+		for i := 0; i < b.N; i++ {
+			eng.Lookup(c, probes[idx]).(*benchView).v++
+			idx++
+			if idx == len(probes) {
+				idx = 0
+			}
+		}
+	})
+}
+
+func BenchmarkMMLookup4Live(b *testing.B)    { lookupAtScale(b, 4) }
+func BenchmarkMMLookup100kLive(b *testing.B) { lookupAtScale(b, 100_000) }

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/pagepool"
@@ -29,6 +29,10 @@ type MMConfig struct {
 	// kernel modification provides; disable it for the tightest possible
 	// lookup fast path.
 	ModelAddressSpace bool
+	// DirectoryShards is the number of reducer-directory shards; it is
+	// rounded up to a power of two.  Zero sizes the directory from
+	// Workers.  Tests pin it to 1 to make slot recycling deterministic.
+	DirectoryShards int
 	// MergeBatchSize is the number of occupied SPA slots grouped into one
 	// unit of hypermerge work.  Zero selects the default (32).
 	MergeBatchSize int
@@ -56,15 +60,26 @@ type MM struct {
 	// Modelled operating-system state (nil unless ModelAddressSpace).
 	aspace *tlmm.AddressSpace
 	layout *tlmm.RegionLayout
+	// pageTable is the RCU-published map from SPA page index to reserved
+	// TLMM base address (nil unless ModelAddressSpace).  It is grown by
+	// the directory's serialised OnGrow hook and read lock-free by every
+	// worker mapping a page, so address-space growth never blocks lookups
+	// or other registrations.
+	pageTable *tlmm.RegionPageTable
 
-	mu        sync.Mutex
-	nextID    uint64
-	nextAddr  spa.Addr
-	freeAddrs []spa.Addr
-	registry  map[spa.Addr]*Reducer
-	// reservedPages counts SPA page indices already reserved in the TLMM
-	// region layout.
-	reservedPages int
+	// dir is the sharded reducer directory: Register, Unregister,
+	// Registered and the root merge's reducer resolution all run on its
+	// lock-free paths.
+	dir *Directory
+
+	// initMu guards attach-time bookkeeping only (the worker list and the
+	// per-worker counter resize in WorkerInit); no steady-state path takes
+	// it.
+	initMu sync.Mutex
+	// workers is the RCU-published list of attached per-worker states, so
+	// Unregister and region growth can publish view invalidations without
+	// a lock.
+	workers atomic.Pointer[[]*mmWorker]
 
 	countLookups bool
 	// lookups holds one cache-line-padded counter per worker, indexed
@@ -82,8 +97,6 @@ type MM struct {
 	parallelThreshold int
 	// mergePipe aggregates the hypermerge pipeline counters.
 	mergePipe metrics.MergePipeline
-
-	closedWorkers []*mmWorker
 }
 
 // mmWorker is the per-worker state of the memory-mapping engine: the
@@ -139,7 +152,6 @@ func NewMM(cfg MMConfig) *MM {
 	e := &MM{
 		cfg:               cfg,
 		rec:               metrics.NewRecorder(cfg.Workers),
-		registry:          make(map[spa.Addr]*Reducer),
 		lookups:           make([]metrics.PaddedCounter, cfg.Workers),
 		cacheHits:         make([]metrics.PaddedCounter, cfg.Workers),
 		mergeBatch:        cfg.MergeBatchSize,
@@ -151,11 +163,44 @@ func NewMM(cfg MMConfig) *MM {
 		func() *spa.Map { return spa.New() },
 		pagepool.WithEmptyCheck[*spa.Map](func(m *spa.Map) bool { return m.IsEmpty() }),
 	)
+	dcfg := DirectoryConfig{Shards: cfg.DirectoryShards, Workers: cfg.Workers}
 	if cfg.ModelAddressSpace {
 		e.aspace = tlmm.NewAddressSpace(nil)
 		e.layout = tlmm.NewRegionLayout()
+		e.pageTable = &tlmm.RegionPageTable{}
+		dcfg.OnGrow = e.growReducerPage
 	}
+	e.dir = NewDirectory(dcfg)
 	return e
+}
+
+// growReducerPage is the directory's OnGrow hook: it reserves TLMM address
+// space for one more SPA page and publishes the reservation in the RCU page
+// table.  The directory serialises calls and keeps them off the shard fast
+// paths, so registering reducer #100,000 neither stalls lookups nor other
+// registrations.  Workers observe the growth through the published table
+// (and the view-epoch bump) the next time they need to map the page.
+func (e *MM) growReducerPage(page int) error {
+	base, err := e.layout.ReserveReducerPages(1)
+	if err != nil {
+		return fmt.Errorf("core: reserving TLMM page %d: %w", page, err)
+	}
+	e.pageTable.Publish(base)
+	e.publishViewInvalidation()
+	return nil
+}
+
+// publishViewInvalidation bumps every attached worker's view epoch, forcing
+// each context's single-entry lookup cache to re-resolve on its next
+// lookup.  It is the cross-worker publication step for events that change
+// shared view metadata beneath running contexts: a reducer unregistered
+// mid-run and the view regions growing.
+func (e *MM) publishViewInvalidation() {
+	if ws := e.workers.Load(); ws != nil {
+		for _, s := range *ws {
+			s.w.PublishViewInvalidation()
+		}
+	}
 }
 
 // Name implements Engine.
@@ -174,62 +219,44 @@ func (e *MM) PoolStats() pagepool.Stats { return e.pool.Stats() }
 
 // --- Engine registration and lookup ---
 
-// Register implements Engine.
+// Register implements Engine: a lock-free slot allocation in the sharded
+// directory.  The only lock a registration can encounter is the directory's
+// grow mutex, taken once per fresh SPA page (every spa.SlotsPerMap
+// addresses) to reserve TLMM address space.
 func (e *MM) Register(m Monoid) (*Reducer, error) {
-	if m == nil {
-		return nil, errors.New("core: nil monoid")
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var addr spa.Addr
-	if n := len(e.freeAddrs); n > 0 {
-		addr = e.freeAddrs[n-1]
-		e.freeAddrs = e.freeAddrs[:n-1]
-	} else {
-		addr = e.nextAddr
-		e.nextAddr++
-		if e.layout != nil {
-			// Reserve TLMM address space for any newly needed SPA page.
-			for e.reservedPages <= addr.Page() {
-				if _, err := e.layout.ReserveReducerPages(1); err != nil {
-					return nil, fmt.Errorf("core: reserving TLMM page: %w", err)
-				}
-				e.reservedPages++
-			}
-		}
-	}
-	e.nextID++
-	r := &Reducer{
-		id:       e.nextID,
-		addr:     addr,
-		monoid:   m,
-		eng:      e,
-		leftmost: m.Identity(),
-	}
-	e.registry[addr] = r
-	return r, nil
+	return e.dir.Register(e, m)
 }
 
-// Unregister implements Engine.
+// Unregister implements Engine.  The directory's compare-and-swap performs
+// the registry identity check: a double-unregister — even one racing a slot
+// reuse — can never delete another live reducer's entry or free an address
+// twice.  A successful unregister publishes a view invalidation so every
+// context re-resolves its cached view on the next lookup.  Re-resolution of
+// the retired handle itself yields the frozen leftmost value — unless the
+// calling worker still holds the reducer's private view for the current
+// trace, in which case that view (doomed to be dropped, never merged)
+// remains readable until the trace ends; the owner stamp guarantees no
+// OTHER reducer can ever observe it.
 func (e *MM) Unregister(r *Reducer) {
 	if r == nil || r.eng != Engine(e) {
 		return
 	}
-	e.mu.Lock()
-	if _, ok := e.registry[r.addr]; ok {
-		delete(e.registry, r.addr)
-		e.freeAddrs = append(e.freeAddrs, r.addr)
+	if e.dir.Unregister(r) {
+		e.publishViewInvalidation()
 	}
-	e.mu.Unlock()
 	r.markRetired()
 }
 
-// Registered returns the number of live reducers.
-func (e *MM) Registered() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.registry)
-}
+// Registered returns the number of live reducers.  Lock-free.
+func (e *MM) Registered() int { return e.dir.Live() }
+
+// Directory exposes the sharded reducer directory (for tests, benchmarks
+// and diagnostics).
+func (e *MM) Directory() *Directory { return e.dir }
+
+// DirectoryStats returns a snapshot of the directory's shard layout and
+// contention counters.
+func (e *MM) DirectoryStats() metrics.DirectoryStats { return e.dir.Stats() }
 
 // Lookup implements Engine.  The fast path is the paper's two memory
 // accesses and a predictable branch: read the reducer's tlmm_addr, index
@@ -256,16 +283,39 @@ func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 		}
 		return v
 	}
-	if v := ws.private.Get(r.addr); v != nil {
-		c.CacheView(r.id, v)
-		return v
+	if s := ws.private.SlotAt(r.addr); s.View != nil {
+		// The slot's second word stamps the view with its owning reducer;
+		// matching it against r guarantees a recycled address never serves
+		// a stale view.  This keeps the fast path independent of the
+		// number of live reducers: one array index and one compare.
+		if owner, _ := s.Monoid.(*Reducer); owner == r {
+			c.CacheView(r.id, s.View)
+			return s.View
+		}
 	}
 	return e.lookupSlow(c, w, ws, r)
 }
 
 // lookupSlow creates and installs an identity view: it runs at most once
-// per reducer per steal.
+// per reducer per steal, plus once per slot recycle (when it also clears
+// the retired occupant's stale view).
 func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Reducer) any {
+	if !e.dir.Valid(r) {
+		// A retired handle: no new view is created for it.  Serve the
+		// frozen leftmost value, matching a serial lookup after
+		// unregistration.
+		return r.Value()
+	}
+	if s := ws.private.SlotAt(r.addr); s.View != nil {
+		// Occupied, but the fast path rejected the owner stamp: the
+		// occupant registered an earlier incarnation of this recycled
+		// address.  The directory holds at most one live registration per
+		// address — r — so the occupant is retired and its in-flight view
+		// is dropped.
+		if _, err := ws.private.Remove(r.addr); err == nil {
+			e.mergePipe.StaleViewDrops.Add(1)
+		}
+	}
 	// Ensure the worker's TLMM region backs the SPA page holding this slot.
 	if ws.vm != nil {
 		ws.ensureMapped(r.addr.Page())
@@ -275,10 +325,11 @@ func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Redu
 	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
 
 	start = e.rec.Start()
-	if err := ws.private.Insert(r.addr, view, r.monoid); err != nil {
-		// The slot can only be occupied if another view was installed for
-		// this address during this trace, which Register/Unregister
-		// bookkeeping prevents; treat it as a programming error.
+	// The slot's second word is the owner stamp (the reducer handle, which
+	// carries the monoid), not the bare monoid: see Lookup.
+	if err := ws.private.Insert(r.addr, view, r); err != nil {
+		// The slot was cleared of any stale occupant above, so an occupied
+		// slot here is a programming error.
 		panic(fmt.Sprintf("core: SPA slot %d unexpectedly occupied: %v", r.addr, err))
 	}
 	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
@@ -287,7 +338,10 @@ func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Redu
 }
 
 // ensureMapped backs SPA page index pi with a physical page in this
-// worker's modelled TLMM region (sys_palloc + sys_pmap), once.
+// worker's modelled TLMM region (sys_palloc + sys_pmap), once.  The page's
+// virtual base comes from the RCU-published region page table, which the
+// directory's grow hook populates before the page's first address is handed
+// out, so the lock-free read here can never miss.
 func (ws *mmWorker) ensureMapped(pi int) {
 	for len(ws.mapped) <= pi {
 		ws.mapped = append(ws.mapped, false)
@@ -295,8 +349,11 @@ func (ws *mmWorker) ensureMapped(pi int) {
 	if ws.mapped[pi] {
 		return
 	}
+	base, ok := ws.eng.pageTable.Base(pi)
+	if !ok {
+		panic(fmt.Sprintf("core: SPA page %d not published in the region page table", pi))
+	}
 	pd := ws.eng.aspace.Phys.Palloc()
-	base := tlmm.TLMMBase + uintptr(pi)*tlmm.PageSize
 	if err := ws.vm.Pmap(base, []tlmm.PD{pd}); err != nil {
 		panic(fmt.Sprintf("core: mapping SPA page %d: %v", pi, err))
 	}
@@ -325,14 +382,21 @@ func (e *MM) WorkerInit(w *sched.Worker) {
 		ws.vm = e.aspace.NewThread()
 	}
 	w.SetLocal(ws)
-	e.mu.Lock()
+	e.initMu.Lock()
 	if n := w.Runtime().Workers(); n > len(e.lookups) {
 		e.lookups = append(e.lookups, make([]metrics.PaddedCounter, n-len(e.lookups))...)
 		e.cacheHits = append(e.cacheHits, make([]metrics.PaddedCounter, n-len(e.cacheHits))...)
 		e.rec.EnsureWorkers(n)
 	}
-	e.closedWorkers = append(e.closedWorkers, ws)
-	e.mu.Unlock()
+	// Republish the worker list copy-on-write: publication sweeps
+	// (Unregister, region growth) iterate it lock-free.
+	var grown []*mmWorker
+	if cur := e.workers.Load(); cur != nil {
+		grown = append(grown, *cur...)
+	}
+	grown = append(grown, ws)
+	e.workers.Store(&grown)
+	e.initMu.Unlock()
 }
 
 // BeginTrace implements sched.ReducerRuntime.  The new trace starts with an
@@ -447,13 +511,30 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	cur := ws.private
 	var ops []mergeOp
 	adopts := int64(0)
+	staleDrops := int64(0)
 	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
-		if curView := cur.Get(addr); curView != nil {
-			if ops == nil {
-				ops = make([]mergeOp, 0, dep.count)
+		owner, _ := s.Monoid.(*Reducer)
+		if curSlot := cur.SlotAt(addr); curSlot.View != nil {
+			if curOwner, _ := curSlot.Monoid.(*Reducer); curOwner == owner {
+				if ops == nil {
+					ops = make([]mergeOp, 0, dep.count)
+				}
+				ops = append(ops, mergeOp{addr: addr, cur: curSlot.View, dep: s.View, m: owner.monoid})
+				return true
 			}
-			ops = append(ops, mergeOp{addr: addr, cur: curView, dep: s.View, m: s.Monoid.(Monoid)})
-			return true
+			// The owner stamps differ, so the address was recycled while
+			// one of the views was in flight; the directory holds at most
+			// one live registration per address, so at most one side can
+			// still be valid.  Drop the stale side.
+			if owner == nil || !e.dir.Valid(owner) {
+				staleDrops++
+				return true
+			}
+			if _, err := cur.Remove(addr); err != nil {
+				panic(fmt.Sprintf("core: hypermerge stale removal: %v", err))
+			}
+			staleDrops++
+			// Fall through to adopt the deposited (live) view.
 		}
 		if ws.vm != nil {
 			ws.ensureMapped(addr.Page())
@@ -493,6 +574,9 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	e.mergePipe.Reduces.Add(reduces)
 	e.mergePipe.Adopts.Add(adopts)
 	e.mergePipe.Batches.Add(int64(batches))
+	if staleDrops > 0 {
+		e.mergePipe.StaleViewDrops.Add(staleDrops)
+	}
 	if pages := dep.views.DrainPages(); len(pages) > 0 {
 		e.pool.PutN(w.ID(), pages)
 		e.mergePipe.BulkPageReturns.Add(1)
@@ -502,26 +586,25 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 }
 
 // MergeRootDeposit implements Engine: the views produced by the root trace
-// are folded into the reducers' leftmost views in serial order.
+// are folded into the reducers' leftmost views in serial order.  The owner
+// stamp carried by every deposited slot resolves the reducer directly —
+// no registry copy, no lock — and the directory's epoch-stamped Valid check
+// drops views whose reducer was unregistered while they were in flight,
+// even if the address has since been recycled.
 func (e *MM) MergeRootDeposit(d sched.Deposit) {
 	dep, _ := d.(*MMDeposit)
 	if dep == nil || dep.views == nil {
 		return
 	}
-	e.mu.Lock()
-	reg := make(map[spa.Addr]*Reducer, len(e.registry))
-	for a, r := range e.registry {
-		reg[a] = r
-	}
-	e.mu.Unlock()
 	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
-		if r, ok := reg[addr]; ok {
-			r.absorb(s.View)
-			return true
+		if owner, _ := s.Monoid.(*Reducer); owner != nil && e.dir.Valid(owner) {
+			owner.absorb(s.View)
+		} else {
+			// The reducer was unregistered while views for it were still
+			// in flight; fold into nothing (drop), mirroring a view whose
+			// reducer went out of scope.
+			e.mergePipe.StaleViewDrops.Add(1)
 		}
-		// The reducer was unregistered while views for it were still in
-		// flight; fold into nothing (drop), mirroring a view whose reducer
-		// went out of scope.
 		return true
 	})
 	if pages := dep.views.DrainPages(); len(pages) > 0 {
@@ -586,12 +669,11 @@ func (e *MM) Lookups() int64 {
 // WorkerPrivateViews reports the number of views currently held in worker
 // i's private SPA maps (diagnostic; it should be zero between runs).
 func (e *MM) WorkerPrivateViews(i int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if i < 0 || i >= len(e.closedWorkers) {
+	ws := e.workers.Load()
+	if ws == nil || i < 0 || i >= len(*ws) {
 		return 0
 	}
-	return e.closedWorkers[i].private.Len()
+	return (*ws)[i].private.Len()
 }
 
 var _ Engine = (*MM)(nil)

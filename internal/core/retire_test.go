@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/sched"
+)
+
+// oneShardEngines builds one engine of each mechanism with a single
+// directory shard, so a recycled address is handed to the very next
+// registration and the retirement tests are deterministic.
+func oneShardEngines(workers int) map[string]core.Engine {
+	return map[string]core.Engine{
+		"mm":       core.NewMM(core.MMConfig{Workers: workers, DirectoryShards: 1}),
+		"hypermap": hypermap.New(hypermap.Config{Workers: workers, DirectoryShards: 1}),
+	}
+}
+
+// TestDoubleUnregisterAfterReuseBothEngines is the regression test for the
+// seed MM bug: Unregister did not verify registry identity, so a second
+// Unregister of a stale handle after slot reuse deleted the new occupant's
+// entry and pushed a duplicate address onto the free list.
+func TestDoubleUnregisterAfterReuseBothEngines(t *testing.T) {
+	for name, eng := range oneShardEngines(1) {
+		t.Run(name, func(t *testing.T) {
+			r1, err := eng.Register(sumMonoid{})
+			if err != nil {
+				t.Fatalf("Register: %v", err)
+			}
+			eng.Unregister(r1)
+			r2, _ := eng.Register(sumMonoid{})
+			if r2.Addr() != r1.Addr() {
+				t.Fatalf("slot not recycled: got %d, want %d", r2.Addr(), r1.Addr())
+			}
+			// The stale double-unregister: with the seed registry this
+			// deleted r2's entry and freed its address a second time.
+			eng.Unregister(r1)
+			if got := eng.Registered(); got != 1 {
+				t.Fatalf("Registered after stale Unregister = %d, want 1", got)
+			}
+			// No duplicate address may have entered the free list: the next
+			// registration must not alias r2's live slot.
+			r3, _ := eng.Register(sumMonoid{})
+			if r3.Addr() == r2.Addr() {
+				t.Fatalf("live address %d handed out twice", r2.Addr())
+			}
+			// r2 must still function normally.
+			s := core.NewSession(1, eng)
+			defer s.Close()
+			if err := s.Run(func(c *sched.Context) {
+				eng.Lookup(c, r2).(*sumView).v += 5
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := r2.Value().(*sumView).v; got != 5 {
+				t.Fatalf("r2 value = %d, want 5", got)
+			}
+		})
+	}
+}
+
+// TestUnregisterReRegisterInsideRunningTrace retires a reducer mid-run,
+// recycles its slot to a new reducer, and checks that the new reducer never
+// observes the old cached view or the old private-slot view: the retired
+// reducer's in-flight updates are dropped, not leaked into the new
+// registration.
+func TestUnregisterReRegisterInsideRunningTrace(t *testing.T) {
+	for name, eng := range oneShardEngines(1) {
+		t.Run(name, func(t *testing.T) {
+			s := core.NewSession(1, eng)
+			defer s.Close()
+			r1, _ := eng.Register(sumMonoid{})
+			var r2 *core.Reducer
+			if err := s.Run(func(c *sched.Context) {
+				// Install and warm r1's view (and the per-context cache).
+				for i := 0; i < 50; i++ {
+					eng.Lookup(c, r1).(*sumView).v++
+				}
+				eng.Unregister(r1)
+				var err error
+				r2, err = eng.Register(sumMonoid{})
+				if err != nil {
+					t.Errorf("re-Register: %v", err)
+					return
+				}
+				if r2.Addr() != r1.Addr() {
+					t.Errorf("slot not recycled inside trace: got %d, want %d", r2.Addr(), r1.Addr())
+					return
+				}
+				// The recycled slot must not serve r1's cached or private
+				// view: r2 starts from a fresh identity view.
+				v2 := eng.Lookup(c, r2).(*sumView)
+				if v2.v != 0 {
+					t.Errorf("recycled slot leaked a view with value %d", v2.v)
+					return
+				}
+				v2.v += 7
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := r2.Value().(*sumView).v; got != 7 {
+				t.Fatalf("r2 value = %d, want 7 (old view leaked into the merge?)", got)
+			}
+			// r1's in-flight updates were dropped at unregistration; its
+			// leftmost view stays at the identity.
+			if got := r1.Value().(*sumView).v; got != 0 {
+				t.Fatalf("retired r1 value = %d, want 0", got)
+			}
+			// A lookup through a retired handle serves the frozen value
+			// rather than creating views.
+			if err := s.Run(func(c *sched.Context) {
+				if got := eng.Lookup(c, r1).(*sumView).v; got != 0 {
+					t.Errorf("retired-handle lookup = %d, want 0", got)
+				}
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+// TestRetiredHandleLookupDoesNotClobberLiveView looks up a retired handle
+// whose address has been recycled to a live reducer, in a context where the
+// live reducer already holds a view: the stale lookup must neither return
+// nor disturb the live occupant's view.
+func TestRetiredHandleLookupDoesNotClobberLiveView(t *testing.T) {
+	for name, eng := range oneShardEngines(1) {
+		t.Run(name, func(t *testing.T) {
+			s := core.NewSession(1, eng)
+			defer s.Close()
+			r1, _ := eng.Register(sumMonoid{})
+			eng.Unregister(r1)
+			r2, _ := eng.Register(sumMonoid{})
+			if r2.Addr() != r1.Addr() {
+				t.Fatalf("slot not recycled: got %d, want %d", r2.Addr(), r1.Addr())
+			}
+			if err := s.Run(func(c *sched.Context) {
+				eng.Lookup(c, r2).(*sumView).v = 41
+				// The stale handle shares r2's address but must not reach
+				// r2's view.
+				if got := eng.Lookup(c, r1).(*sumView).v; got != 0 {
+					t.Errorf("stale-handle lookup = %d, want 0", got)
+				}
+				eng.Lookup(c, r2).(*sumView).v++
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := r2.Value().(*sumView).v; got != 42 {
+				t.Fatalf("r2 value = %d, want 42", got)
+			}
+		})
+	}
+}

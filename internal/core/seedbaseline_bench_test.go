@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/spa"
+)
+
+// seedRegistry replicates the seed registration path byte-for-byte — one
+// engine-wide mutex over a map[spa.Addr]*Reducer with a free-address stack,
+// allocating the Reducer and its identity view inside the critical section,
+// exactly as MM.Register did before the sharded directory replaced it.  It
+// lives in package core so the benchmark constructs the same Reducer values
+// the engines do, keeping the baseline honest.
+type seedRegistry struct {
+	mu        sync.Mutex
+	nextID    uint64
+	nextAddr  spa.Addr
+	freeAddrs []spa.Addr
+	registry  map[spa.Addr]*Reducer
+}
+
+func newSeedRegistry() *seedRegistry {
+	return &seedRegistry{registry: make(map[spa.Addr]*Reducer)}
+}
+
+func (e *seedRegistry) register(m Monoid) *Reducer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var addr spa.Addr
+	if n := len(e.freeAddrs); n > 0 {
+		addr = e.freeAddrs[n-1]
+		e.freeAddrs = e.freeAddrs[:n-1]
+	} else {
+		addr = e.nextAddr
+		e.nextAddr++
+	}
+	e.nextID++
+	r := &Reducer{
+		id:       e.nextID,
+		addr:     addr,
+		monoid:   m,
+		eng:      nil,
+		leftmost: m.Identity(),
+	}
+	e.registry[addr] = r
+	return r
+}
+
+func (e *seedRegistry) unregister(r *Reducer) {
+	if r == nil {
+		return
+	}
+	e.mu.Lock()
+	if _, ok := e.registry[r.addr]; ok {
+		delete(e.registry, r.addr)
+		e.freeAddrs = append(e.freeAddrs, r.addr)
+	}
+	e.mu.Unlock()
+	r.markRetired()
+}
+
+type seedBenchMonoid struct{}
+
+type seedBenchView struct{ v int64 }
+
+func (seedBenchMonoid) Identity() any { return &seedBenchView{} }
+func (seedBenchMonoid) Reduce(l, r any) any {
+	lv := l.(*seedBenchView)
+	lv.v += r.(*seedBenchView).v
+	return lv
+}
+
+// BenchmarkRegisterChurnSeedBaseline is the seed single-mutex path: the
+// reference the directory's registration scaling is measured against (run
+// with -cpu 8 for the acceptance comparison).
+func BenchmarkRegisterChurnSeedBaseline(b *testing.B) {
+	reg := newSeedRegistry()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := reg.register(seedBenchMonoid{})
+			reg.unregister(r)
+		}
+	})
+}
+
+// BenchmarkRegisterGrowthSeedBaseline registers without unregistering on
+// the seed path, the counterpart of BenchmarkRegisterGrowthDirectory.
+func BenchmarkRegisterGrowthSeedBaseline(b *testing.B) {
+	reg := newSeedRegistry()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			reg.register(seedBenchMonoid{})
+		}
+	})
+}

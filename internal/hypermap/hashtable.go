@@ -76,6 +76,22 @@ func (t *hashTable) insert(key spa.Addr, ent *entry) {
 	t.n++
 }
 
+// remove deletes the entry for key, returning whether it was present.  The
+// engine uses it when a lookup finds a stale entry at a recycled reducer
+// address: the retired occupant's view is dropped before the live
+// reducer's identity view is inserted.
+func (t *hashTable) remove(key spa.Addr) bool {
+	b := t.hash(key)
+	for p := &t.buckets[b]; *p != nil; p = &(*p).next {
+		if (*p).key == key {
+			*p = (*p).next
+			t.n--
+			return true
+		}
+	}
+	return false
+}
+
 // grow moves to the next bucket-count in the progression and rehashes every
 // entry.
 func (t *hashTable) grow() {

@@ -15,6 +15,7 @@ package hypermap
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -34,6 +35,10 @@ type Config struct {
 	// The Cilk Plus runtime starts its hash tables small and grows them;
 	// a value of 0 keeps Go's default behaviour.
 	InitialBuckets int
+	// DirectoryShards is the number of reducer-directory shards; it is
+	// rounded up to a power of two.  Zero sizes the directory from
+	// Workers.  Tests pin it to 1 to make slot recycling deterministic.
+	DirectoryShards int
 }
 
 // Engine is the hypermap reducer engine.
@@ -41,12 +46,18 @@ type Engine struct {
 	cfg Config
 	rec *metrics.Recorder
 
-	mu        sync.Mutex
-	nextID    uint64
-	nextAddr  spa.Addr
-	freeAddrs []spa.Addr
-	registry  map[spa.Addr]*core.Reducer
-	workers   []*hmWorker
+	// dir is the sharded reducer directory shared with the memory-mapped
+	// engine's implementation: registration, unregistration and the live
+	// count run on its lock-free paths, so the Figure comparisons measure
+	// the lookup structures rather than a registry mutex.
+	dir *core.Directory
+
+	// initMu guards attach-time bookkeeping only (the worker list and the
+	// per-worker counter resize in WorkerInit).
+	initMu sync.Mutex
+	// workers is the RCU-published list of attached per-worker states, so
+	// Unregister can publish view invalidations without a lock.
+	workers atomic.Pointer[[]*hmWorker]
 
 	countLookups bool
 	// lookups holds one cache-line-padded counter per worker, indexed
@@ -71,11 +82,13 @@ type hmWorker struct {
 	user *hashTable
 }
 
-// entry pairs a local view with its monoid, mirroring what a hypermap
-// value holds in Cilk Plus.
+// entry pairs a local view with the reducer that owns it.  The owner stamp
+// plays the role the monoid pointer plays in Cilk Plus (it carries the
+// monoid) and additionally lets a lookup detect that an entry at a recycled
+// address belongs to a retired reducer.
 type entry struct {
-	view   any
-	monoid core.Monoid
+	view  any
+	owner *core.Reducer
 }
 
 // hmTrace identifies an active trace.  Traces nest when a worker helps at a
@@ -108,13 +121,26 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		rec:       metrics.NewRecorder(cfg.Workers),
-		registry:  make(map[spa.Addr]*core.Reducer),
 		lookups:   make([]metrics.PaddedCounter, cfg.Workers),
 		cacheHits: make([]metrics.PaddedCounter, cfg.Workers),
 	}
+	e.dir = core.NewDirectory(core.DirectoryConfig{
+		Shards:  cfg.DirectoryShards,
+		Workers: cfg.Workers,
+	})
 	e.rec.SetTiming(cfg.Timing)
 	e.countLookups = cfg.CountLookups
 	return e
+}
+
+// publishViewInvalidation bumps every attached worker's view epoch so no
+// context keeps serving a cached view after its reducer is unregistered.
+func (e *Engine) publishViewInvalidation() {
+	if ws := e.workers.Load(); ws != nil {
+		for _, s := range *ws {
+			s.w.PublishViewInvalidation()
+		}
+	}
 }
 
 // Name implements core.Engine.
@@ -127,47 +153,44 @@ func (e *Engine) newHypermap() *hashTable {
 
 // --- registration and lookup ---
 
-// Register implements core.Engine.
+// Register implements core.Engine: a lock-free slot allocation in the
+// sharded directory.
 func (e *Engine) Register(m core.Monoid) (*core.Reducer, error) {
 	if m == nil {
 		return nil, errors.New("hypermap: nil monoid")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var addr spa.Addr
-	if n := len(e.freeAddrs); n > 0 {
-		addr = e.freeAddrs[n-1]
-		e.freeAddrs = e.freeAddrs[:n-1]
-	} else {
-		addr = e.nextAddr
-		e.nextAddr++
-	}
-	e.nextID++
-	r := core.NewRegisteredReducer(e, e.nextID, addr, m)
-	e.registry[addr] = r
-	return r, nil
+	return e.dir.Register(e, m)
 }
 
-// Unregister implements core.Engine.
+// Unregister implements core.Engine.  The directory's compare-and-swap is
+// the registry identity check (got == r): a double-unregister after slot
+// reuse can never delete another live reducer's entry or free an address
+// twice.  A successful unregister publishes a view invalidation so every
+// context re-resolves its cached view on the next lookup.  As in the
+// memory-mapped engine, a worker still holding the retired reducer's
+// hypermap entry for the current trace keeps reading that (doomed) view
+// until the trace ends; the owner stamp keeps it invisible to every other
+// reducer.
 func (e *Engine) Unregister(r *core.Reducer) {
-	if r == nil {
+	if r == nil || r.Engine() != core.Engine(e) {
 		return
 	}
-	e.mu.Lock()
-	if got, ok := e.registry[r.Addr()]; ok && got == r {
-		delete(e.registry, r.Addr())
-		e.freeAddrs = append(e.freeAddrs, r.Addr())
+	if e.dir.Unregister(r) {
+		e.publishViewInvalidation()
 	}
-	e.mu.Unlock()
 	core.MarkRetired(r)
 }
 
-// Registered returns the number of live reducers.
-func (e *Engine) Registered() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.registry)
-}
+// Registered returns the number of live reducers.  Lock-free.
+func (e *Engine) Registered() int { return e.dir.Live() }
+
+// Directory exposes the sharded reducer directory (for tests and
+// diagnostics).
+func (e *Engine) Directory() *core.Directory { return e.dir }
+
+// DirectoryStats returns a snapshot of the directory's shard layout and
+// contention counters.
+func (e *Engine) DirectoryStats() metrics.DirectoryStats { return e.dir.Stats() }
 
 // Lookup implements core.Engine: a hash-table lookup keyed by the reducer's
 // address, creating and inserting an identity view on a miss.  The same
@@ -192,7 +215,10 @@ func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 		}
 		return v
 	}
-	if ent := ws.user.lookup(r.Addr()); ent != nil {
+	if ent := ws.user.lookup(r.Addr()); ent != nil && ent.owner == r {
+		// The owner stamp guarantees an entry at a recycled address never
+		// serves a stale view (mirroring the memory-mapped engine's SPA
+		// slot stamp).
 		c.CacheView(r.ID(), ent.view)
 		return ent.view
 	}
@@ -200,12 +226,22 @@ func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 }
 
 func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *core.Reducer) any {
+	if !e.dir.Valid(r) {
+		// A retired handle: serve the frozen leftmost value, matching a
+		// serial lookup after unregistration.
+		return r.Value()
+	}
+	if ent := ws.user.lookup(r.Addr()); ent != nil {
+		// A stale entry from a retired occupant of this recycled address;
+		// drop its in-flight view before installing r's identity view.
+		ws.user.remove(r.Addr())
+	}
 	start := e.rec.Start()
 	view := r.Monoid().Identity()
 	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
 
 	start = e.rec.Start()
-	ws.user.insert(r.Addr(), &entry{view: view, monoid: r.Monoid()})
+	ws.user.insert(r.Addr(), &entry{view: view, owner: r})
 	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
 	c.CacheView(r.ID(), view)
 	return view
@@ -226,14 +262,21 @@ func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *
 func (e *Engine) WorkerInit(w *sched.Worker) {
 	ws := &hmWorker{eng: e, w: w, user: e.newHypermap()}
 	w.SetLocal(ws)
-	e.mu.Lock()
+	e.initMu.Lock()
 	if n := w.Runtime().Workers(); n > len(e.lookups) {
 		e.lookups = append(e.lookups, make([]metrics.PaddedCounter, n-len(e.lookups))...)
 		e.cacheHits = append(e.cacheHits, make([]metrics.PaddedCounter, n-len(e.cacheHits))...)
 		e.rec.EnsureWorkers(n)
 	}
-	e.workers = append(e.workers, ws)
-	e.mu.Unlock()
+	// Republish the worker list copy-on-write: publication sweeps iterate
+	// it lock-free.
+	var grown []*hmWorker
+	if cur := e.workers.Load(); cur != nil {
+		grown = append(grown, *cur...)
+	}
+	grown = append(grown, ws)
+	e.workers.Store(&grown)
+	e.initMu.Unlock()
 }
 
 // BeginTrace implements sched.ReducerRuntime.  A stolen frame starts with
@@ -296,9 +339,18 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	inserts := int64(0)
 	dep.views.forEach(func(addr spa.Addr, depEnt *entry) {
 		if curEnt := ws.user.lookup(addr); curEnt != nil {
-			curEnt.view = depEnt.monoid.Reduce(curEnt.view, depEnt.view)
-			reduces++
-			return
+			if curEnt.owner == depEnt.owner {
+				curEnt.view = depEnt.owner.Monoid().Reduce(curEnt.view, depEnt.view)
+				reduces++
+				return
+			}
+			// Owner stamps differ: the address was recycled while one of
+			// the views was in flight, and at most one owner can still be
+			// registered.  Drop the stale side.
+			if depEnt.owner == nil || !e.dir.Valid(depEnt.owner) {
+				return
+			}
+			ws.user.remove(addr)
 		}
 		insStart := e.rec.Start()
 		ws.user.insert(addr, depEnt)
@@ -314,21 +366,18 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	_ = inserts
 }
 
-// MergeRootDeposit implements core.Engine.
+// MergeRootDeposit implements core.Engine.  Each entry's owner stamp
+// resolves the reducer directly — no registry copy, no lock — and the
+// directory's epoch-stamped Valid check drops views whose reducer was
+// unregistered while they were in flight.
 func (e *Engine) MergeRootDeposit(d sched.Deposit) {
 	dep, _ := d.(*Deposit)
 	if dep == nil || dep.views == nil {
 		return
 	}
-	e.mu.Lock()
-	reg := make(map[spa.Addr]*core.Reducer, len(e.registry))
-	for a, r := range e.registry {
-		reg[a] = r
-	}
-	e.mu.Unlock()
 	dep.views.forEach(func(addr spa.Addr, ent *entry) {
-		if r, ok := reg[addr]; ok {
-			core.AbsorbView(r, ent.view)
+		if ent.owner != nil && e.dir.Valid(ent.owner) {
+			core.AbsorbView(ent.owner, ent.view)
 		}
 	})
 	dep.views = nil
@@ -379,12 +428,11 @@ func (e *Engine) Lookups() int64 {
 // WorkerViewCount reports the number of views in worker i's user hypermap
 // (diagnostic; it should be zero between runs).
 func (e *Engine) WorkerViewCount(i int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if i < 0 || i >= len(e.workers) {
+	ws := e.workers.Load()
+	if ws == nil || i < 0 || i >= len(*ws) {
 		return 0
 	}
-	return e.workers[i].user.len()
+	return (*ws)[i].user.len()
 }
 
 var _ core.Engine = (*Engine)(nil)

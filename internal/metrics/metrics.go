@@ -132,6 +132,7 @@ type MergePipeline struct {
 	ParallelMerges  PaddedCounter // merges fanned out as forked merge tasks
 	BulkPageFetches PaddedCounter // bulk pagepool fetches by view transferal
 	BulkPageReturns PaddedCounter // bulk pagepool returns after merging
+	StaleViewDrops  PaddedCounter // in-flight views dropped after their reducer was unregistered
 }
 
 // MergePipelineStats is a point-in-time snapshot of MergePipeline.
@@ -147,6 +148,7 @@ type MergePipelineStats struct {
 	ParallelMerges  int64
 	BulkPageFetches int64
 	BulkPageReturns int64
+	StaleViewDrops  int64
 	CacheHits       int64
 }
 
@@ -161,6 +163,7 @@ func (m *MergePipeline) Snapshot() MergePipelineStats {
 		ParallelMerges:  m.ParallelMerges.Load(),
 		BulkPageFetches: m.BulkPageFetches.Load(),
 		BulkPageReturns: m.BulkPageReturns.Load(),
+		StaleViewDrops:  m.StaleViewDrops.Load(),
 	}
 }
 
@@ -174,6 +177,39 @@ func (m *MergePipeline) Reset() {
 	m.ParallelMerges.Store(0)
 	m.BulkPageFetches.Store(0)
 	m.BulkPageReturns.Store(0)
+	m.StaleViewDrops.Store(0)
+}
+
+// DirectoryCounters aggregates one registry shard's registration and
+// contention events.  The fields are plain atomics rather than padded
+// counters because each shard structure is already padded as a whole: only
+// registrations that hash to the same shard touch the same counter lines,
+// which is exactly the contention the counters are there to expose.
+type DirectoryCounters struct {
+	Registers        atomic.Int64 // successful registrations through this shard
+	Recycles         atomic.Int64 // registrations served from the shard free list
+	FreshSlots       atomic.Int64 // registrations that allocated a fresh slot
+	Unregisters      atomic.Int64 // identity-checked unregistrations
+	StaleUnregisters atomic.Int64 // unregisters that failed the identity CAS
+	FreeRetries      atomic.Int64 // CAS retries on the free stack (contention)
+	SlotGrows        atomic.Int64 // RCU republications of the slot array
+}
+
+// DirectoryStats is a point-in-time aggregate of a sharded reducer
+// directory: shard layout, live/free slot population, and the summed
+// per-shard counters.
+type DirectoryStats struct {
+	Shards           int
+	Live             int64
+	FreeSlots        int64
+	GrownPages       int64
+	Registers        int64
+	Recycles         int64
+	FreshSlots       int64
+	Unregisters      int64
+	StaleUnregisters int64
+	FreeRetries      int64
+	SlotGrows        int64
 }
 
 // workerCounters is one worker's slice of the recorder.

@@ -57,6 +57,12 @@ type EngineOptions struct {
 	// through the scheduler; zero keeps the default (ignored by the
 	// hypermap engine).
 	ParallelMergeThreshold int
+	// DirectoryShards sets the number of reducer-directory shards for
+	// either engine; zero sizes the directory from the worker count.
+	// Workloads that register and unregister reducers dynamically from
+	// many workers benefit from more shards; tests pin it to 1 to make
+	// slot recycling deterministic.
+	DirectoryShards int
 }
 
 // NewEngine creates a reducer engine of the requested mechanism sized for
@@ -65,9 +71,10 @@ func NewEngine(m Mechanism, workers int, opts EngineOptions) core.Engine {
 	switch m {
 	case Hypermap:
 		return hypermap.New(hypermap.Config{
-			Workers:      workers,
-			Timing:       opts.Timing,
-			CountLookups: opts.CountLookups,
+			Workers:         workers,
+			Timing:          opts.Timing,
+			CountLookups:    opts.CountLookups,
+			DirectoryShards: opts.DirectoryShards,
 		})
 	default:
 		return core.NewMM(core.MMConfig{
@@ -77,6 +84,7 @@ func NewEngine(m Mechanism, workers int, opts EngineOptions) core.Engine {
 			ModelAddressSpace:      opts.ModelAddressSpace,
 			MergeBatchSize:         opts.MergeBatchSize,
 			ParallelMergeThreshold: opts.ParallelMergeThreshold,
+			DirectoryShards:        opts.DirectoryShards,
 		})
 	}
 }

@@ -403,7 +403,10 @@ func TestMultipleReducersInOneRun(t *testing.T) {
 
 func TestCloseAndSlotReuse(t *testing.T) {
 	forEachMechanism(t, func(t *testing.T, m Mechanism) {
-		s := testSession(t, m, 2)
+		// One directory shard makes the recycled address available to the
+		// very next registration.
+		s := NewSession(m, 2, EngineOptions{Timing: true, DirectoryShards: 1})
+		t.Cleanup(s.Close)
 		a := NewAdd[int](s.Engine())
 		addrA := a.Reducer().Addr()
 		a.Add(nil, 3)

@@ -33,7 +33,7 @@ func (c *Context) Worker() *Worker { return c.w }
 // ids, which start at 1 and are never recycled, so a fresh context's zero
 // key can never produce a false hit.
 func (c *Context) CachedView(key uint64) (any, bool) {
-	if c.cacheKey == key && c.cacheEpoch == c.w.viewEpoch {
+	if c.cacheKey == key && c.cacheEpoch == c.w.viewEpoch.Load() {
 		return c.cacheView, true
 	}
 	return nil, false
@@ -44,7 +44,7 @@ func (c *Context) CachedView(key uint64) (any, bool) {
 func (c *Context) CacheView(key uint64, view any) {
 	c.cacheKey = key
 	c.cacheView = view
-	c.cacheEpoch = c.w.viewEpoch
+	c.cacheEpoch = c.w.viewEpoch.Load()
 }
 
 // Runtime returns the owning runtime.

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 )
@@ -33,13 +34,21 @@ type Worker struct {
 	// local is per-worker storage for the reducer mechanism.
 	local any
 
-	// viewEpoch is bumped by the reducer mechanism (via
-	// InvalidateLookupCache) whenever the worker's view state may have
-	// changed under an existing context — a trace boundary or a
-	// hypermerge.  The per-context single-entry lookup cache is valid only
-	// while its recorded epoch matches, so a steal, a view transferal or a
-	// merge silently invalidates every cache built before it.  Owner-only.
-	viewEpoch uint64
+	// viewEpoch is bumped by the reducer mechanism whenever the worker's
+	// view state may have changed under an existing context — a trace
+	// boundary or a hypermerge (InvalidateLookupCache, owner-side), or a
+	// cross-worker publication such as a reducer being unregistered or the
+	// directory's view regions growing (PublishViewInvalidation, any
+	// goroutine).  The per-context single-entry lookup cache is valid only
+	// while its recorded epoch matches, so any of those events silently
+	// invalidates every cache built before it.  The counter is atomic so
+	// non-owner publishers can bump it, and padded onto its own cache line
+	// so a publication sweep does not invalidate the lines holding the
+	// owner's other hot fields; the owner's fast-path read is a single
+	// read-mostly atomic load.
+	_         [64]byte
+	viewEpoch atomic.Uint64
+	_         [56]byte
 
 	// freeTasks and freeJoins are owner-only free lists backing the
 	// allocation-free fork fast path.  Tasks are recycled by whichever
@@ -108,8 +117,18 @@ func (w *Worker) CurrentTrace() Trace { return w.curTrace }
 // per-context lookup cache built against the previous epoch.  Reducer
 // mechanisms call it whenever the views a context might have cached can
 // change beneath it: at trace boundaries and after hypermerges.  It must be
-// called from the worker's own goroutine.
-func (w *Worker) InvalidateLookupCache() { w.viewEpoch++ }
+// called from the worker's own goroutine; other goroutines use
+// PublishViewInvalidation.
+func (w *Worker) InvalidateLookupCache() { w.viewEpoch.Add(1) }
+
+// PublishViewInvalidation is the cross-worker half of the view-epoch
+// mechanism: it bumps this worker's view epoch from any goroutine.  Reducer
+// mechanisms use it as the publication hook for events that change shared
+// view metadata out from under running contexts — a reducer unregistered
+// mid-run (its slot may be recycled), or the directory's per-worker view
+// regions growing — so that every context's cached view is re-resolved
+// against the newly published state on its next lookup.
+func (w *Worker) PublishViewInvalidation() { w.viewEpoch.Add(1) }
 
 // Steals returns the number of successful steals this worker has performed.
 func (w *Worker) Steals() int64 { return w.nSteals.Load() }

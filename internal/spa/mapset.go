@@ -68,6 +68,18 @@ func (ms *MapSet) Get(addr Addr) any {
 	return ms.pages[pi].Get(addr.Slot())
 }
 
+// SlotAt returns the full slot at addr, or the zero Slot if the page does
+// not exist.  Reducer engines use it where Get's view pointer alone is not
+// enough: the slot's second word carries the owner stamp that guards
+// against a recycled address serving a stale view.
+func (ms *MapSet) SlotAt(addr Addr) Slot {
+	pi := addr.Page()
+	if pi < 0 || pi >= len(ms.pages) {
+		return Slot{}
+	}
+	return ms.pages[pi].SlotAt(addr.Slot())
+}
+
 // Insert stores a (view, monoid) pair at addr, growing the set as needed.
 func (ms *MapSet) Insert(addr Addr, view, monoid any) error {
 	if addr < 0 {

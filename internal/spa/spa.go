@@ -46,9 +46,12 @@ var (
 )
 
 // Slot is one element of the view array: a pointer to a local view paired
-// with the monoid needed to reduce it.  Both are nil when the slot is
-// empty; the runtime maintains the invariant that they are nil or non-nil
-// together.
+// with a second 8-byte word identifying how to reduce it.  In the paper the
+// second word is the monoid pointer; the engines here store the owning
+// reducer handle (which carries the monoid) so that a recycled slot address
+// can be detected by comparing the stamp against the reducer being looked
+// up.  Both words are nil when the slot is empty; the runtime maintains the
+// invariant that they are nil or non-nil together.
 type Slot struct {
 	View   any
 	Monoid any
@@ -116,6 +119,16 @@ func (m *Map) Get(i int) any {
 		return nil
 	}
 	return m.views[i].View
+}
+
+// SlotAt returns the full slot at index i, or the zero Slot if i is out of
+// range.  The reducer mechanism uses it on the lookup fast path to read the
+// view and the slot's second word (the owner stamp) in one access.
+func (m *Map) SlotAt(i int) Slot {
+	if i < 0 || i >= SlotsPerMap {
+		return Slot{}
+	}
+	return m.views[i]
 }
 
 // Insert stores a (view, monoid) pair at slot i, which must be empty.

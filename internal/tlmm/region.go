@@ -3,6 +3,7 @@ package tlmm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // RegionLayout manages the split of the TLMM region that the paper
@@ -114,4 +115,47 @@ func (l *RegionLayout) StackBytesReserved() uintptr {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return TLMMEnd - l.stackNext
+}
+
+// RegionPageTable is the RCU-published view of the reducer end of a region
+// layout: entry i is the virtual base address reserved for SPA page index i.
+// A single grower appends reservations with Publish while every worker reads
+// concurrently with Base, so registration-driven growth never makes a
+// lookup or another worker's page mapping wait on a lock.  The published
+// slice is immutable; Publish copies and swaps the pointer atomically.
+type RegionPageTable struct {
+	bases atomic.Pointer[[]uintptr]
+}
+
+// Pages returns the number of published page reservations.  Lock-free.
+func (t *RegionPageTable) Pages() int {
+	if b := t.bases.Load(); b != nil {
+		return len(*b)
+	}
+	return 0
+}
+
+// Base returns the reserved virtual base address of SPA page index pi, or
+// false if no reservation has been published for it yet.  Lock-free.
+func (t *RegionPageTable) Base(pi int) (uintptr, bool) {
+	b := t.bases.Load()
+	if b == nil || pi < 0 || pi >= len(*b) {
+		return 0, false
+	}
+	return (*b)[pi], true
+}
+
+// Publish appends the reservation bases for the next pages and swaps in the
+// grown table.  Callers must serialise Publish among themselves (the
+// reducer directory's grow path already does); readers need no coordination.
+func (t *RegionPageTable) Publish(newBases ...uintptr) {
+	cur := t.bases.Load()
+	var old []uintptr
+	if cur != nil {
+		old = *cur
+	}
+	grown := make([]uintptr, len(old)+len(newBases))
+	copy(grown, old)
+	copy(grown[len(old):], newBases)
+	t.bases.Store(&grown)
 }
