@@ -3,16 +3,24 @@
 // SPAA 2012).
 //
 // It re-exports the pieces a typical application needs — a work-stealing
-// fork-join session, the two reducer mechanisms, and constructors for the
-// common reducer types — so that user code reads much like Cilk code:
+// fork-join session built with functional options, the two reducer
+// mechanisms, and constructors for the typed reducer library — so that
+// user code reads much like Cilk code while every reducer update stays
+// fully typed:
 //
-//	s := cilkm.NewSession(cilkm.MemoryMapped, 8)
+//	s := cilkm.New(cilkm.WithMechanism(cilkm.MemoryMapped), cilkm.WithWorkers(8))
 //	defer s.Close()
 //	sum := cilkm.NewAdd[int](s.Engine())
 //	_ = s.Run(func(c *cilkm.Context) {
 //	    c.ParallelFor(0, n, func(c *cilkm.Context, i int) { sum.Add(c, 1) })
 //	})
 //	fmt.Println(sum.Value())
+//
+// Every typed reducer embeds Handle, whose View(c) returns a typed *V
+// resolved through a per-context cache keyed on the worker view epoch: the
+// steady-state update path performs no interface dispatch, no runtime type
+// assertion and no allocation.  Custom typed reducers are built from a
+// TypedMonoid with NewCustomOf (or by embedding Handle directly).
 //
 // The building blocks live in the internal packages:
 //
@@ -44,8 +52,25 @@ type Session = core.Session
 // Engine is a reducer mechanism (memory-mapped or hypermap).
 type Engine = core.Engine
 
-// Monoid defines a reducer's algebra.
+// Monoid defines a reducer's algebra (untyped; see TypedMonoid).
 type Monoid = core.Monoid
+
+// TypedMonoid is the generics-first monoid interface: Identity and Reduce
+// over a concrete view type, adapted once into the untyped engine monoid
+// at registration.
+type TypedMonoid[V any] = reducers.TypedMonoid[V]
+
+// TypedFuncMonoid adapts a pair of typed functions into a TypedMonoid.
+type TypedFuncMonoid[V any] = reducers.TypedFuncMonoid[V]
+
+// Handle is the generic typed-reducer core: View(c) resolves the calling
+// context's local view as a typed pointer through a per-context cache
+// invalidated by the worker view epoch.  Embed it to build new typed
+// reducer kinds.
+type Handle[V any] = reducers.Handle[V]
+
+// Extreme is the view type of the Min and Max reducers.
+type Extreme[T cmp.Ordered] = reducers.Extreme[T]
 
 // Reducer is an untyped reducer handle.
 type Reducer = core.Reducer
@@ -61,22 +86,118 @@ const (
 	Hypermap = reducers.Hypermap
 )
 
+// Mechanisms lists all mechanisms in display order.
+func Mechanisms() []Mechanism { return reducers.Mechanisms() }
+
+// Option configures New (and NewEngineWith): mechanism, worker count, and
+// the engine knobs that used to live in the EngineOptions struct.
+type Option func(*options)
+
+type options struct {
+	mech    Mechanism
+	workers int
+	eng     reducers.EngineOptions
+}
+
+// WithMechanism selects the reducer implementation (default MemoryMapped).
+func WithMechanism(m Mechanism) Option {
+	return func(o *options) { o.mech = m }
+}
+
+// WithWorkers sets the number of workers; zero or unset selects
+// runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithTiming enables duration measurement of the reduce overheads.
+func WithTiming() Option {
+	return func(o *options) { o.eng.Timing = true }
+}
+
+// WithCountLookups enables lookup counting.  Counting routes typed handle
+// accesses through the engine's counted lookup path, so enable it before
+// creating reducers.
+func WithCountLookups() Option {
+	return func(o *options) { o.eng.CountLookups = true }
+}
+
+// WithModelAddressSpace backs the memory-mapped engine's SPA pages with the
+// simulated TLMM address space (ignored by the hypermap engine).
+func WithModelAddressSpace() Option {
+	return func(o *options) { o.eng.ModelAddressSpace = true }
+}
+
+// WithMergeBatchSize sets the memory-mapped engine's hypermerge batch size;
+// zero keeps the default (ignored by the hypermap engine).
+func WithMergeBatchSize(n int) Option {
+	return func(o *options) { o.eng.MergeBatchSize = n }
+}
+
+// WithParallelMergeThreshold sets how many reduce pairs one hypermerge must
+// carry before the memory-mapped engine fans its batches out through the
+// scheduler; zero keeps the default (ignored by the hypermap engine).
+func WithParallelMergeThreshold(n int) Option {
+	return func(o *options) { o.eng.ParallelMergeThreshold = n }
+}
+
+// WithDirectoryShards sets the number of reducer-directory shards for
+// either engine; zero sizes the directory from the worker count.
+func WithDirectoryShards(n int) Option {
+	return func(o *options) { o.eng.DirectoryShards = n }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// New creates a session from functional options: mechanism, worker count
+// and engine knobs in one variadic constructor.
+//
+//	s := cilkm.New()                                  // memory-mapped, GOMAXPROCS workers
+//	s := cilkm.New(cilkm.WithMechanism(cilkm.Hypermap),
+//	               cilkm.WithWorkers(8),
+//	               cilkm.WithTiming())
+func New(opts ...Option) *Session {
+	o := buildOptions(opts)
+	return reducers.NewSession(o.mech, o.workers, o.eng)
+}
+
+// NewEngineWith creates a stand-alone reducer engine from the same
+// functional options as New (useful with core.NewSessionWithConfig for
+// custom scheduler settings).
+func NewEngineWith(opts ...Option) Engine {
+	o := buildOptions(opts)
+	return reducers.NewEngine(o.mech, o.workers, o.eng)
+}
+
 // EngineOptions tunes engine construction (instrumentation, address-space
 // modelling).
+//
+// Deprecated: use the functional options accepted by New and NewEngineWith.
 type EngineOptions = reducers.EngineOptions
 
 // NewSession creates a session with the given mechanism and worker count.
+//
+// Deprecated: use New with WithMechanism and WithWorkers.
 func NewSession(m Mechanism, workers int) *Session {
-	return reducers.NewSession(m, workers, EngineOptions{})
+	return New(WithMechanism(m), WithWorkers(workers))
 }
 
 // NewSessionWithOptions creates a session with explicit engine options.
+//
+// Deprecated: use New with functional options.
 func NewSessionWithOptions(m Mechanism, workers int, opts EngineOptions) *Session {
 	return reducers.NewSession(m, workers, opts)
 }
 
-// NewEngine creates a stand-alone reducer engine (useful with
-// core.NewSessionWithConfig for custom scheduler settings).
+// NewEngine creates a stand-alone reducer engine.
+//
+// Deprecated: use NewEngineWith with functional options.
 func NewEngine(m Mechanism, workers int, opts EngineOptions) Engine {
 	return reducers.NewEngine(m, workers, opts)
 }
@@ -107,5 +228,19 @@ func NewMapOf[K comparable, V any](eng Engine, combine func(V, V) V) *reducers.M
 	return reducers.NewMapOf[K, V](eng, combine)
 }
 
-// NewCustom registers a reducer over an arbitrary monoid.
+// NewCustomOf registers a typed reducer over an arbitrary TypedMonoid.
+func NewCustomOf[V any](eng Engine, m TypedMonoid[V]) *reducers.CustomOf[V] {
+	return reducers.NewCustomOf[V](eng, m)
+}
+
+// NewHandle registers a typed monoid and returns the bare typed handle, for
+// callers embedding Handle in their own reducer types.
+func NewHandle[V any](eng Engine, m TypedMonoid[V]) Handle[V] {
+	return reducers.NewHandle[V](eng, m)
+}
+
+// NewCustom registers a reducer over an arbitrary untyped monoid.
+//
+// Deprecated: use NewCustomOf with a TypedMonoid, which keeps the view
+// typed end to end.
 func NewCustom(eng Engine, m Monoid) *reducers.Custom { return reducers.NewCustom(eng, m) }

@@ -6,6 +6,8 @@ import (
 	cilkm "repro"
 )
 
+// TestFacadeQuickstart exercises the whole typed reducer library through
+// the deprecated NewSession shim, keeping the old constructor covered.
 func TestFacadeQuickstart(t *testing.T) {
 	for _, mech := range []cilkm.Mechanism{cilkm.MemoryMapped, cilkm.Hypermap} {
 		s := cilkm.NewSession(mech, 2)
@@ -93,4 +95,91 @@ func (facadeMonoid) Reduce(l, r any) any {
 	lv.a += rv.a
 	lv.b += rv.b
 	return lv
+}
+
+type typedPairMonoid struct{}
+
+func (typedPairMonoid) Identity() *pair { return &pair{} }
+func (typedPairMonoid) Reduce(l, r *pair) *pair {
+	l.a += r.a
+	l.b += r.b
+	return l
+}
+
+// TestFunctionalOptionsConstructor drives the options-based New/NewEngineWith
+// constructors and the typed custom reducer end to end on both mechanisms.
+func TestFunctionalOptionsConstructor(t *testing.T) {
+	for _, mech := range cilkm.Mechanisms() {
+		s := cilkm.New(
+			cilkm.WithMechanism(mech),
+			cilkm.WithWorkers(2),
+			cilkm.WithTiming(),
+			cilkm.WithDirectoryShards(1),
+			cilkm.WithMergeBatchSize(16),
+			cilkm.WithParallelMergeThreshold(64),
+		)
+		cu := cilkm.NewCustomOf[pair](s.Engine(), typedPairMonoid{})
+		if err := s.Run(func(c *cilkm.Context) {
+			c.ParallelFor(0, 100, func(c *cilkm.Context, i int) {
+				p := cu.View(c)
+				p.a++
+				p.b += i
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := cu.Value(); got.a != 100 || got.b != 99*100/2 {
+			t.Fatalf("%v: typed custom reducer = %+v", mech, got)
+		}
+		cu.Close()
+		s.Close()
+	}
+}
+
+// TestNewDefaultsAndEngineWith checks New's defaults (memory-mapped,
+// GOMAXPROCS workers) and the options-based stand-alone engine constructor.
+func TestNewDefaultsAndEngineWith(t *testing.T) {
+	s := cilkm.New()
+	defer s.Close()
+	if s.Workers() < 1 {
+		t.Fatalf("default session has %d workers", s.Workers())
+	}
+	if name := s.Engine().Name(); name != cilkm.NewEngineWith().Name() {
+		t.Fatalf("default mechanisms differ: %q", name)
+	}
+	hm := cilkm.NewEngineWith(cilkm.WithMechanism(cilkm.Hypermap), cilkm.WithWorkers(2), cilkm.WithCountLookups())
+	if hm.Name() == s.Engine().Name() {
+		t.Fatal("WithMechanism(Hypermap) ignored")
+	}
+	if !hm.CountingLookups() {
+		t.Fatal("WithCountLookups ignored")
+	}
+	// The deprecated stand-alone engine shim must agree with the
+	// options-based constructor.
+	old := cilkm.NewEngine(cilkm.Hypermap, 2, cilkm.EngineOptions{CountLookups: true})
+	if old.Name() != hm.Name() || old.CountingLookups() != hm.CountingLookups() {
+		t.Fatal("deprecated NewEngine shim disagrees with NewEngineWith")
+	}
+}
+
+// TestTypedHandleEmbedding builds a reducer type by embedding cilkm.Handle,
+// the documented extension point of the typed API.
+func TestTypedHandleEmbedding(t *testing.T) {
+	type stats = pair
+	s := cilkm.New(cilkm.WithWorkers(2))
+	defer s.Close()
+	h := cilkm.NewHandle[stats](s.Engine(), typedPairMonoid{})
+	defer h.Close()
+	if err := s.Run(func(c *cilkm.Context) {
+		c.ParallelFor(0, 500, func(c *cilkm.Context, i int) {
+			v := h.View(c)
+			v.a++
+			v.b += 2
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Peek(); got.a != 500 || got.b != 1000 {
+		t.Fatalf("embedded handle = %+v", got)
+	}
 }

@@ -14,10 +14,10 @@ import (
 	"os"
 	"time"
 
+	cilkm "repro"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/pbfs"
-	"repro/internal/reducers"
 )
 
 func main() {
@@ -56,8 +56,8 @@ func main() {
 	fmt.Printf("serial BFS: %v (%d layers, %d reachable)\n",
 		time.Since(start).Round(time.Microsecond), serial.Layers, serial.Reachable)
 
-	for _, mech := range reducers.Mechanisms() {
-		s := reducers.NewSession(mech, *workers, reducers.EngineOptions{CountLookups: true})
+	for _, mech := range cilkm.Mechanisms() {
+		s := cilkm.New(cilkm.WithMechanism(mech), cilkm.WithWorkers(*workers), cilkm.WithCountLookups())
 		start = time.Now()
 		res, err := pbfs.Parallel(s, g, pbfs.Config{Source: int32(*source), Grain: *grain})
 		elapsed := time.Since(start)

@@ -18,8 +18,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/reducers"
-	"repro/internal/sched"
+	cilkm "repro"
 )
 
 func main() {
@@ -30,16 +29,16 @@ func main() {
 	)
 	flag.Parse()
 
-	session := reducers.NewSession(reducers.MemoryMapped, *workers, reducers.EngineOptions{})
+	session := cilkm.New(cilkm.WithWorkers(*workers))
 	defer session.Close()
 	eng := session.Engine()
 
 	var (
-		count = reducers.NewAdd[int64](eng)
-		sum   = reducers.NewAdd[float64](eng)
-		mini  = reducers.NewMin[float64](eng)
-		maxi  = reducers.NewMax[float64](eng)
-		hist  = reducers.NewMapOf[int, int64](eng, func(a, b int64) int64 { return a + b })
+		count = cilkm.NewAdd[int64](eng)
+		sum   = cilkm.NewAdd[float64](eng)
+		mini  = cilkm.NewMin[float64](eng)
+		maxi  = cilkm.NewMax[float64](eng)
+		hist  = cilkm.NewMapOf[int, int64](eng, func(a, b int64) int64 { return a + b })
 	)
 
 	// A deterministic synthetic "sensor": a noisy sawtooth in [0, 100).
@@ -50,8 +49,8 @@ func main() {
 	}
 
 	start := time.Now()
-	err := session.Run(func(c *sched.Context) {
-		c.ParallelFor(0, *n, func(c *sched.Context, i int) {
+	err := session.Run(func(c *cilkm.Context) {
+		c.ParallelFor(0, *n, func(c *cilkm.Context, i int) {
 			v := sample(i)
 			count.Add(c, 1)
 			sum.Add(c, v)

@@ -13,9 +13,9 @@ import (
 	"log"
 	"time"
 
+	cilkm "repro"
 	"repro/internal/graph"
 	"repro/internal/pbfs"
-	"repro/internal/reducers"
 )
 
 func main() {
@@ -41,8 +41,8 @@ func main() {
 		time.Since(start).Round(time.Microsecond), serial.Layers)
 
 	// PBFS under both reducer mechanisms.
-	for _, mech := range reducers.Mechanisms() {
-		session := reducers.NewSession(mech, *workers, reducers.EngineOptions{CountLookups: true})
+	for _, mech := range cilkm.Mechanisms() {
+		session := cilkm.New(cilkm.WithMechanism(mech), cilkm.WithWorkers(*workers), cilkm.WithCountLookups())
 		start = time.Now()
 		res, err := pbfs.Parallel(session, g, pbfs.Config{Source: int32(*source)})
 		elapsed := time.Since(start)

@@ -16,8 +16,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/reducers"
-	"repro/internal/sched"
+	cilkm "repro"
 )
 
 func main() {
@@ -28,24 +27,24 @@ func main() {
 	)
 	flag.Parse()
 
-	mech := reducers.MemoryMapped
+	mech := cilkm.MemoryMapped
 	if *mechanism == "hypermap" {
-		mech = reducers.Hypermap
+		mech = cilkm.Hypermap
 	}
 
 	// A Session couples a work-stealing scheduler with a reducer engine.
-	session := reducers.NewSession(mech, *workers, reducers.EngineOptions{})
+	session := cilkm.New(cilkm.WithMechanism(mech), cilkm.WithWorkers(*workers))
 	defer session.Close()
 
 	// Register an integer sum reducer with the session's engine.
-	total := reducers.NewAdd[int64](session.Engine())
+	total := cilkm.NewAdd[int64](session.Engine())
 
 	start := time.Now()
-	err := session.Run(func(c *sched.Context) {
+	err := session.Run(func(c *cilkm.Context) {
 		// ParallelFor divides [1, n+1) across the workers the same way
 		// cilk_for does; every branch updates its own local view of the
 		// reducer, and the runtime folds the views together at the joins.
-		c.ParallelFor(1, *n+1, func(c *sched.Context, i int) {
+		c.ParallelFor(1, *n+1, func(c *cilkm.Context, i int) {
 			total.Add(c, int64(i))
 		})
 	})

@@ -19,8 +19,7 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/reducers"
-	"repro/internal/sched"
+	cilkm "repro"
 )
 
 // node is one node of the binary tree.
@@ -70,15 +69,15 @@ func main() {
 	serialWalk(root, &want)
 	serialTime := time.Since(start)
 
-	session := reducers.NewSession(reducers.MemoryMapped, *workers, reducers.EngineOptions{})
+	session := cilkm.New(cilkm.WithWorkers(*workers))
 	defer session.Close()
-	list := reducers.NewList[int](session.Engine())
+	list := cilkm.NewList[int](session.Engine())
 
 	// walk mirrors Figure 2(b): check the node, then walk the children in
 	// parallel.  Fork runs the left child inline and exposes the right
 	// child to thieves, exactly like cilk_spawn / cilk_sync.
-	var walk func(c *sched.Context, n *node)
-	walk = func(c *sched.Context, n *node) {
+	var walk func(c *cilkm.Context, n *node)
+	walk = func(c *cilkm.Context, n *node) {
 		if n == nil {
 			return
 		}
@@ -86,13 +85,13 @@ func main() {
 			list.PushBack(c, n.value)
 		}
 		c.Fork(
-			func(c *sched.Context) { walk(c, n.left) },
-			func(c *sched.Context) { walk(c, n.right) },
+			func(c *cilkm.Context) { walk(c, n.left) },
+			func(c *cilkm.Context) { walk(c, n.right) },
 		)
 	}
 
 	start = time.Now()
-	if err := session.Run(func(c *sched.Context) { walk(c, root) }); err != nil {
+	if err := session.Run(func(c *cilkm.Context) { walk(c, root) }); err != nil {
 		log.Fatalf("run failed: %v", err)
 	}
 	parallelTime := time.Since(start)

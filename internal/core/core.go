@@ -75,9 +75,28 @@ type Engine interface {
 	// With a nil context (serial code outside the scheduler) it returns
 	// the leftmost view.
 	Lookup(c *sched.Context, r *Reducer) any
+	// LookupCached is the entry point behind the typed reducer handles'
+	// per-context view caches (reducers.Handle).  It resolves the local
+	// view exactly like Lookup and additionally returns the worker view
+	// epoch the resolution is valid for, sampled before the lookup so a
+	// concurrent invalidation can only make the caller conservatively
+	// re-resolve.  prevEpoch is the epoch of the caller's invalidated
+	// cache entry (zero on first touch); engines accept it for
+	// diagnostics and future slot-generation checks.  A newEpoch of zero
+	// tells the caller not to cache the returned view — engines return it
+	// for nil contexts and for retired handles, whose frozen leftmost
+	// value must be re-read on every access, composing the cache with the
+	// directory's slot recycling and stale-view drops.
+	LookupCached(c *sched.Context, r *Reducer, prevEpoch uint64) (view any, newEpoch uint64)
 	// MergeRootDeposit folds the deposit returned by Runtime.Run into the
 	// registered reducers' leftmost views.
 	MergeRootDeposit(d sched.Deposit)
+
+	// Workers reports how many per-worker lookup structures the engine
+	// currently maintains (the construction-time worker count, grown if a
+	// larger runtime attaches).  Typed reducer handles size their
+	// per-worker view caches from it.
+	Workers() int
 
 	// Overheads returns the accumulated reduce-overhead breakdown.
 	Overheads() metrics.Breakdown
@@ -88,7 +107,17 @@ type Engine interface {
 	SetTiming(on bool)
 	// SetCountLookups enables or disables lookup counting, which is used
 	// by the PBFS experiment to report the number of reducer lookups.
+	// Typed reducer handles snapshot the flag at construction (see
+	// CountingLookups), so enabling counting after handles exist leaves
+	// those handles on their uncounted cached path — enable counting
+	// before creating the reducers whose lookups should be counted.
 	SetCountLookups(on bool)
+	// CountingLookups reports whether lookup counting is enabled.  Typed
+	// reducer handles snapshot it at construction: a handle built on a
+	// counting engine routes every access through the engine's counted
+	// Lookup instead of its own cache, so instrumented runs keep exact
+	// lookup counts.  Enable counting before creating handles.
+	CountingLookups() bool
 	// Lookups reports the number of lookups counted since the last reset.
 	Lookups() int64
 	// Name identifies the mechanism in experiment output.

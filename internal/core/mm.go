@@ -296,6 +296,35 @@ func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 	return e.lookupSlow(c, w, ws, r)
 }
 
+// LookupCached implements Engine: the resolution step behind the typed
+// handles' per-context view caches.  The epoch is sampled before the lookup,
+// so an invalidation racing the resolution (an unregister or view-region
+// growth on another goroutine) leaves the caller holding an already-stale
+// epoch and forces a harmless re-resolution on its next access.  Retired
+// handles and nil contexts return epoch zero — "do not cache" — because
+// their result is the reducer's frozen leftmost value, which must be
+// re-read every time (SetValue may replace it between accesses).
+func (e *MM) LookupCached(c *sched.Context, r *Reducer, prevEpoch uint64) (any, uint64) {
+	_ = prevEpoch
+	if c == nil {
+		return r.Value(), 0
+	}
+	epoch := c.Worker().ViewEpoch()
+	v := e.Lookup(c, r)
+	if !e.dir.Valid(r) {
+		return v, 0
+	}
+	return v, epoch
+}
+
+// Workers implements Engine: the number of per-worker structures currently
+// maintained (construction size, grown when a larger runtime attaches).
+func (e *MM) Workers() int {
+	e.initMu.Lock()
+	defer e.initMu.Unlock()
+	return len(e.lookups)
+}
+
 // lookupSlow creates and installs an identity view: it runs at most once
 // per reducer per steal, plus once per slot recycle (when it also clears
 // the retired occupant's stale view).
@@ -656,6 +685,9 @@ func (e *MM) SetTiming(on bool) { e.rec.SetTiming(on) }
 
 // SetCountLookups implements Engine.
 func (e *MM) SetCountLookups(on bool) { e.countLookups = on }
+
+// CountingLookups implements Engine.
+func (e *MM) CountingLookups() bool { return e.countLookups }
 
 // Lookups implements Engine.
 func (e *MM) Lookups() int64 {

@@ -225,6 +225,34 @@ func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 	return e.lookupSlow(c, w, ws, r)
 }
 
+// LookupCached implements core.Engine: the resolution step behind the typed
+// handles' per-context view caches, mirroring the memory-mapped engine so
+// the typed API is mechanism-agnostic.  The epoch is sampled before the
+// lookup (a racing invalidation only forces a harmless re-resolution); a
+// zero epoch tells the caller not to cache — returned for nil contexts and
+// retired handles, whose frozen leftmost value must be re-read every time.
+func (e *Engine) LookupCached(c *sched.Context, r *core.Reducer, prevEpoch uint64) (any, uint64) {
+	_ = prevEpoch
+	if c == nil {
+		return r.Value(), 0
+	}
+	epoch := c.Worker().ViewEpoch()
+	v := e.Lookup(c, r)
+	if !e.dir.Valid(r) {
+		return v, 0
+	}
+	return v, epoch
+}
+
+// Workers implements core.Engine: the number of per-worker structures
+// currently maintained (construction size, grown when a larger runtime
+// attaches).
+func (e *Engine) Workers() int {
+	e.initMu.Lock()
+	defer e.initMu.Unlock()
+	return len(e.lookups)
+}
+
 func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *core.Reducer) any {
 	if !e.dir.Valid(r) {
 		// A retired handle: serve the frozen leftmost value, matching a
@@ -415,6 +443,9 @@ func (e *Engine) SetTiming(on bool) { e.rec.SetTiming(on) }
 
 // SetCountLookups implements core.Engine.
 func (e *Engine) SetCountLookups(on bool) { e.countLookups = on }
+
+// CountingLookups implements core.Engine.
+func (e *Engine) CountingLookups() bool { return e.countLookups }
 
 // Lookups implements core.Engine.
 func (e *Engine) Lookups() int64 {

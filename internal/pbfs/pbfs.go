@@ -14,6 +14,7 @@ import (
 	"repro/internal/bag"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/reducers"
 	"repro/internal/sched"
 )
 
@@ -37,21 +38,24 @@ type Result struct {
 	Reachable int
 }
 
-// bagMonoid is the reducer monoid for bags: identity is the empty bag and
-// the reduce operation is bag union (which is associative; PBFS does not
-// depend on element order).
+// bagMonoid is the typed reducer monoid for bags: identity is the empty
+// bag and the reduce operation is bag union (which is associative; PBFS
+// does not depend on element order).
 type bagMonoid struct{}
 
-func (bagMonoid) Identity() any { return bag.New[int32]() }
-func (bagMonoid) Reduce(left, right any) any {
-	l := left.(*bag.Bag[int32])
-	l.Union(right.(*bag.Bag[int32]))
-	return l
+func (bagMonoid) Identity() *bag.Bag[int32] { return bag.New[int32]() }
+func (bagMonoid) Reduce(left, right *bag.Bag[int32]) *bag.Bag[int32] {
+	left.Union(right)
+	return left
 }
 
-// BagMonoid returns the bag-union monoid used for frontier reducers, for
-// callers who want to build their own bag reducers.
-func BagMonoid() core.Monoid { return bagMonoid{} }
+// BagTypedMonoid returns the typed bag-union monoid used for frontier
+// reducers, for callers building their own bag reducer handles.
+func BagTypedMonoid() reducers.TypedMonoid[bag.Bag[int32]] { return bagMonoid{} }
+
+// BagMonoid returns the bag-union monoid adapted to the untyped engine
+// interface, for callers registering through the raw core.Engine API.
+func BagMonoid() core.Monoid { return reducers.AdaptMonoid[bag.Bag[int32]](bagMonoid{}) }
 
 // Serial runs the reference serial BFS.
 func Serial(g *graph.Graph, source int32) *Result {
@@ -87,15 +91,14 @@ func Parallel(s *core.Session, g *graph.Graph, cfg Config) (*Result, error) {
 	}
 	r.dist[cfg.Source] = 0
 
-	// The next-layer frontier is a bag reducer; the current layer is a
-	// plain bag owned by the coordinating goroutine.
-	nextBag, err := s.Engine().Register(bagMonoid{})
+	// The next-layer frontier is a typed bag reducer handle; the current
+	// layer is a plain bag owned by the coordinating goroutine.
+	next, err := reducers.TryNewHandle[bag.Bag[int32]](s.Engine(), bagMonoid{})
 	if err != nil {
 		return nil, fmt.Errorf("pbfs: registering frontier reducer: %w", err)
 	}
-	defer s.Engine().Unregister(nextBag)
-	r.next = nextBag
-	r.eng = s.Engine()
+	r.next = next
+	defer r.next.Close()
 
 	current := bag.New[int32]()
 	current.Insert(cfg.Source)
@@ -107,8 +110,8 @@ func Parallel(s *core.Session, g *graph.Graph, cfg Config) (*Result, error) {
 		}
 		// The reducer's leftmost view now holds the next frontier; take it
 		// and reset the reducer to an empty bag for the following layer.
-		produced := nextBag.Value().(*bag.Bag[int32])
-		nextBag.SetValue(bag.New[int32]())
+		produced := r.next.Peek()
+		r.next.SetView(bag.New[int32]())
 		current = produced
 		if !current.IsEmpty() {
 			layers++
@@ -120,8 +123,7 @@ func Parallel(s *core.Session, g *graph.Graph, cfg Config) (*Result, error) {
 // runner carries the traversal state shared by all workers.
 type runner struct {
 	g     *graph.Graph
-	eng   core.Engine
-	next  *core.Reducer
+	next  reducers.Handle[bag.Bag[int32]]
 	dist  []int32
 	grain int
 	depth int32
@@ -183,10 +185,12 @@ func (r *runner) processSubtree(c *sched.Context, st *bag.Subtree[int32], rank i
 }
 
 // localView looks up the calling context's local view of the next-frontier
-// bag reducer.  The lookup is hoisted to once per serial chunk, mirroring
-// how the PBFS code in the paper accesses its bag reducer.
+// bag reducer through the typed handle — no interface assertion, and a
+// cached typed pointer on repeat accesses.  The lookup is still hoisted to
+// once per serial chunk, mirroring how the PBFS code in the paper accesses
+// its bag reducer.
 func (r *runner) localView(c *sched.Context) *bag.Bag[int32] {
-	return r.eng.Lookup(c, r.next).(*bag.Bag[int32])
+	return r.next.View(c)
 }
 
 // processVertex relaxes every edge of v, claiming undiscovered neighbours

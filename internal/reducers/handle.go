@@ -1,0 +1,180 @@
+package reducers
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TypedMonoid is the generics-first counterpart of core.Monoid: the same
+// algebra (associative Reduce with identity Identity, left argument
+// serially earlier and commonly updated in place), expressed over a
+// concrete view type V.  It is adapted into the untyped core.Monoid
+// exactly once, at registration, so the engines stay mechanism-focused and
+// monomorphic while user code never writes a type assertion.
+type TypedMonoid[V any] interface {
+	// Identity allocates a fresh identity view.
+	Identity() *V
+	// Reduce combines two views, left serially preceding right, and
+	// returns the combined view (commonly left, updated in place).
+	Reduce(left, right *V) *V
+}
+
+// typedMonoidAdapter boxes a TypedMonoid into the untyped core.Monoid.
+// The only interface conversions in the whole typed pipeline happen here —
+// on view creation and on hypermerge, never on the update fast path.
+type typedMonoidAdapter[V any] struct{ m TypedMonoid[V] }
+
+func (a typedMonoidAdapter[V]) Identity() any { return a.m.Identity() }
+func (a typedMonoidAdapter[V]) Reduce(left, right any) any {
+	return a.m.Reduce(left.(*V), right.(*V))
+}
+
+// AdaptMonoid wraps a typed monoid into the untyped core.Monoid the engines
+// operate on.  Handles do this internally; it is exported for callers that
+// register typed monoids through the raw core.Engine API.
+func AdaptMonoid[V any](m TypedMonoid[V]) core.Monoid {
+	return typedMonoidAdapter[V]{m: m}
+}
+
+// TypedFuncMonoid adapts a pair of typed functions into a TypedMonoid, for
+// one-off custom reducers that do not warrant a named monoid type.
+type TypedFuncMonoid[V any] struct {
+	IdentityFn func() *V
+	ReduceFn   func(left, right *V) *V
+}
+
+// Identity implements TypedMonoid.
+func (f TypedFuncMonoid[V]) Identity() *V { return f.IdentityFn() }
+
+// Reduce implements TypedMonoid.
+func (f TypedFuncMonoid[V]) Reduce(left, right *V) *V { return f.ReduceFn(left, right) }
+
+// viewSlot is one worker's entry in a handle's typed view cache: the
+// context the view was resolved for, the worker view epoch the resolution
+// is valid for, and the typed view pointer.  The entry is padded to a cache
+// line so adjacent workers' slots never share one.  Each slot is read and
+// written only by its worker's goroutine; cross-goroutine invalidation
+// happens purely through the worker's atomic view epoch.
+type viewSlot[V any] struct {
+	ctx   *sched.Context
+	epoch uint64
+	view  *V
+	_     [40]byte
+}
+
+// Handle is the generic core every typed reducer embeds: a registered
+// reducer plus a per-worker, per-context typed view cache.
+//
+// View resolves the calling context's local view of the reducer as a *V.
+// Steady state — the same context touching the same reducer again with no
+// intervening steal, merge, unregister or region growth — costs one padded
+// atomic epoch load and two compares, then returns the typed pointer
+// directly: no interface dispatch, no runtime type assertion, and no
+// allocation.  The cache is invalidated by the worker view epoch that
+// already serialises the engines' view machinery: trace boundaries and
+// hypermerges bump it owner-side, unregisters and view-region growth bump
+// it cross-worker, so a cached *V can never outlive the untyped view it
+// shadows.  On a miss the handle resolves through Engine.LookupCached,
+// performing the single untyped lookup and one conversion, and re-stamps
+// the slot with the epoch sampled before that lookup.
+//
+// A handle built on an engine with lookup counting enabled routes every
+// access through the engine's counted Lookup instead (the instrumented
+// runs of the paper's figures need exact lookup counts); enable counting
+// before creating handles.
+type Handle[V any] struct {
+	eng core.Engine
+	r   *core.Reducer
+	// counted records, at construction, that the engine counts lookups;
+	// see the type comment.
+	counted bool
+	// slots is the typed view cache, indexed by worker ID.  A worker of a
+	// larger runtime attached after construction falls back to the
+	// uncached typed lookup.
+	slots []viewSlot[V]
+}
+
+// NewHandle registers a typed monoid with the engine and returns the typed
+// handle for it, panicking on registration failure like the prebuilt
+// reducer constructors.  Most callers use the prebuilt reducers (Add, Min,
+// List, ...); NewHandle is for building new typed reducer kinds by
+// embedding.
+func NewHandle[V any](eng core.Engine, m TypedMonoid[V]) Handle[V] {
+	return newHandle[V](eng, m)
+}
+
+// TryNewHandle is NewHandle returning registration failures as errors
+// instead of panicking, for callers that register reducers at runtime and
+// must degrade gracefully (registration can fail for resource reasons,
+// e.g. TLMM address-space exhaustion under ModelAddressSpace).
+func TryNewHandle[V any](eng core.Engine, m TypedMonoid[V]) (Handle[V], error) {
+	r, err := eng.Register(AdaptMonoid[V](m))
+	if err != nil {
+		return Handle[V]{}, err
+	}
+	return Handle[V]{
+		eng:     eng,
+		r:       r,
+		counted: eng.CountingLookups(),
+		slots:   make([]viewSlot[V], eng.Workers()),
+	}, nil
+}
+
+func newHandle[V any](eng core.Engine, m TypedMonoid[V]) Handle[V] {
+	h, err := TryNewHandle[V](eng, m)
+	if err != nil {
+		panic(fmt.Sprintf("reducers: register: %v", err))
+	}
+	return h
+}
+
+// View returns the local view of the reducer for context c as a typed
+// pointer.  With a nil context (serial code outside the scheduler) it
+// returns the leftmost view, so typed reducers degrade to ordinary
+// variables exactly like the untyped Lookup path.
+func (h *Handle[V]) View(c *sched.Context) *V {
+	if c == nil {
+		return h.r.Value().(*V)
+	}
+	if h.counted {
+		return h.eng.Lookup(c, h.r).(*V)
+	}
+	w := c.Worker()
+	if id := w.ID(); id < len(h.slots) {
+		s := &h.slots[id]
+		if s.ctx == c && s.epoch == w.ViewEpoch() {
+			return s.view
+		}
+		v, epoch := h.eng.LookupCached(c, h.r, s.epoch)
+		tv := v.(*V)
+		if epoch != 0 {
+			// Engines return epoch zero for "do not cache" (retired
+			// handles); a worker running a context has passed BeginTrace,
+			// so its real epoch is never zero and the sentinel can never
+			// collide with a valid stamp.
+			s.ctx, s.epoch, s.view = c, epoch, tv
+		}
+		return tv
+	}
+	return h.eng.Lookup(c, h.r).(*V)
+}
+
+// Peek returns the reducer's current leftmost view as a typed pointer:
+// outside a parallel region this is the reducer's final value.
+func (h *Handle[V]) Peek() *V { return h.r.Value().(*V) }
+
+// SetView replaces the leftmost view.  Use it only outside parallel
+// regions.
+func (h *Handle[V]) SetView(v *V) { h.r.SetValue(v) }
+
+// Reducer exposes the underlying untyped reducer handle.
+func (h *Handle[V]) Reducer() *core.Reducer { return h.r }
+
+// Engine returns the engine the reducer is registered with.
+func (h *Handle[V]) Engine() core.Engine { return h.eng }
+
+// Close unregisters the reducer; the leftmost view remains readable
+// through Peek (and the wrappers' Value methods).
+func (h *Handle[V]) Close() { h.eng.Unregister(h.r) }

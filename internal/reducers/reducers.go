@@ -1,8 +1,17 @@
-// Package reducers is the user-facing reducer library: typed wrappers over
-// the untyped reducer engines (the memory-mapped mechanism in
-// internal/core and the hypermap baseline in internal/hypermap), mirroring
-// the reducer library Cilk Plus ships (add, min, max, logical and/or, list
-// append, and so on), plus a small factory for choosing the mechanism.
+// Package reducers is the user-facing reducer library: generics-first
+// typed reducers over the untyped reducer engines (the memory-mapped
+// mechanism in internal/core and the hypermap baseline in
+// internal/hypermap), mirroring the reducer library Cilk Plus ships (add,
+// min, max, logical and/or, list append, and so on), plus a small factory
+// for choosing the mechanism.
+//
+// Every reducer kind embeds Handle[V]: a typed monoid (TypedMonoid) is
+// adapted once into the untyped core.Monoid at registration, and every
+// update resolves its view through the handle's per-context typed cache,
+// so the steady-state update path performs no interface dispatch, no
+// runtime type assertion and no allocation — the paper's
+// lookup-as-cheap-as-a-local-variable claim carried all the way to the
+// typed API.
 package reducers
 
 import (
@@ -116,357 +125,322 @@ func mustRegister(eng core.Engine, m core.Monoid) *core.Reducer {
 // Add
 // ---------------------------------------------------------------------------
 
-type addView[T Number] struct{ v T }
-
+// addMonoid is the typed sum monoid: the view is the number itself.
 type addMonoid[T Number] struct{}
 
-func (addMonoid[T]) Identity() any { return &addView[T]{} }
-func (addMonoid[T]) Reduce(left, right any) any {
-	l := left.(*addView[T])
-	r := right.(*addView[T])
-	l.v += r.v
-	return l
+func (addMonoid[T]) Identity() *T { return new(T) }
+func (addMonoid[T]) Reduce(left, right *T) *T {
+	*left += *right
+	return left
 }
 
 // Add is a sum reducer over a numeric type (the op_add reducer of the Cilk
-// Plus library).
+// Plus library).  Its view type is the number itself, so View hands back a
+// *T that updates like a local variable.
 type Add[T Number] struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[T]
 }
 
 // NewAdd registers a sum reducer with the engine.
 func NewAdd[T Number](eng core.Engine) *Add[T] {
-	return &Add[T]{eng: eng, r: mustRegister(eng, addMonoid[T]{})}
+	return &Add[T]{Handle: newHandle[T](eng, addMonoid[T]{})}
 }
 
 // Add adds v to the local view for the calling context.
-func (a *Add[T]) Add(c *sched.Context, v T) {
-	a.eng.Lookup(c, a.r).(*addView[T]).v += v
-}
+func (a *Add[T]) Add(c *sched.Context, v T) { *a.View(c) += v }
 
 // Value returns the reducer's current (leftmost) value.
-func (a *Add[T]) Value() T { return a.r.Value().(*addView[T]).v }
+func (a *Add[T]) Value() T { return *a.Peek() }
 
 // SetValue sets the reducer's value; use it only outside parallel regions.
-func (a *Add[T]) SetValue(v T) { a.r.SetValue(&addView[T]{v: v}) }
-
-// Reducer exposes the underlying reducer handle.
-func (a *Add[T]) Reducer() *core.Reducer { return a.r }
-
-// Close unregisters the reducer; Value remains readable.
-func (a *Add[T]) Close() { a.eng.Unregister(a.r) }
+func (a *Add[T]) SetValue(v T) { a.SetView(&v) }
 
 // ---------------------------------------------------------------------------
 // Min / Max
 // ---------------------------------------------------------------------------
 
-type extremeView[T cmp.Ordered] struct {
-	set bool
-	v   T
+// Extreme is the view type of the Min and Max reducers: a value plus a flag
+// recording whether any value has been supplied yet (the monoid identity is
+// the unset view).
+type Extreme[T cmp.Ordered] struct {
+	Set bool
+	Val T
 }
 
 type minMonoid[T cmp.Ordered] struct{}
 
-func (minMonoid[T]) Identity() any { return &extremeView[T]{} }
-func (minMonoid[T]) Reduce(left, right any) any {
-	l := left.(*extremeView[T])
-	r := right.(*extremeView[T])
-	if r.set && (!l.set || r.v < l.v) {
-		l.set, l.v = true, r.v
+func (minMonoid[T]) Identity() *Extreme[T] { return &Extreme[T]{} }
+func (minMonoid[T]) Reduce(left, right *Extreme[T]) *Extreme[T] {
+	if right.Set && (!left.Set || right.Val < left.Val) {
+		left.Set, left.Val = true, right.Val
 	}
-	return l
+	return left
 }
 
 type maxMonoid[T cmp.Ordered] struct{}
 
-func (maxMonoid[T]) Identity() any { return &extremeView[T]{} }
-func (maxMonoid[T]) Reduce(left, right any) any {
-	l := left.(*extremeView[T])
-	r := right.(*extremeView[T])
-	if r.set && (!l.set || r.v > l.v) {
-		l.set, l.v = true, r.v
+func (maxMonoid[T]) Identity() *Extreme[T] { return &Extreme[T]{} }
+func (maxMonoid[T]) Reduce(left, right *Extreme[T]) *Extreme[T] {
+	if right.Set && (!left.Set || right.Val > left.Val) {
+		left.Set, left.Val = true, right.Val
 	}
-	return l
+	return left
 }
 
 // Min is a minimum reducer (op_min).
 type Min[T cmp.Ordered] struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[Extreme[T]]
 }
 
 // NewMin registers a minimum reducer with the engine.
 func NewMin[T cmp.Ordered](eng core.Engine) *Min[T] {
-	return &Min[T]{eng: eng, r: mustRegister(eng, minMonoid[T]{})}
+	return &Min[T]{Handle: newHandle[Extreme[T]](eng, minMonoid[T]{})}
 }
 
 // Update lowers the local view to v if v is smaller (or the view is unset).
 func (m *Min[T]) Update(c *sched.Context, v T) {
-	view := m.eng.Lookup(c, m.r).(*extremeView[T])
-	if !view.set || v < view.v {
-		view.set, view.v = true, v
+	view := m.View(c)
+	if !view.Set || v < view.Val {
+		view.Set, view.Val = true, v
 	}
 }
 
 // Value returns the minimum seen so far; ok is false if no value was ever
 // supplied.
 func (m *Min[T]) Value() (v T, ok bool) {
-	view := m.r.Value().(*extremeView[T])
-	return view.v, view.set
+	view := m.Peek()
+	return view.Val, view.Set
 }
-
-// Reducer exposes the underlying reducer handle.
-func (m *Min[T]) Reducer() *core.Reducer { return m.r }
-
-// Close unregisters the reducer.
-func (m *Min[T]) Close() { m.eng.Unregister(m.r) }
 
 // Max is a maximum reducer (op_max).
 type Max[T cmp.Ordered] struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[Extreme[T]]
 }
 
 // NewMax registers a maximum reducer with the engine.
 func NewMax[T cmp.Ordered](eng core.Engine) *Max[T] {
-	return &Max[T]{eng: eng, r: mustRegister(eng, maxMonoid[T]{})}
+	return &Max[T]{Handle: newHandle[Extreme[T]](eng, maxMonoid[T]{})}
 }
 
 // Update raises the local view to v if v is larger (or the view is unset).
 func (m *Max[T]) Update(c *sched.Context, v T) {
-	view := m.eng.Lookup(c, m.r).(*extremeView[T])
-	if !view.set || v > view.v {
-		view.set, view.v = true, v
+	view := m.View(c)
+	if !view.Set || v > view.Val {
+		view.Set, view.Val = true, v
 	}
 }
 
 // Value returns the maximum seen so far; ok is false if no value was ever
 // supplied.
 func (m *Max[T]) Value() (v T, ok bool) {
-	view := m.r.Value().(*extremeView[T])
-	return view.v, view.set
+	view := m.Peek()
+	return view.Val, view.Set
 }
-
-// Reducer exposes the underlying reducer handle.
-func (m *Max[T]) Reducer() *core.Reducer { return m.r }
-
-// Close unregisters the reducer.
-func (m *Max[T]) Close() { m.eng.Unregister(m.r) }
 
 // ---------------------------------------------------------------------------
 // And / Or
 // ---------------------------------------------------------------------------
 
-type boolView struct{ v bool }
-
 type andMonoid struct{}
 
-func (andMonoid) Identity() any { return &boolView{v: true} }
-func (andMonoid) Reduce(left, right any) any {
-	l := left.(*boolView)
-	l.v = l.v && right.(*boolView).v
-	return l
+func (andMonoid) Identity() *bool { v := true; return &v }
+func (andMonoid) Reduce(left, right *bool) *bool {
+	*left = *left && *right
+	return left
 }
 
 type orMonoid struct{}
 
-func (orMonoid) Identity() any { return &boolView{} }
-func (orMonoid) Reduce(left, right any) any {
-	l := left.(*boolView)
-	l.v = l.v || right.(*boolView).v
-	return l
+func (orMonoid) Identity() *bool { return new(bool) }
+func (orMonoid) Reduce(left, right *bool) *bool {
+	*left = *left || *right
+	return left
 }
 
 // And is a logical-AND reducer (op_and) with identity true.
 type And struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[bool]
 }
 
 // NewAnd registers a logical-AND reducer.
 func NewAnd(eng core.Engine) *And {
-	return &And{eng: eng, r: mustRegister(eng, andMonoid{})}
+	return &And{Handle: newHandle[bool](eng, andMonoid{})}
 }
 
 // Update ANDs v into the local view.
 func (a *And) Update(c *sched.Context, v bool) {
-	view := a.eng.Lookup(c, a.r).(*boolView)
-	view.v = view.v && v
+	view := a.View(c)
+	*view = *view && v
 }
 
 // Value returns the conjunction of every supplied value.
-func (a *And) Value() bool { return a.r.Value().(*boolView).v }
-
-// Close unregisters the reducer.
-func (a *And) Close() { a.eng.Unregister(a.r) }
+func (a *And) Value() bool { return *a.Peek() }
 
 // Or is a logical-OR reducer (op_or) with identity false.
 type Or struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[bool]
 }
 
 // NewOr registers a logical-OR reducer.
 func NewOr(eng core.Engine) *Or {
-	return &Or{eng: eng, r: mustRegister(eng, orMonoid{})}
+	return &Or{Handle: newHandle[bool](eng, orMonoid{})}
 }
 
 // Update ORs v into the local view.
 func (o *Or) Update(c *sched.Context, v bool) {
-	view := o.eng.Lookup(c, o.r).(*boolView)
-	view.v = view.v || v
+	view := o.View(c)
+	*view = *view || v
 }
 
 // Value returns the disjunction of every supplied value.
-func (o *Or) Value() bool { return o.r.Value().(*boolView).v }
-
-// Close unregisters the reducer.
-func (o *Or) Close() { o.eng.Unregister(o.r) }
+func (o *Or) Value() bool { return *o.Peek() }
 
 // ---------------------------------------------------------------------------
 // List append
 // ---------------------------------------------------------------------------
 
-type listView[T any] struct{ items []T }
-
 type listMonoid[T any] struct{}
 
-func (listMonoid[T]) Identity() any { return &listView[T]{} }
-func (listMonoid[T]) Reduce(left, right any) any {
-	l := left.(*listView[T])
-	r := right.(*listView[T])
-	l.items = append(l.items, r.items...)
-	return l
+func (listMonoid[T]) Identity() *[]T { return new([]T) }
+func (listMonoid[T]) Reduce(left, right *[]T) *[]T {
+	*left = append(*left, *right...)
+	return left
 }
 
 // List is a list-append reducer (reducer_list_append): the final list
 // equals the list a serial execution would build, even though appends occur
 // on parallel branches.  List append is associative but not commutative, so
-// it exercises the runtime's ordering guarantees.
+// it exercises the runtime's ordering guarantees.  Its view type is the
+// slice itself: PushBack is an append through the cached *[]T.
 type List[T any] struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[[]T]
 }
 
 // NewList registers a list-append reducer.
 func NewList[T any](eng core.Engine) *List[T] {
-	return &List[T]{eng: eng, r: mustRegister(eng, listMonoid[T]{})}
+	return &List[T]{Handle: newHandle[[]T](eng, listMonoid[T]{})}
 }
 
 // PushBack appends v to the local view.
 func (l *List[T]) PushBack(c *sched.Context, v T) {
-	view := l.eng.Lookup(c, l.r).(*listView[T])
-	view.items = append(view.items, v)
+	view := l.View(c)
+	*view = append(*view, v)
 }
 
 // Value returns the reducer's current list.
-func (l *List[T]) Value() []T { return l.r.Value().(*listView[T]).items }
-
-// Reducer exposes the underlying reducer handle.
-func (l *List[T]) Reducer() *core.Reducer { return l.r }
-
-// Close unregisters the reducer.
-func (l *List[T]) Close() { l.eng.Unregister(l.r) }
+func (l *List[T]) Value() []T { return *l.Peek() }
 
 // ---------------------------------------------------------------------------
 // String concatenation
 // ---------------------------------------------------------------------------
 
-type stringView struct{ s []byte }
-
 type stringMonoid struct{}
 
-func (stringMonoid) Identity() any { return &stringView{} }
-func (stringMonoid) Reduce(left, right any) any {
-	l := left.(*stringView)
-	l.s = append(l.s, right.(*stringView).s...)
-	return l
+func (stringMonoid) Identity() *[]byte { return new([]byte) }
+func (stringMonoid) Reduce(left, right *[]byte) *[]byte {
+	*left = append(*left, *right...)
+	return left
 }
 
-// String is a string-concatenation reducer (reducer_basic_string).
+// String is a string-concatenation reducer (reducer_basic_string).  The
+// view is the byte slice being built.
 type String struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[[]byte]
 }
 
 // NewString registers a string-concatenation reducer.
 func NewString(eng core.Engine) *String {
-	return &String{eng: eng, r: mustRegister(eng, stringMonoid{})}
+	return &String{Handle: newHandle[[]byte](eng, stringMonoid{})}
 }
 
 // Append appends s to the local view.
 func (sr *String) Append(c *sched.Context, s string) {
-	view := sr.eng.Lookup(c, sr.r).(*stringView)
-	view.s = append(view.s, s...)
+	view := sr.View(c)
+	*view = append(*view, s...)
 }
 
 // Value returns the concatenation in serial order.
-func (sr *String) Value() string { return string(sr.r.Value().(*stringView).s) }
-
-// Close unregisters the reducer.
-func (sr *String) Close() { sr.eng.Unregister(sr.r) }
+func (sr *String) Value() string { return string(*sr.Peek()) }
 
 // ---------------------------------------------------------------------------
 // Map union
 // ---------------------------------------------------------------------------
 
-type mapView[K comparable, V any] struct{ m map[K]V }
-
 type mapMonoid[K comparable, V any] struct {
 	combine func(V, V) V
 }
 
-func (mm mapMonoid[K, V]) Identity() any { return &mapView[K, V]{m: make(map[K]V)} }
-func (mm mapMonoid[K, V]) Reduce(left, right any) any {
-	l := left.(*mapView[K, V])
-	r := right.(*mapView[K, V])
-	for k, rv := range r.m {
-		if lv, ok := l.m[k]; ok {
-			l.m[k] = mm.combine(lv, rv)
+func (mm mapMonoid[K, V]) Identity() *map[K]V {
+	m := make(map[K]V)
+	return &m
+}
+
+func (mm mapMonoid[K, V]) Reduce(left, right *map[K]V) *map[K]V {
+	l, r := *left, *right
+	for k, rv := range r {
+		if lv, ok := l[k]; ok {
+			l[k] = mm.combine(lv, rv)
 		} else {
-			l.m[k] = rv
+			l[k] = rv
 		}
 	}
-	return l
+	return left
 }
 
 // MapOf is a map-union reducer: values for duplicate keys are combined with
 // the supplied function, which must itself be associative for the reducer
-// to be deterministic.
+// to be deterministic.  The combiner is cached in the handle at
+// construction, so Update never re-derives it from the monoid.
 type MapOf[K comparable, V any] struct {
-	eng core.Engine
-	r   *core.Reducer
+	Handle[map[K]V]
+	combine func(V, V) V
 }
 
 // NewMapOf registers a map-union reducer with the given combiner.
 func NewMapOf[K comparable, V any](eng core.Engine, combine func(V, V) V) *MapOf[K, V] {
-	return &MapOf[K, V]{eng: eng, r: mustRegister(eng, mapMonoid[K, V]{combine: combine})}
+	return &MapOf[K, V]{
+		Handle:  newHandle[map[K]V](eng, mapMonoid[K, V]{combine: combine}),
+		combine: combine,
+	}
 }
 
 // Update merges (k, v) into the local view using the combiner.
 func (m *MapOf[K, V]) Update(c *sched.Context, k K, v V) {
-	view := m.eng.Lookup(c, m.r).(*mapView[K, V])
-	mon := m.r.Monoid().(mapMonoid[K, V])
-	if old, ok := view.m[k]; ok {
-		view.m[k] = mon.combine(old, v)
+	view := *m.View(c)
+	if old, ok := view[k]; ok {
+		view[k] = m.combine(old, v)
 		return
 	}
-	view.m[k] = v
+	view[k] = v
 }
 
 // Value returns the merged map.
-func (m *MapOf[K, V]) Value() map[K]V { return m.r.Value().(*mapView[K, V]).m }
-
-// Close unregisters the reducer.
-func (m *MapOf[K, V]) Close() { m.eng.Unregister(m.r) }
+func (m *MapOf[K, V]) Value() map[K]V { return *m.Peek() }
 
 // ---------------------------------------------------------------------------
-// Custom monoid
+// Custom monoids
 // ---------------------------------------------------------------------------
+
+// CustomOf is a typed reducer over a user-supplied TypedMonoid: the typed
+// successor of Custom.  Callers mutate the *V returned by View according to
+// their own update semantics.
+type CustomOf[V any] struct {
+	Handle[V]
+}
+
+// NewCustomOf registers a typed reducer for an arbitrary typed monoid.
+func NewCustomOf[V any](eng core.Engine, m TypedMonoid[V]) *CustomOf[V] {
+	return &CustomOf[V]{Handle: newHandle[V](eng, m)}
+}
+
+// Value returns the reducer's current (leftmost) view.
+func (cu *CustomOf[V]) Value() *V { return cu.Peek() }
 
 // FuncMonoid adapts a pair of functions into a core.Monoid, for callers who
 // want a one-off custom reducer without defining a type.
+//
+// Deprecated: use TypedFuncMonoid with NewCustomOf, which keeps the view
+// typed end to end.
 type FuncMonoid struct {
 	IdentityFn func() any
 	ReduceFn   func(left, right any) any
@@ -478,13 +452,18 @@ func (f FuncMonoid) Identity() any { return f.IdentityFn() }
 // Reduce implements core.Monoid.
 func (f FuncMonoid) Reduce(left, right any) any { return f.ReduceFn(left, right) }
 
-// Custom is a reducer over a user-supplied monoid.
+// Custom is a reducer over a user-supplied untyped monoid.
+//
+// Deprecated: use CustomOf, whose View returns a typed pointer instead of
+// an any that must be asserted on every access.
 type Custom struct {
 	eng core.Engine
 	r   *core.Reducer
 }
 
-// NewCustom registers a reducer for an arbitrary monoid.
+// NewCustom registers a reducer for an arbitrary untyped monoid.
+//
+// Deprecated: use NewCustomOf with a TypedMonoid.
 func NewCustom(eng core.Engine, m core.Monoid) *Custom {
 	return &Custom{eng: eng, r: mustRegister(eng, m)}
 }
@@ -499,17 +478,19 @@ func (cu *Custom) Value() any { return cu.r.Value() }
 // Reducer exposes the underlying reducer handle.
 func (cu *Custom) Reducer() *core.Reducer { return cu.r }
 
-// Close unregisters the reducer.
+// Close unregisters the reducer; Value remains readable.
 func (cu *Custom) Close() { cu.eng.Unregister(cu.r) }
 
 var (
-	_ core.Monoid = addMonoid[int]{}
-	_ core.Monoid = minMonoid[int]{}
-	_ core.Monoid = maxMonoid[int]{}
-	_ core.Monoid = andMonoid{}
-	_ core.Monoid = orMonoid{}
-	_ core.Monoid = listMonoid[int]{}
-	_ core.Monoid = stringMonoid{}
-	_ core.Monoid = mapMonoid[string, int]{}
-	_ core.Monoid = FuncMonoid{}
+	_ TypedMonoid[int]            = addMonoid[int]{}
+	_ TypedMonoid[Extreme[int]]   = minMonoid[int]{}
+	_ TypedMonoid[Extreme[int]]   = maxMonoid[int]{}
+	_ TypedMonoid[bool]           = andMonoid{}
+	_ TypedMonoid[bool]           = orMonoid{}
+	_ TypedMonoid[[]int]          = listMonoid[int]{}
+	_ TypedMonoid[[]byte]         = stringMonoid{}
+	_ TypedMonoid[map[string]int] = mapMonoid[string, int]{}
+	_ TypedMonoid[int]            = TypedFuncMonoid[int]{}
+	_ core.Monoid                 = FuncMonoid{}
+	_ core.Monoid                 = typedMonoidAdapter[int]{}
 )

@@ -1,0 +1,199 @@
+package reducers
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// The boxed* types replicate the seed's pre-generics reducer wrappers —
+// an interface Lookup plus a runtime type assertion on every update — so
+// the typed-vs-boxed benchmarks measure exactly the overhead the
+// generics-first API removes.
+
+type boxedAddView[T Number] struct{ v T }
+
+type boxedAddMonoid[T Number] struct{}
+
+func (boxedAddMonoid[T]) Identity() any { return &boxedAddView[T]{} }
+func (boxedAddMonoid[T]) Reduce(left, right any) any {
+	l := left.(*boxedAddView[T])
+	l.v += right.(*boxedAddView[T]).v
+	return l
+}
+
+type boxedAdd[T Number] struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+func newBoxedAdd[T Number](eng core.Engine) *boxedAdd[T] {
+	return &boxedAdd[T]{eng: eng, r: mustRegister(eng, boxedAddMonoid[T]{})}
+}
+
+func (a *boxedAdd[T]) add(c *sched.Context, v T) {
+	a.eng.Lookup(c, a.r).(*boxedAddView[T]).v += v
+}
+
+type boxedListView[T any] struct{ items []T }
+
+type boxedListMonoid[T any] struct{}
+
+func (boxedListMonoid[T]) Identity() any { return &boxedListView[T]{} }
+func (boxedListMonoid[T]) Reduce(left, right any) any {
+	l := left.(*boxedListView[T])
+	l.items = append(l.items, right.(*boxedListView[T]).items...)
+	return l
+}
+
+type boxedList[T any] struct {
+	eng core.Engine
+	r   *core.Reducer
+}
+
+func newBoxedList[T any](eng core.Engine) *boxedList[T] {
+	return &boxedList[T]{eng: eng, r: mustRegister(eng, boxedListMonoid[T]{})}
+}
+
+func (l *boxedList[T]) pushBack(c *sched.Context, v T) {
+	view := l.eng.Lookup(c, l.r).(*boxedListView[T])
+	view.items = append(view.items, v)
+}
+
+// benchEachMechanism runs the benchmark body once per mechanism, on a
+// single worker so the numbers isolate the lookup path (no steals, no
+// merges — the steady state the paper's Figure 1 measures).
+func benchEachMechanism(b *testing.B, fn func(b *testing.B, s *core.Session)) {
+	for _, m := range Mechanisms() {
+		b.Run(m.String(), func(b *testing.B) {
+			s := NewSession(m, 1, EngineOptions{})
+			defer s.Close()
+			fn(b, s)
+		})
+	}
+}
+
+// BenchmarkTypedAdd is the typed steady-state update path: Add.Add through
+// Handle's per-context typed view cache.  Expect 0 allocs/op and fewer
+// ns/op than BenchmarkBoxedAdd on both engines.
+func BenchmarkTypedAdd(b *testing.B) {
+	benchEachMechanism(b, func(b *testing.B, s *core.Session) {
+		sum := NewAdd[int64](s.Engine())
+		b.ReportAllocs()
+		b.ResetTimer()
+		_ = s.Run(func(c *sched.Context) {
+			for i := 0; i < b.N; i++ {
+				sum.Add(c, 1)
+			}
+		})
+		b.StopTimer()
+		if got := sum.Value(); got != int64(b.N) {
+			b.Fatalf("sum = %d, want %d", got, b.N)
+		}
+	})
+}
+
+// BenchmarkBoxedAdd is the seed's boxed update path — interface Lookup +
+// type assertion per update — kept as the baseline the typed API is
+// measured against.
+func BenchmarkBoxedAdd(b *testing.B) {
+	benchEachMechanism(b, func(b *testing.B, s *core.Session) {
+		sum := newBoxedAdd[int64](s.Engine())
+		b.ReportAllocs()
+		b.ResetTimer()
+		_ = s.Run(func(c *sched.Context) {
+			for i := 0; i < b.N; i++ {
+				sum.add(c, 1)
+			}
+		})
+	})
+}
+
+// BenchmarkTypedList is List.PushBack through the typed cache.  The local
+// view is pre-grown to b.N inside the run and the timer reset after, so the
+// measurement isolates the per-update lookup + append and is not dominated
+// by growslice copies and GC of the retained list.
+func BenchmarkTypedList(b *testing.B) {
+	benchEachMechanism(b, func(b *testing.B, s *core.Session) {
+		lst := NewList[int64](s.Engine())
+		b.ReportAllocs()
+		_ = s.Run(func(c *sched.Context) {
+			*lst.View(c) = make([]int64, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lst.PushBack(c, int64(i))
+			}
+			b.StopTimer()
+		})
+		if got := len(lst.Value()); got != b.N {
+			b.Fatalf("list length = %d, want %d", got, b.N)
+		}
+	})
+}
+
+// BenchmarkBoxedList is the boxed PushBack baseline, pre-grown like
+// BenchmarkTypedList.
+func BenchmarkBoxedList(b *testing.B) {
+	benchEachMechanism(b, func(b *testing.B, s *core.Session) {
+		lst := newBoxedList[int64](s.Engine())
+		b.ReportAllocs()
+		_ = s.Run(func(c *sched.Context) {
+			view := lst.eng.Lookup(c, lst.r).(*boxedListView[int64])
+			view.items = make([]int64, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lst.pushBack(c, int64(i))
+			}
+			b.StopTimer()
+		})
+	})
+}
+
+// BenchmarkTypedAddRotating rotates over four reducers.  The engines'
+// single-entry per-context caches thrash under rotation, but every typed
+// handle keeps its own per-worker slot, so the typed path still serves
+// cache hits — the case where the handle-side cache beats the engine-side
+// cache outright.
+func BenchmarkTypedAddRotating(b *testing.B) {
+	benchEachMechanism(b, func(b *testing.B, s *core.Session) {
+		sums := [4]*Add[int64]{}
+		for i := range sums {
+			sums[i] = NewAdd[int64](s.Engine())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		_ = s.Run(func(c *sched.Context) {
+			idx := 0
+			for i := 0; i < b.N; i++ {
+				sums[idx].Add(c, 1)
+				idx++
+				if idx == 4 {
+					idx = 0
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkBoxedAddRotating is the boxed four-reducer rotation baseline.
+func BenchmarkBoxedAddRotating(b *testing.B) {
+	benchEachMechanism(b, func(b *testing.B, s *core.Session) {
+		sums := [4]*boxedAdd[int64]{}
+		for i := range sums {
+			sums[i] = newBoxedAdd[int64](s.Engine())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		_ = s.Run(func(c *sched.Context) {
+			idx := 0
+			for i := 0; i < b.N; i++ {
+				sums[idx].add(c, 1)
+				idx++
+				if idx == 4 {
+					idx = 0
+				}
+			}
+		})
+	})
+}

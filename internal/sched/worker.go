@@ -121,6 +121,13 @@ func (w *Worker) CurrentTrace() Trace { return w.curTrace }
 // PublishViewInvalidation.
 func (w *Worker) InvalidateLookupCache() { w.viewEpoch.Add(1) }
 
+// ViewEpoch returns the worker's current view epoch.  Typed reducer
+// handles stamp their per-worker cached views with it: a cached view is
+// served only while the stamp still equals the worker's epoch, so every
+// event that calls InvalidateLookupCache or PublishViewInvalidation
+// silently invalidates those caches too.  Safe from any goroutine.
+func (w *Worker) ViewEpoch() uint64 { return w.viewEpoch.Load() }
+
 // PublishViewInvalidation is the cross-worker half of the view-epoch
 // mechanism: it bumps this worker's view epoch from any goroutine.  Reducer
 // mechanisms use it as the publication hook for events that change shared
