@@ -1,13 +1,21 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
-.PHONY: build vet lint-deprecated check-binaries test race bench bench-directory bench-typed bench-json fmt-check ci
+.PHONY: build vet vet-unsafe lint-deprecated check-binaries test race bench bench-directory bench-typed bench-spa bench-json fmt-check ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# vet-unsafe runs only the unsafeptr analyzer, explicitly, as the gate for
+# the word-packed SPA slot representation (unsafe.Pointer view words and
+# flag-tagged owner stamps).  Plain `go vet` includes unsafeptr too, but a
+# future analyzer-flag tweak to the main vet target must not silently drop
+# the one check the unsafe code depends on.
+vet-unsafe:
+	$(GO) vet -unsafeptr ./...
 
 # lint-deprecated fails when non-test code outside the cilkm shims uses a
 # deprecated facade API (the pre-options constructors or the untyped Custom
@@ -57,6 +65,17 @@ bench-typed:
 	$(GO) test -run NONE -bench 'TypedAdd|BoxedAdd|TypedList|BoxedList' \
 		-benchmem -benchtime=0.5s ./internal/reducers/
 
+# bench-spa runs the word-packed SPA storage benchmarks: the post-steal
+# first lookup (arena vs heap view creation — expect 0 allocs/op on the
+# arena path), the steady-state typed update (expect 0 allocs/op), and the
+# hypermerge at 0%/50%/100% written views (elided slots must show zero
+# reduce calls and zero pagepool round-trips at 0%).
+bench-spa:
+	$(GO) test -run NONE -bench 'FirstLookup|MergeWritten' \
+		-benchmem -benchtime=0.5s ./internal/core/
+	$(GO) test -run NONE -bench 'TypedAdd' \
+		-benchmem -benchtime=0.5s ./internal/reducers/
+
 # bench-json runs the sched, core and typed-reducer microbenchmarks
 # (fork/steal, lookup, merge pipeline, directory registration, typed vs
 # boxed update paths) and records them as a machine-readable
@@ -89,4 +108,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build fmt-check vet lint-deprecated check-binaries test race
+ci: build fmt-check vet vet-unsafe lint-deprecated check-binaries test race

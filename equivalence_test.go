@@ -156,3 +156,52 @@ func TestMechanismsAgreeOnAggregates(t *testing.T) {
 		t.Fatal("unreachable")
 	}
 }
+
+// TestReadOnlyAccessesPreserveEquivalence mixes mutable updates with
+// read-only ReadView accesses under steal-heavy execution on both
+// mechanisms.  Read-only accesses leave the written bit clear, so the
+// runtime elides those views from every hypermerge; the test pins that the
+// elision is semantically invisible — written reducers still reduce to the
+// serial result and read-only reducers stay at the identity.
+func TestReadOnlyAccessesPreserveEquivalence(t *testing.T) {
+	const n = 4000
+	for _, mech := range []cilkm.Mechanism{cilkm.MemoryMapped, cilkm.Hypermap} {
+		s := cilkm.NewSession(mech, 4)
+		written := cilkm.NewAdd[int64](s.Engine())
+		watched := cilkm.NewAdd[int64](s.Engine())
+		peeks := cilkm.NewAdd[int64](s.Engine())
+		err := s.Run(func(c *cilkm.Context) {
+			c.ParallelForGrain(0, n, 8, func(c *cilkm.Context, i int) {
+				if i%16 == 0 {
+					time.Sleep(time.Microsecond) // widen the steal window
+				}
+				written.Add(c, 1)
+				// Read-only peek at a reducer this trace never writes: the
+				// local view is an identity view and must be elided, never
+				// merged, and reading it must always see the identity.
+				if v := *watched.ReadView(c); v != 0 {
+					t.Errorf("%v: ReadView observed %d, want identity 0", mech, v)
+				}
+				// Read-only peek at a reducer the same trace also writes:
+				// must observe the trace-local running value, not identity.
+				peeks.Add(c, 1)
+				if v := *peeks.ReadView(c); v < 1 {
+					t.Errorf("%v: ReadView after write observed %d", mech, v)
+				}
+			})
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if got := written.Value(); got != n {
+			t.Fatalf("%v: written = %d, want %d", mech, got, n)
+		}
+		if got := peeks.Value(); got != n {
+			t.Fatalf("%v: peeks = %d, want %d", mech, got, n)
+		}
+		if got := watched.Value(); got != 0 {
+			t.Fatalf("%v: read-only reducer = %d, want 0", mech, got)
+		}
+		s.Close()
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"time"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -10,13 +11,16 @@ import (
 
 // MergePipelineRow is one measurement of the batched hypermerge pipeline:
 // a controlled sequence of view-transferal/hypermerge cycles over n
-// reducers, with the pipeline counters captured afterwards.
+// reducers at a given written-view fraction, with the pipeline counters
+// captured afterwards.
 type MergePipelineRow struct {
 	N          int
+	WrittenPct int // percentage of views written (the rest are read-only)
 	Merges     int64
 	Slots      int64
 	Batches    int64
 	Parallel   int64
+	Elided     int64 // never-written views recycled without a reduce call
 	PoolOps    int64 // pagepool round-trips (bulk ops count one)
 	MergeTasks int64 // batches executed by thieves
 	Elapsed    time.Duration
@@ -36,6 +40,12 @@ type MergePipelineResult struct {
 // return, independent of steal luck.  The first cycle adopts views; every
 // later cycle reduces n pairs, which is the path that batches and, past
 // the threshold, fans out through the scheduler.
+//
+// Each width also runs at reduced written fractions: the remaining views
+// are resolved read-only, so their slots keep a clear written bit and the
+// pipeline elides them — the Elided column counts views recycled with no
+// reduce call, and at 0% written the PoolOps column shows that a fully
+// elided trace performs no pagepool round-trips at all.
 func RunMergePipeline(cfg Config) (*MergePipelineResult, error) {
 	cfg = cfg.normalize()
 	workers := clampWorkers(cfg.MaxWorkers)
@@ -45,52 +55,71 @@ func RunMergePipeline(cfg Config) (*MergePipelineResult, error) {
 	}
 	res := &MergePipelineResult{Workers: workers}
 	for _, n := range []int{64, 256, 1024} {
-		eng := core.NewMM(core.MMConfig{Workers: workers})
-		s := core.NewSession(workers, eng)
-		rs := make([]*core.Reducer, n)
-		for i := range rs {
-			r, err := eng.Register(addMonoid{})
+		for _, writtenPct := range []int{100, 50, 0} {
+			row, err := runMergePipelineCase(workers, n, writtenPct, reps)
 			if err != nil {
-				s.Close()
 				return nil, err
 			}
-			rs[i] = r
+			res.Rows = append(res.Rows, row)
 		}
-		start := time.Now()
-		err := s.Run(func(c *sched.Context) {
-			w := c.Worker()
-			for rep := 0; rep < reps; rep++ {
-				tr := eng.BeginTrace(w)
-				for _, r := range rs {
-					eng.Lookup(c, r).(*addView).v++
-				}
-				d := eng.EndTrace(w, tr)
-				eng.Merge(w, w.CurrentTrace(), d)
-			}
-		})
-		elapsed := time.Since(start)
-		ms := eng.MergeStats()
-		st := s.Runtime().Stats()
-		pool := eng.PoolStats()
-		s.Close()
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, MergePipelineRow{
-			N:          n,
-			Merges:     ms.Merges,
-			Slots:      ms.SlotsMerged,
-			Batches:    ms.Batches,
-			Parallel:   ms.ParallelMerges,
-			PoolOps:    pool.RoundTrips(),
-			MergeTasks: st.MergeTasks,
-			Elapsed:    elapsed,
-		})
 	}
 	return res, nil
 }
 
+func runMergePipelineCase(workers, n, writtenPct, reps int) (MergePipelineRow, error) {
+	eng := core.NewMM(core.MMConfig{Workers: workers})
+	s := core.NewSession(workers, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, n)
+	for i := range rs {
+		r, err := eng.Register(addMonoid{})
+		if err != nil {
+			return MergePipelineRow{}, err
+		}
+		rs[i] = r
+	}
+	written := n * writtenPct / 100
+	start := time.Now()
+	err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		for rep := 0; rep < reps; rep++ {
+			tr := eng.BeginTrace(w)
+			for i, r := range rs {
+				if i < written {
+					eng.Lookup(c, r).(*addView).v++
+				} else {
+					word, _ := eng.LookupWord(c, r, 0, false)
+					_ = word
+				}
+			}
+			d := eng.EndTrace(w, tr)
+			eng.Merge(w, w.CurrentTrace(), d)
+		}
+	})
+	elapsed := time.Since(start)
+	ms := eng.MergeStats()
+	st := s.Runtime().Stats()
+	pool := eng.PoolStats()
+	if err != nil {
+		return MergePipelineRow{}, err
+	}
+	return MergePipelineRow{
+		N:          n,
+		WrittenPct: writtenPct,
+		Merges:     ms.Merges,
+		Slots:      ms.SlotsMerged,
+		Batches:    ms.Batches,
+		Parallel:   ms.ParallelMerges,
+		Elided:     ms.IdentityElisions,
+		PoolOps:    pool.RoundTrips(),
+		MergeTasks: st.MergeTasks,
+		Elapsed:    elapsed,
+	}, nil
+}
+
 // addMonoid/addView is a local integer-sum monoid for the pipeline study.
+// It opts into arena placement so the study also exercises the view-arena
+// recycle path (the views are a fixed-size pointer-free int64).
 type addMonoid struct{}
 
 type addView struct{ v int64 }
@@ -101,15 +130,19 @@ func (addMonoid) Reduce(l, r any) any {
 	lv.v += r.(*addView).v
 	return lv
 }
+func (addMonoid) ViewBytes() uintptr        { return unsafe.Sizeof(addView{}) }
+func (addMonoid) InitView(p unsafe.Pointer) { *(*addView)(p) = addView{} }
+
+var _ core.ArenaMonoid = addMonoid{}
 
 // Table renders the merge-pipeline study.
 func (r *MergePipelineResult) Table() *metrics.Table {
 	t := metrics.NewTable(
-		"Merge pipeline: batched hypermerge with bulk page movement",
-		"reducers", "merges", "slots", "batches", "parallel", "pool ops", "merge tasks", "elapsed")
+		"Merge pipeline: batched hypermerge with bulk page movement and identity elision",
+		"reducers", "written%", "merges", "slots", "batches", "parallel", "elided", "pool ops", "merge tasks", "elapsed")
 	for _, row := range r.Rows {
-		t.AddRow(row.N, row.Merges, row.Slots, row.Batches, row.Parallel,
-			row.PoolOps, row.MergeTasks, row.Elapsed)
+		t.AddRow(row.N, row.WrittenPct, row.Merges, row.Slots, row.Batches, row.Parallel,
+			row.Elided, row.PoolOps, row.MergeTasks, row.Elapsed)
 	}
 	return t
 }

@@ -10,26 +10,50 @@ func TestMergePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunMergePipeline: %v", err)
 	}
-	if len(res.Rows) != 3 {
-		t.Fatalf("expected 3 rows, got %d", len(res.Rows))
+	// Three widths, each at 100%, 50% and 0% written views.
+	if len(res.Rows) != 9 {
+		t.Fatalf("expected 9 rows, got %d", len(res.Rows))
 	}
 	for _, row := range res.Rows {
-		if row.Merges == 0 || row.Slots == 0 || row.Batches == 0 {
-			t.Fatalf("pipeline counters empty for n=%d: %+v", row.N, row)
+		switch row.WrittenPct {
+		case 100:
+			if row.Merges == 0 || row.Slots == 0 || row.Batches == 0 {
+				t.Fatalf("pipeline counters empty for n=%d: %+v", row.N, row)
+			}
+			if row.Elided != 0 {
+				t.Fatalf("n=%d fully written: %d spurious elisions", row.N, row.Elided)
+			}
+			// Wide merges must take the parallel path (threshold default 96).
+			if row.N >= 256 && row.Parallel == 0 {
+				t.Fatalf("n=%d: no merge was fanned out through the scheduler", row.N)
+			}
+		case 50:
+			if row.Elided == 0 {
+				t.Fatalf("n=%d half written: no elisions recorded", row.N)
+			}
+			if row.Slots == 0 {
+				t.Fatalf("n=%d half written: written half not merged: %+v", row.N, row)
+			}
+		case 0:
+			// A fully read-only trace deposits nothing: no merges, no
+			// reduce calls, and — the headline — no pagepool traffic.
+			if row.Slots != 0 || row.PoolOps != 0 {
+				t.Fatalf("n=%d all read-only: slots=%d poolops=%d, want 0/0", row.N, row.Slots, row.PoolOps)
+			}
+			if row.Elided == 0 {
+				t.Fatalf("n=%d all read-only: no elisions recorded", row.N)
+			}
 		}
 		// The headline property: bulk page movement keeps the number of
-		// pagepool round-trips strictly below the number of slots merged.
-		if row.PoolOps >= row.Slots {
+		// pagepool round-trips strictly below the number of slots merged
+		// (both zero when everything was elided).
+		if row.Slots > 0 && row.PoolOps >= row.Slots {
 			t.Fatalf("n=%d: %d pool ops for %d merged slots — batching not engaged",
 				row.N, row.PoolOps, row.Slots)
 		}
-		// Wide merges must take the parallel path (threshold default 96).
-		if row.N >= 256 && row.Parallel == 0 {
-			t.Fatalf("n=%d: no merge was fanned out through the scheduler", row.N)
-		}
 	}
 	out := res.Table().String()
-	if !strings.Contains(out, "pool ops") || !strings.Contains(out, "1024") {
+	if !strings.Contains(out, "pool ops") || !strings.Contains(out, "1024") || !strings.Contains(out, "elided") {
 		t.Fatalf("table malformed:\n%s", out)
 	}
 }

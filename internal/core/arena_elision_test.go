@@ -1,0 +1,452 @@
+package core_test
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/sched"
+	"repro/internal/spa"
+)
+
+// arenaSumMonoid is an untyped sum monoid that opts into arena placement:
+// its view is a bare int64, fixed-size and pointer-free.
+type arenaSumMonoid struct{}
+
+func (arenaSumMonoid) Identity() any { return new(int64) }
+func (arenaSumMonoid) Reduce(left, right any) any {
+	l := left.(*int64)
+	*l += *right.(*int64)
+	return l
+}
+func (arenaSumMonoid) ViewBytes() uintptr        { return unsafe.Sizeof(int64(0)) }
+func (arenaSumMonoid) InitView(p unsafe.Pointer) { *(*int64)(p) = 0 }
+
+var _ core.ArenaMonoid = arenaSumMonoid{}
+
+// TestArenaClassFor pins the size-class mapping.
+func TestArenaClassFor(t *testing.T) {
+	cases := []struct {
+		size uintptr
+		want int
+	}{
+		{0, 0}, {1, 0}, {8, 0}, {9, 1}, {16, 1}, {17, 2}, {32, 2},
+		{33, 3}, {64, 3}, {65, 4}, {128, 4}, {129, -1}, {4096, -1},
+	}
+	for _, tc := range cases {
+		if got := core.ArenaClassFor(tc.size); got != tc.want {
+			t.Fatalf("ArenaClassFor(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+// TestArenaViewsRecycleThroughMergeCycle drives repeated
+// steal-shaped trace cycles (begin, first-lookup every reducer, transfer,
+// hypermerge) and checks that after warm-up the identity views come from
+// the arena free lists — the dying side of each reduce pair funds the next
+// trace's view creation, so the cycle stops allocating.
+func TestArenaViewsRecycleThroughMergeCycle(t *testing.T) {
+	const nred = 64
+	const reps = 20
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, nred)
+	for i := range rs {
+		r, err := eng.Register(arenaSumMonoid{})
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		if !r.ArenaEligible() {
+			t.Fatal("arenaSumMonoid not detected as arena-eligible")
+		}
+		rs[i] = r
+	}
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		for rep := 0; rep < reps; rep++ {
+			tr := eng.BeginTrace(w)
+			for _, r := range rs {
+				*eng.Lookup(c, r).(*int64)++
+			}
+			d := eng.EndTrace(w, tr)
+			eng.Merge(w, w.CurrentTrace(), d)
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(func(c *sched.Context) {}); err != nil {
+		t.Fatalf("flush run: %v", err)
+	}
+	for i, r := range rs {
+		if got := *r.Value().(*int64); got != reps {
+			t.Fatalf("reducer %d = %d, want %d", i, got, reps)
+		}
+	}
+	st := eng.ArenaStats()
+	if st.Allocs == 0 {
+		t.Fatal("no arena allocations recorded for an arena-eligible monoid")
+	}
+	if st.HeapViews != 0 {
+		t.Fatalf("HeapViews = %d, want 0 (every identity view should be arena-placed)", st.HeapViews)
+	}
+	// Each merge kills nred deposited views, which must fund the next
+	// trace's nred creations: all but the first couple of cycles hit the
+	// free list.
+	if st.FreeHits < int64(nred*(reps-2)) {
+		t.Fatalf("FreeHits = %d, want >= %d (views not recycling)", st.FreeHits, nred*(reps-2))
+	}
+	if st.Frees < st.FreeHits {
+		t.Fatalf("Frees = %d < FreeHits = %d: free list served more than was freed", st.Frees, st.FreeHits)
+	}
+	// The whole run should bump-allocate only a handful of chunks.
+	if st.ChunkAllocs > 4 {
+		t.Fatalf("ChunkAllocs = %d, want <= 4 (bump chunks churning)", st.ChunkAllocs)
+	}
+}
+
+// TestHeapMonoidBypassesArena checks the heap fallback accounting for
+// monoids that are not arena-eligible.
+func TestHeapMonoidBypassesArena(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	r, _ := eng.Register(sumMonoid{}) // *sumView: plain monoid, no ArenaMonoid
+	if r.ArenaEligible() {
+		t.Fatal("plain monoid misdetected as arena-eligible")
+	}
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		tr := eng.BeginTrace(w)
+		eng.Lookup(c, r).(*sumView).v++
+		d := eng.EndTrace(w, tr)
+		eng.Merge(w, w.CurrentTrace(), d)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := eng.ArenaStats()
+	if st.HeapViews == 0 {
+		t.Fatal("heap-path view creation not accounted")
+	}
+	if st.Allocs != 0 {
+		t.Fatalf("Allocs = %d, want 0 for a heap-only monoid", st.Allocs)
+	}
+}
+
+// TestIdentityElisionAtEndTrace checks the transferal-time elision: a trace
+// that only ever resolves views read-only (LookupWord with mutable=false)
+// deposits nothing — no public pages are fetched, no pagepool round-trip
+// happens, and the arena blocks are recycled immediately.
+func TestIdentityElisionAtEndTrace(t *testing.T) {
+	const nred = 32
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, nred)
+	for i := range rs {
+		rs[i], _ = eng.Register(arenaSumMonoid{})
+	}
+	baseTrips := eng.PoolStats().RoundTrips()
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		tr := eng.BeginTrace(w)
+		for _, r := range rs {
+			word, _ := eng.LookupWord(c, r, 0, false)
+			if got := *(*int64)(word); got != 0 {
+				t.Errorf("read-only first lookup = %d, want identity 0", got)
+			}
+		}
+		d := eng.EndTrace(w, tr)
+		if d != nil {
+			t.Error("all-read-only trace produced a deposit")
+		}
+		eng.Merge(w, w.CurrentTrace(), d)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ms := eng.MergeStats()
+	if ms.IdentityElisions != nred {
+		t.Fatalf("IdentityElisions = %d, want %d", ms.IdentityElisions, nred)
+	}
+	if ms.Reduces != 0 || ms.Adopts != 0 {
+		t.Fatalf("elided views still merged: reduces=%d adopts=%d", ms.Reduces, ms.Adopts)
+	}
+	if got := eng.PoolStats().RoundTrips(); got != baseTrips {
+		t.Fatalf("pagepool round-trips = %d, want %d (elision must avoid page traffic)", got, baseTrips)
+	}
+	st := eng.ArenaStats()
+	if st.Frees != nred {
+		t.Fatalf("arena Frees = %d, want %d (elided views recycled)", st.Frees, nred)
+	}
+	for i, r := range rs {
+		if got := *r.Value().(*int64); got != 0 {
+			t.Fatalf("reducer %d = %d, want 0 after read-only run", i, got)
+		}
+	}
+}
+
+// TestIdentityElisionMixedWrittenViews interleaves written and read-only
+// views in one trace: only the written half is transferred and reduced,
+// and the final values equal the writes.
+func TestIdentityElisionMixedWrittenViews(t *testing.T) {
+	const nred = 40
+	const reps = 5
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	rs := make([]*core.Reducer, nred)
+	for i := range rs {
+		rs[i], _ = eng.Register(arenaSumMonoid{})
+	}
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		for rep := 0; rep < reps; rep++ {
+			tr := eng.BeginTrace(w)
+			for i, r := range rs {
+				if i%2 == 0 {
+					*eng.Lookup(c, r).(*int64)++ // written
+				} else {
+					word, _ := eng.LookupWord(c, r, 0, false) // read-only
+					_ = *(*int64)(word)
+				}
+			}
+			d := eng.EndTrace(w, tr)
+			eng.Merge(w, w.CurrentTrace(), d)
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(func(c *sched.Context) {}); err != nil {
+		t.Fatalf("flush run: %v", err)
+	}
+	for i, r := range rs {
+		want := int64(0)
+		if i%2 == 0 {
+			want = reps
+		}
+		if got := *r.Value().(*int64); got != want {
+			t.Fatalf("reducer %d = %d, want %d", i, got, want)
+		}
+	}
+	ms := eng.MergeStats()
+	if want := int64(nred / 2 * reps); ms.IdentityElisions != want {
+		t.Fatalf("IdentityElisions = %d, want %d", ms.IdentityElisions, want)
+	}
+	if want := int64(nred / 2 * reps); ms.SlotsMerged != want {
+		t.Fatalf("SlotsMerged = %d, want %d (only written views merge)", ms.SlotsMerged, want)
+	}
+}
+
+// TestWriteAfterReadOnlyLookupIsMerged guards the subtle ordering case: a
+// view first resolved read-only and LATER written in the same trace must
+// lose its elidability — the written bit is stamped on the mutable access.
+func TestWriteAfterReadOnlyLookupIsMerged(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	r, _ := eng.Register(arenaSumMonoid{})
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		tr := eng.BeginTrace(w)
+		word, _ := eng.LookupWord(c, r, 0, false) // read-only first touch
+		_ = *(*int64)(word)
+		*eng.Lookup(c, r).(*int64) += 7 // then a write
+		d := eng.EndTrace(w, tr)
+		if d == nil {
+			t.Error("written view elided")
+		}
+		eng.Merge(w, w.CurrentTrace(), d)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(func(c *sched.Context) {}); err != nil {
+		t.Fatalf("flush run: %v", err)
+	}
+	if got := *r.Value().(*int64); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+	if ms := eng.MergeStats(); ms.IdentityElisions != 0 {
+		t.Fatalf("IdentityElisions = %d, want 0", ms.IdentityElisions)
+	}
+}
+
+// TestRootDepositElidesUnwrittenViews checks MergeRootDeposit's elision: a
+// root trace that only reads a reducer folds nothing into the leftmost
+// view.
+func TestRootDepositElidesUnwrittenViews(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	written, _ := eng.Register(arenaSumMonoid{})
+	readOnly, _ := eng.Register(arenaSumMonoid{})
+	if err := s.Run(func(c *sched.Context) {
+		*eng.Lookup(c, written).(*int64) += 3
+		word, _ := eng.LookupWord(c, readOnly, 0, false)
+		_ = *(*int64)(word)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := *written.Value().(*int64); got != 3 {
+		t.Fatalf("written reducer = %d, want 3", got)
+	}
+	if got := *readOnly.Value().(*int64); got != 0 {
+		t.Fatalf("read-only reducer = %d, want 0", got)
+	}
+	if ms := eng.MergeStats(); ms.IdentityElisions == 0 {
+		t.Fatal("root deposit did not elide the unwritten view")
+	}
+}
+
+// TestLogOverflowHypermergeBothEngines covers the SPA log-overflow path at
+// the engine level: a single trace inserts more views into one SPA map page
+// than the 120-entry log can describe, so transferal and the hypermerge
+// must fall back to the full-array scan — and still fold every view, on
+// both engines.  DirectoryShards is pinned to 1 so the first 248 reducers
+// share SPA page 0.
+func TestLogOverflowHypermergeBothEngines(t *testing.T) {
+	const nred = spa.LogCapacity + 80 // 200 > 120, all on page 0
+	const reps = 3
+	for name, eng := range map[string]core.Engine{
+		"mm":       core.NewMM(core.MMConfig{Workers: 1, DirectoryShards: 1}),
+		"hypermap": hypermap.New(hypermap.Config{Workers: 1, DirectoryShards: 1}),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := core.NewSession(1, eng)
+			defer s.Close()
+			rs := make([]*core.Reducer, nred)
+			for i := range rs {
+				r, err := eng.Register(catMonoid{})
+				if err != nil {
+					t.Fatalf("Register: %v", err)
+				}
+				if r.Addr().Page() != 0 {
+					t.Fatalf("reducer %d landed on page %d, want 0 (need one overflowing map)", i, r.Addr().Page())
+				}
+				rs[i] = r
+			}
+			if err := s.Run(func(c *sched.Context) {
+				w := c.Worker()
+				for rep := 0; rep < reps; rep++ {
+					tr := eng.BeginTrace(w)
+					for i, r := range rs {
+						eng.Lookup(c, r).(*catView).s += string(rune('a' + (rep+i)%26))
+					}
+					d := eng.EndTrace(w, tr)
+					eng.Merge(w, w.CurrentTrace(), d)
+				}
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := s.Run(func(c *sched.Context) {}); err != nil {
+				t.Fatalf("flush run: %v", err)
+			}
+			for i, r := range rs {
+				want := ""
+				for rep := 0; rep < reps; rep++ {
+					want += string(rune('a' + (rep+i)%26))
+				}
+				if got := r.Value().(*catView).s; got != want {
+					t.Fatalf("reducer %d = %q, want %q (overflowed map merged wrong)", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEnsureMappedGrowthUnderRegistrationChurn exercises the one-step
+// growth of the worker's mapped-page bitmap while registrations churn the
+// directory: pages are touched out of order (recycled low addresses
+// interleaved with fresh high ones) and each worker must map each touched
+// page exactly once.  The TLMM accounting (MappedPages, PmapCalls) pins
+// the invariant.
+func TestEnsureMappedGrowthUnderRegistrationChurn(t *testing.T) {
+	const pages = 5
+	eng := core.NewMM(core.MMConfig{Workers: 1, DirectoryShards: 1, ModelAddressSpace: true})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+
+	// Fill several SPA pages with registrations, churning as we go: every
+	// few registrations, unregister one of the earlier reducers and
+	// re-register (the recycled low address will be touched after much
+	// higher pages have already been mapped).
+	var rs []*core.Reducer
+	for i := 0; i < pages*spa.SlotsPerMap; i++ {
+		r, err := eng.Register(arenaSumMonoid{})
+		if err != nil {
+			t.Fatalf("Register #%d: %v", i, err)
+		}
+		rs = append(rs, r)
+		if i%97 == 13 {
+			victim := rs[i/3]
+			eng.Unregister(victim)
+			r2, err := eng.Register(arenaSumMonoid{})
+			if err != nil {
+				t.Fatalf("churn re-register: %v", err)
+			}
+			rs[i/3] = r2
+		}
+	}
+	// Touch the reducers high-page-first so the first ensureMapped call
+	// must grow the bitmap to its full span in one step, then verify every
+	// page and every recycled low address still resolves.
+	if err := s.Run(func(c *sched.Context) {
+		for i := len(rs) - 1; i >= 0; i-- {
+			*eng.Lookup(c, rs[i]).(*int64)++
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range rs {
+		if got := *r.Value().(*int64); got != 1 {
+			t.Fatalf("reducer %d = %d, want 1", i, got)
+		}
+	}
+	if got := eng.WorkerMappedPages(0); got != pages {
+		t.Fatalf("worker 0 mapped %d pages, want %d", got, pages)
+	}
+	// Exactly one sys_pmap call per (worker, page): churn must not remap.
+	if st := eng.AddressSpace().Phys.Stats(); st.PmapCalls != pages {
+		t.Fatalf("PmapCalls = %d, want %d (pages remapped under churn)", st.PmapCalls, pages)
+	}
+}
+
+// TestMergeIntoReadOnlySlotSurvivesElision is the regression test for the
+// subtlest elision interaction: the parent trace resolves a reducer
+// read-only (its slot is unwritten), a nested written trace merges its
+// deposit in, and the common in-place reduce keeps the parent's view
+// pointer.  The surviving slot now carries the child's contribution, so
+// the merge must stamp its written bit — otherwise the parent's EndTrace
+// elision would recycle the merged value and the update would be lost.
+func TestMergeIntoReadOnlySlotSurvivesElision(t *testing.T) {
+	eng := core.NewMM(core.MMConfig{Workers: 1})
+	s := core.NewSession(1, eng)
+	defer s.Close()
+	r, _ := eng.Register(arenaSumMonoid{})
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		outer := eng.BeginTrace(w)
+		word, _ := eng.LookupWord(c, r, 0, false) // read-only parent view
+		if got := *(*int64)(word); got != 0 {
+			t.Errorf("parent read-only view = %d, want 0", got)
+		}
+		// A stolen-child-shaped nested trace that writes the reducer.
+		inner := eng.BeginTrace(w)
+		*eng.Lookup(c, r).(*int64) += 5
+		d := eng.EndTrace(w, inner)
+		eng.Merge(w, w.CurrentTrace(), d) // folds into the outer trace's slot
+		d2 := eng.EndTrace(w, outer)
+		if d2 == nil {
+			t.Error("merged view was elided at the parent trace end")
+		}
+		eng.Merge(w, w.CurrentTrace(), d2)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(func(c *sched.Context) {}); err != nil {
+		t.Fatalf("flush run: %v", err)
+	}
+	if got := *r.Value().(*int64); got != 5 {
+		t.Fatalf("value = %d, want 5 (child contribution lost to elision)", got)
+	}
+}

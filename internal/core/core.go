@@ -29,6 +29,7 @@ package core
 
 import (
 	"sync"
+	"unsafe"
 
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -39,12 +40,40 @@ import (
 // Reduce with identity Identity.  Reduce may update and return its left
 // argument in place; the runtime always passes the serially-earlier view on
 // the left, so in-place reduction preserves the serial semantics.
+//
+// Views are stored word-packed: the engines keep only the data word of the
+// view's interface value in their 16-byte SPA slots (or hypermap entries)
+// and re-box it with a type word captured at registration.  Identity and
+// Reduce must therefore produce non-nil views of one concrete type for the
+// lifetime of the reducer; a monoid that changes its view type panics at
+// the first unbox (see Reducer.UnboxView).
 type Monoid interface {
 	// Identity allocates a fresh identity view.
 	Identity() any
 	// Reduce combines two views, with left serially preceding right, and
 	// returns the combined view (commonly left, updated in place).
 	Reduce(left, right any) any
+}
+
+// ArenaMonoid is an optional extension of Monoid for monoids whose views
+// are fixed-size and pointer-free.  The memory-mapping engine places such
+// identity views inside the per-worker view arena instead of calling the
+// heap allocator, and recycles them when the hypermerge folds them away —
+// making the post-steal first lookup allocation-free.  The typed reducer
+// adapter implements it automatically for eligible view types (see
+// reducers.AdaptMonoid); hand-written untyped monoids may implement it
+// directly.
+//
+// InitView must fully overwrite the ViewBytes() bytes at p with a complete
+// identity view: p is 8-byte-aligned arena memory that may still hold a
+// dead prior view.  ViewBytes must not exceed ArenaClassFor's largest
+// class; larger monoids simply remain on the heap path.
+type ArenaMonoid interface {
+	Monoid
+	// ViewBytes returns the exact byte size of one view.
+	ViewBytes() uintptr
+	// InitView constructs an identity view in place at p.
+	InitView(p unsafe.Pointer)
 }
 
 // Engine is the interface both reducer mechanisms implement.  It extends
@@ -88,6 +117,17 @@ type Engine interface {
 	// value must be re-read on every access, composing the cache with the
 	// directory's slot recycling and stale-view drops.
 	LookupCached(c *sched.Context, r *Reducer, prevEpoch uint64) (view any, newEpoch uint64)
+	// LookupWord is the word-level twin of LookupCached: it resolves the
+	// local view's packed single-word representation (the slot word;
+	// reassemble the interface value with Reducer.BoxView, or convert
+	// directly to the typed pointer).  The typed reducer handles use it so
+	// a steady-state typed update never constructs an interface value.
+	// mutable distinguishes accesses that may mutate the view (Handle.View)
+	// from read-only peeks (Handle.ReadView): a mutable resolution sets the
+	// slot's written bit, which exempts the view from the merge pipeline's
+	// identity-view elision.  The epoch result follows the LookupCached
+	// contract (zero means "do not cache").
+	LookupWord(c *sched.Context, r *Reducer, prevEpoch uint64, mutable bool) (word unsafe.Pointer, newEpoch uint64)
 	// MergeRootDeposit folds the deposit returned by Runtime.Run into the
 	// registered reducers' leftmost views.
 	MergeRootDeposit(d sched.Deposit)
@@ -138,6 +178,16 @@ type Reducer struct {
 	monoid    Monoid
 	eng       Engine
 
+	// viewType is the type word shared by every view of this reducer,
+	// captured at registration from the identity view; BoxView pairs it
+	// with a stored slot word to reassemble the interface value.
+	viewType unsafe.Pointer
+	// arena is non-nil when the monoid supports in-place identity
+	// construction (ArenaMonoid) and its views fit an arena size class;
+	// arenaClass is that class, or -1 for the heap path.
+	arena      ArenaMonoid
+	arenaClass int8
+
 	mu       sync.Mutex
 	leftmost any
 	retired  bool
@@ -153,6 +203,11 @@ func (r *Reducer) Addr() spa.Addr { return r.addr }
 
 // Monoid returns the reducer's monoid.
 func (r *Reducer) Monoid() Monoid { return r.monoid }
+
+// ArenaEligible reports whether the reducer's identity views are placed in
+// the per-worker view arenas (fixed-size, pointer-free monoid) rather than
+// heap-allocated.
+func (r *Reducer) ArenaEligible() bool { return r.arenaClass >= 0 }
 
 // Engine returns the engine the reducer is registered with.
 func (r *Reducer) Engine() Engine { return r.eng }

@@ -317,12 +317,26 @@ func (d *Directory) Register(eng Engine, m Monoid) (*Reducer, error) {
 		// id = seq*Shards + shard + 1: unique across the directory (the
 		// shard part distinguishes concurrent sequences) and nonzero (the
 		// per-context lookup cache requires nonzero keys).
-		id:        (s.idSeq.Add(1)-1)<<d.shift + si + 1,
-		addr:      d.addr(si, local),
-		slotEpoch: slot.epoch.Load(),
-		monoid:    m,
-		eng:       eng,
-		leftmost:  m.Identity(),
+		id:         (s.idSeq.Add(1)-1)<<d.shift + si + 1,
+		addr:       d.addr(si, local),
+		slotEpoch:  slot.epoch.Load(),
+		monoid:     m,
+		eng:        eng,
+		leftmost:   m.Identity(),
+		arenaClass: -1,
+	}
+	// Capture the view type word for the packed-slot representation (see
+	// word.go); the identity view that seeds the leftmost value is the
+	// canonical instance of the reducer's single view type.
+	if err := r.captureViewType(r.leftmost); err != nil {
+		s.pushFree(local)
+		return nil, err
+	}
+	if am, ok := m.(ArenaMonoid); ok {
+		if class := ArenaClassFor(am.ViewBytes()); class >= 0 {
+			r.arena = am
+			r.arenaClass = int8(class)
+		}
 	}
 	slot.r.Store(r)
 	s.counters.Registers.Add(1)

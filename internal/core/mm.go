@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/metrics"
 	"repro/internal/pagepool"
@@ -100,19 +101,35 @@ type MM struct {
 }
 
 // mmWorker is the per-worker state of the memory-mapping engine: the
-// worker's private SPA maps (its TLMM reducer area) and, when the address
-// space is modelled, the worker's thread VM and the set of SPA page indices
-// it has backed with physical pages.
+// worker's private SPA maps (its TLMM reducer area), the worker's view
+// arena, and, when the address space is modelled, the worker's thread VM
+// and the set of SPA page indices it has backed with physical pages.
 type mmWorker struct {
 	eng     *MM
 	w       *sched.Worker
 	private *spa.MapSet
 	// spare caches an emptied map set for reuse by the next BeginTrace.
 	spare *spa.MapSet
+	// arena carves identity views for arena-eligible monoids and recycles
+	// the views the hypermerge folds away.  Owner-goroutine only.
+	arena viewArena
 	vm    *tlmm.ThreadVM
 	// mapped[i] reports whether SPA page index i is backed by a TLMM page
 	// in this worker's address space.
 	mapped []bool
+}
+
+// freeSlotView recycles a dead slot's view block into this worker's arena.
+// Only arena-flagged slots are recycled: the flag certifies that the view
+// word is a class-sized block some worker's arena carved for the slot's
+// owner, so the owner's class sizes it correctly.  Heap-backed views are
+// left to the garbage collector.
+func (ws *mmWorker) freeSlotView(s spa.Slot) {
+	if !s.Arena() {
+		return
+	}
+	r := (*Reducer)(s.Owner())
+	ws.arena.free(int(r.arenaClass), s.View())
 }
 
 // mmTrace identifies an active trace.  Because a worker that stalls at a
@@ -217,6 +234,19 @@ func (e *MM) RegionLayout() *tlmm.RegionLayout { return e.layout }
 // PoolStats exposes the public SPA page pool statistics.
 func (e *MM) PoolStats() pagepool.Stats { return e.pool.Stats() }
 
+// ArenaStats aggregates the per-worker view-arena counters.  Call it only
+// while the engine is quiescent (no Run in flight): the arenas are
+// owner-goroutine structures.
+func (e *MM) ArenaStats() metrics.ArenaStats {
+	var s metrics.ArenaStats
+	if ws := e.workers.Load(); ws != nil {
+		for _, w := range *ws {
+			s.Add(w.arena.stats())
+		}
+	}
+	return s
+}
+
 // --- Engine registration and lookup ---
 
 // Register implements Engine: a lock-free slot allocation in the sharded
@@ -260,11 +290,15 @@ func (e *MM) DirectoryStats() metrics.DirectoryStats { return e.dir.Stats() }
 
 // Lookup implements Engine.  The fast path is the paper's two memory
 // accesses and a predictable branch: read the reducer's tlmm_addr, index
-// the worker's private view slots, and test the resulting pointer.  Ahead
+// the worker's private view slots, and test the resulting words.  Ahead
 // of it sits the per-context single-entry cache: when a loop body looks up
 // the same reducer repeatedly, two compares (reducer identity and the
 // worker's view epoch) replace even the SPA indexing, and a steal, view
 // transferal or hypermerge invalidates the cache by bumping the epoch.
+//
+// Lookup hands out an interface value the caller may mutate through, so it
+// counts as a mutable access: the slot's written bit is set on the first
+// probe, exempting the view from identity elision.
 func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 	if c == nil {
 		return r.Value()
@@ -283,27 +317,33 @@ func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 		}
 		return v
 	}
-	if s := ws.private.SlotAt(r.addr); s.View != nil {
+	if s := ws.private.SlotAt(r.addr); s.View() != nil {
 		// The slot's second word stamps the view with its owning reducer;
 		// matching it against r guarantees a recycled address never serves
 		// a stale view.  This keeps the fast path independent of the
 		// number of live reducers: one array index and one compare.
-		if owner, _ := s.Monoid.(*Reducer); owner == r {
-			c.CacheView(r.id, s.View)
-			return s.View
+		if s.Owner() == unsafe.Pointer(r) {
+			if !s.Written() {
+				ws.private.MarkWritten(r.addr)
+			}
+			v := r.BoxView(s.View())
+			c.CacheView(r.id, v)
+			return v
 		}
 	}
-	return e.lookupSlow(c, w, ws, r)
+	return e.lookupSlow(c, w, ws, r, true)
 }
 
-// LookupCached implements Engine: the resolution step behind the typed
-// handles' per-context view caches.  The epoch is sampled before the lookup,
-// so an invalidation racing the resolution (an unregister or view-region
-// growth on another goroutine) leaves the caller holding an already-stale
-// epoch and forces a harmless re-resolution on its next access.  Retired
-// handles and nil contexts return epoch zero — "do not cache" — because
-// their result is the reducer's frozen leftmost value, which must be
-// re-read every time (SetValue may replace it between accesses).
+// LookupCached implements Engine: the boxed resolution step behind the
+// typed handles' per-context view caches (retained for callers that want
+// the interface value; the handles themselves use LookupWord).  The epoch
+// is sampled before the lookup, so an invalidation racing the resolution
+// (an unregister or view-region growth on another goroutine) leaves the
+// caller holding an already-stale epoch and forces a harmless re-resolution
+// on its next access.  Retired handles and nil contexts return epoch zero —
+// "do not cache" — because their result is the reducer's frozen leftmost
+// value, which must be re-read every time (SetValue may replace it between
+// accesses).
 func (e *MM) LookupCached(c *sched.Context, r *Reducer, prevEpoch uint64) (any, uint64) {
 	_ = prevEpoch
 	if c == nil {
@@ -317,6 +357,40 @@ func (e *MM) LookupCached(c *sched.Context, r *Reducer, prevEpoch uint64) (any, 
 	return v, epoch
 }
 
+// LookupWord implements Engine: the word-level lookup behind the typed
+// handles.  It resolves the slot word directly — no interface value is
+// constructed anywhere on the hit path — and only a mutable access sets
+// the slot's written bit, so read-only ReadView accesses leave identity
+// views elidable by the merge pipeline.
+func (e *MM) LookupWord(c *sched.Context, r *Reducer, prevEpoch uint64, mutable bool) (unsafe.Pointer, uint64) {
+	_ = prevEpoch
+	if c == nil {
+		return r.UnboxView(r.Value()), 0
+	}
+	w := c.Worker()
+	ws, _ := w.Local().(*mmWorker)
+	if ws == nil {
+		return r.UnboxView(r.Value()), 0
+	}
+	if e.countLookups {
+		// Counted handles route reads here (bypassing their caches), so
+		// instrumented runs keep exact lookup counts on this path too.
+		e.lookups[w.ID()].Add(1)
+	}
+	epoch := w.ViewEpoch()
+	if s := ws.private.SlotAt(r.addr); s.View() != nil && s.Owner() == unsafe.Pointer(r) {
+		if mutable && !s.Written() {
+			ws.private.MarkWritten(r.addr)
+		}
+		return s.View(), epoch
+	}
+	v := e.lookupSlow(c, w, ws, r, mutable)
+	if !e.dir.Valid(r) {
+		return r.UnboxView(v), 0
+	}
+	return r.UnboxView(v), epoch
+}
+
 // Workers implements Engine: the number of per-worker structures currently
 // maintained (construction size, grown when a larger runtime attaches).
 func (e *MM) Workers() int {
@@ -327,21 +401,28 @@ func (e *MM) Workers() int {
 
 // lookupSlow creates and installs an identity view: it runs at most once
 // per reducer per steal, plus once per slot recycle (when it also clears
-// the retired occupant's stale view).
-func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Reducer) any {
+// the retired occupant's stale view).  Arena-eligible monoids get their
+// view carved out of the worker's view arena — a free-list pop or a bump
+// allocation, no heap allocator — and the slot's arena flag records that
+// the block is recyclable when the view dies.  mutable stamps the written
+// bit (and populates the context's boxed cache); a read-only first lookup
+// leaves the bit clear so the identity view can be elided if it is never
+// subsequently written.
+func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Reducer, mutable bool) any {
 	if !e.dir.Valid(r) {
 		// A retired handle: no new view is created for it.  Serve the
 		// frozen leftmost value, matching a serial lookup after
 		// unregistration.
 		return r.Value()
 	}
-	if s := ws.private.SlotAt(r.addr); s.View != nil {
+	if s := ws.private.SlotAt(r.addr); s.View() != nil {
 		// Occupied, but the fast path rejected the owner stamp: the
 		// occupant registered an earlier incarnation of this recycled
 		// address.  The directory holds at most one live registration per
 		// address — r — so the occupant is retired and its in-flight view
-		// is dropped.
-		if _, err := ws.private.Remove(r.addr); err == nil {
+		// is dropped (and its arena block recycled).
+		if old, err := ws.private.Remove(r.addr); err == nil {
+			ws.freeSlotView(old)
 			e.mergePipe.StaleViewDrops.Add(1)
 		}
 	}
@@ -349,31 +430,58 @@ func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Redu
 	if ws.vm != nil {
 		ws.ensureMapped(r.addr.Page())
 	}
+	var word unsafe.Pointer
+	var flags uintptr
 	start := e.rec.Start()
-	view := r.monoid.Identity()
+	if r.arenaClass >= 0 {
+		word = ws.arena.alloc(int(r.arenaClass))
+		r.arena.InitView(word)
+		flags = spa.FlagArena
+	} else {
+		word = r.UnboxView(r.monoid.Identity())
+		ws.arena.heapViews++
+	}
 	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
+	if mutable {
+		flags |= spa.FlagWritten
+	}
 
 	start = e.rec.Start()
 	// The slot's second word is the owner stamp (the reducer handle, which
 	// carries the monoid), not the bare monoid: see Lookup.
-	if err := ws.private.Insert(r.addr, view, r); err != nil {
+	if err := ws.private.Insert(r.addr, word, unsafe.Pointer(r), flags); err != nil {
 		// The slot was cleared of any stale occupant above, so an occupied
 		// slot here is a programming error.
 		panic(fmt.Sprintf("core: SPA slot %d unexpectedly occupied: %v", r.addr, err))
 	}
 	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
-	c.CacheView(r.id, view)
-	return view
+	v := r.BoxView(word)
+	if mutable {
+		// Only mutable resolutions may populate the context's boxed cache:
+		// a cached hit never revisits the slot, so it must not be able to
+		// bypass the written-bit stamping of a later mutable access.
+		c.CacheView(r.id, v)
+	}
+	return v
 }
 
 // ensureMapped backs SPA page index pi with a physical page in this
 // worker's modelled TLMM region (sys_palloc + sys_pmap), once.  The page's
 // virtual base comes from the RCU-published region page table, which the
 // directory's grow hook populates before the page's first address is handed
-// out, so the lock-free read here can never miss.
+// out, so the lock-free read here can never miss.  The mapped bitmap grows
+// to the target length in one step (with doubling, so registration churn
+// that walks page indices upward costs amortised O(1) per page, not one
+// append per missing index).
 func (ws *mmWorker) ensureMapped(pi int) {
-	for len(ws.mapped) <= pi {
-		ws.mapped = append(ws.mapped, false)
+	if len(ws.mapped) <= pi {
+		n := pi + 1
+		if n < 2*len(ws.mapped) {
+			n = 2 * len(ws.mapped)
+		}
+		grown := make([]bool, n)
+		copy(grown, ws.mapped)
+		ws.mapped = grown
 	}
 	if ws.mapped[pi] {
 		return
@@ -448,12 +556,16 @@ func (e *MM) BeginTrace(w *sched.Worker) sched.Trace {
 	return tr
 }
 
-// EndTrace implements sched.ReducerRuntime: it performs view transferal.
-// The worker fetches every public SPA page the deposit will need from the
-// pool in one bulk round-trip, copies the view pointers from its private
-// SPA maps into them (zeroing the private slots as it sequences through),
-// returns the public pages as the deposit, and restores the suspended outer
-// trace's maps.
+// EndTrace implements sched.ReducerRuntime: it performs view transferal
+// with identity-view elision.  Slots whose written bit never got set still
+// hold the monoid identity — the trace looked them up but never mutated
+// them — so folding them at the join would be a no-op; they are removed
+// here instead, their arena blocks recycled, before the deposit is even
+// sized.  A trace whose views were all elided deposits nothing and performs
+// no pagepool round-trip at all.  The surviving views are copied into
+// public SPA pages fetched from the pool in one bulk round-trip (zeroing
+// the private slots as the worker sequences through), and the suspended
+// outer trace's maps are restored.
 func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	ws, _ := w.Local().(*mmWorker)
 	if ws == nil {
@@ -461,6 +573,20 @@ func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	}
 	mt, _ := tr.(*mmTrace)
 	var dep *MMDeposit
+	elided := int64(0)
+	ws.private.Range(func(addr spa.Addr, s spa.Slot) bool {
+		if s.Written() {
+			return true
+		}
+		if _, err := ws.private.Remove(addr); err == nil {
+			ws.freeSlotView(s)
+			elided++
+		}
+		return true
+	})
+	if elided > 0 {
+		e.mergePipe.IdentityElisions.Add(elided)
+	}
 	if span := ws.private.OccupiedPageSpan(); span > 0 {
 		start := e.rec.Start()
 		public := spa.NewMapSet()
@@ -485,44 +611,79 @@ func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	return dep
 }
 
-// mergeOp is one reduce pair of a hypermerge: the slot address, the
-// serially-earlier current view, the deposited view, and the monoid that
-// folds them.
+// mergeOp is one reduce pair of a hypermerge: the slot address, the owning
+// reducer resolved from the owner stamp, and the packed slots holding the
+// serially-earlier current view and the deposited view.  runMergeBatch
+// records the views the reduce killed in dead; the merge owner recycles
+// their arena blocks after the batches join (cross-worker batch executors
+// never touch an arena).
 type mergeOp struct {
-	addr spa.Addr
-	cur  any
-	dep  any
-	m    Monoid
+	addr  spa.Addr
+	owner *Reducer
+	cur   spa.Slot
+	dep   spa.Slot
+	dead  [2]spa.Slot
 }
 
 // runMergeBatch folds one batch of reduce pairs into the current trace's
 // private SPA slots.  Distinct batches touch disjoint slots, so batches may
 // run concurrently; within a batch each Reduce keeps the serially-earlier
 // view on the left, preserving the serial order of every reducer's view
-// chain.
+// chain.  The interface values handed to the monoid are assembled from the
+// slot words (BoxView: word pairing, no allocation), and the combined
+// result is unboxed back into the slot.
 func runMergeBatch(cur *spa.MapSet, ops []mergeOp) {
 	for i := range ops {
 		op := &ops[i]
-		combined := op.m.Reduce(op.cur, op.dep)
-		if combined != op.cur {
-			if err := cur.Update(op.addr, combined); err != nil {
+		left := op.owner.BoxView(op.cur.View())
+		right := op.owner.BoxView(op.dep.View())
+		combined := op.owner.UnboxView(op.owner.monoid.Reduce(left, right))
+		switch combined {
+		case op.cur.View():
+			// The usual in-place reduction: the current view survives and
+			// the deposited view dies.  The surviving slot now carries the
+			// deposit's (written) contribution even if the current trace
+			// only ever read it, so its written bit must be set — otherwise
+			// the trace-end elision would drop the merged value.
+			if !op.cur.Written() {
+				cur.MarkWritten(op.addr)
+			}
+			op.dead[0] = op.dep
+		case op.dep.View():
+			// The monoid returned its right argument: the deposited view
+			// (flags included) replaces the current one, which dies.
+			if err := cur.Update(op.addr, combined, op.dep.Flags()|spa.FlagWritten); err != nil {
 				panic(fmt.Sprintf("core: hypermerge update: %v", err))
 			}
+			op.dead[0] = op.cur
+		default:
+			// A fresh combined view of unknown provenance: no arena flag,
+			// and both inputs die.
+			if err := cur.Update(op.addr, combined, spa.FlagWritten); err != nil {
+				panic(fmt.Sprintf("core: hypermerge update: %v", err))
+			}
+			op.dead[0] = op.cur
+			op.dead[1] = op.dep
 		}
 	}
 }
 
 // Merge implements sched.ReducerRuntime: the hypermerge, rebuilt as a
-// batched pipeline.  One pass over the deposit partitions the occupied
-// slots: views with no matching current view are adopted immediately (a
-// view insertion, done serially because it mutates the map structure),
-// while matched pairs are gathered into batches of MergeBatchSize reduce
-// operations.  Small merges fold their batches serially; once the pair
-// count crosses ParallelMergeThreshold the batches are fanned out through
-// the scheduler as forked merge tasks, which is sound because distinct
-// reducers' Reduce calls are independent and each reducer still sees
-// current ⊗ deposited exactly once per deposit.  The emptied public pages
-// go back to the pool in one bulk round-trip.
+// batched pipeline over packed slots.  One pass over the deposit partitions
+// the occupied slots: never-written views are elided outright (recycled
+// without a reduce call — MM deposits are normally already elided at
+// EndTrace, but deposits that bypass it, and future transports, stay
+// correct), views with no matching current view are adopted wholesale (a
+// slot insertion, flags preserved, done serially because it mutates the map
+// structure), and matched pairs are gathered into batches of MergeBatchSize
+// reduce operations.  Small merges fold their batches serially; once the
+// pair count crosses ParallelMergeThreshold the batches are fanned out
+// through the scheduler as forked merge tasks, which is sound because
+// distinct reducers' Reduce calls are independent and each reducer still
+// sees current ⊗ deposited exactly once per deposit.  After the batches
+// complete, the owner recycles the arena blocks of every view the reduces
+// killed, and the emptied public pages go back to the pool in one bulk
+// round-trip.
 func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	dep, _ := d.(*MMDeposit)
 	if dep == nil {
@@ -541,34 +702,46 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	var ops []mergeOp
 	adopts := int64(0)
 	staleDrops := int64(0)
+	elisions := int64(0)
 	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
-		owner, _ := s.Monoid.(*Reducer)
-		if curSlot := cur.SlotAt(addr); curSlot.View != nil {
-			if curOwner, _ := curSlot.Monoid.(*Reducer); curOwner == owner {
+		owner := (*Reducer)(s.Owner())
+		if !s.Written() {
+			// The view was looked up but never written: it still equals the
+			// monoid identity, and current ⊗ e = current.  Recycle it with
+			// no reduce call and no slot traffic.
+			ws.freeSlotView(s)
+			elisions++
+			return true
+		}
+		if curSlot := cur.SlotAt(addr); curSlot.View() != nil {
+			if curSlot.Owner() == unsafe.Pointer(owner) {
 				if ops == nil {
 					ops = make([]mergeOp, 0, dep.count)
 				}
-				ops = append(ops, mergeOp{addr: addr, cur: curSlot.View, dep: s.View, m: owner.monoid})
+				ops = append(ops, mergeOp{addr: addr, owner: owner, cur: curSlot, dep: s})
 				return true
 			}
 			// The owner stamps differ, so the address was recycled while
 			// one of the views was in flight; the directory holds at most
 			// one live registration per address, so at most one side can
-			// still be valid.  Drop the stale side.
+			// still be valid.  Drop the stale side (recycling its block).
 			if owner == nil || !e.dir.Valid(owner) {
+				ws.freeSlotView(s)
 				staleDrops++
 				return true
 			}
-			if _, err := cur.Remove(addr); err != nil {
+			old, err := cur.Remove(addr)
+			if err != nil {
 				panic(fmt.Sprintf("core: hypermerge stale removal: %v", err))
 			}
+			ws.freeSlotView(old)
 			staleDrops++
 			// Fall through to adopt the deposited (live) view.
 		}
 		if ws.vm != nil {
 			ws.ensureMapped(addr.Page())
 		}
-		if err := cur.Insert(addr, s.View, s.Monoid); err != nil {
+		if err := cur.InsertSlot(addr, s); err != nil {
 			panic(fmt.Sprintf("core: hypermerge insert: %v", err))
 		}
 		adopts++
@@ -590,6 +763,17 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	} else if len(ops) > 0 {
 		runMergeBatch(cur, ops)
 	}
+	// The batches have joined (ForkMergeTasks blocks), so the dead-view
+	// records are visible here; return their arena blocks to this worker's
+	// arena — "the owning arena at trace end" — off the batch executors'
+	// goroutines.
+	for i := range ops {
+		for _, dv := range ops[i].dead {
+			if !dv.IsEmpty() {
+				ws.freeSlotView(dv)
+			}
+		}
+	}
 	w.InvalidateLookupCache()
 	e.rec.Stop(w.ID(), metrics.Hypermerge, start)
 	if reduces > 1 {
@@ -606,6 +790,9 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	if staleDrops > 0 {
 		e.mergePipe.StaleViewDrops.Add(staleDrops)
 	}
+	if elisions > 0 {
+		e.mergePipe.IdentityElisions.Add(elisions)
+	}
 	if pages := dep.views.DrainPages(); len(pages) > 0 {
 		e.pool.PutN(w.ID(), pages)
 		e.mergePipe.BulkPageReturns.Add(1)
@@ -619,21 +806,29 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 // stamp carried by every deposited slot resolves the reducer directly —
 // no registry copy, no lock — and the directory's epoch-stamped Valid check
 // drops views whose reducer was unregistered while they were in flight,
-// even if the address has since been recycled.
+// even if the address has since been recycled.  Never-written views are
+// elided exactly as in Merge (leftmost ⊗ e = leftmost); their blocks are
+// not recycled — MergeRootDeposit runs on the caller's goroutine, which
+// owns no arena — and fall to the garbage collector with the deposit.
 func (e *MM) MergeRootDeposit(d sched.Deposit) {
 	dep, _ := d.(*MMDeposit)
 	if dep == nil || dep.views == nil {
 		return
 	}
 	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
-		if owner, _ := s.Monoid.(*Reducer); owner != nil && e.dir.Valid(owner) {
-			owner.absorb(s.View)
-		} else {
+		owner := (*Reducer)(s.Owner())
+		if owner == nil || !e.dir.Valid(owner) {
 			// The reducer was unregistered while views for it were still
 			// in flight; fold into nothing (drop), mirroring a view whose
 			// reducer went out of scope.
 			e.mergePipe.StaleViewDrops.Add(1)
+			return true
 		}
+		if !s.Written() {
+			e.mergePipe.IdentityElisions.Add(1)
+			return true
+		}
+		owner.absorb(owner.BoxView(s.View()))
 		return true
 	})
 	if pages := dep.views.DrainPages(); len(pages) > 0 {
@@ -706,6 +901,22 @@ func (e *MM) WorkerPrivateViews(i int) int {
 		return 0
 	}
 	return (*ws)[i].private.Len()
+}
+
+// WorkerMappedPages reports how many SPA page indexes worker i has backed
+// with TLMM pages (diagnostic; zero unless ModelAddressSpace).  Together
+// with the address space's PmapCalls it pins down the page-accounting
+// invariant: each worker maps each page it touches exactly once, no matter
+// how registration churn interleaves with growth.
+func (e *MM) WorkerMappedPages(i int) int {
+	ws := e.workers.Load()
+	if ws == nil || i < 0 || i >= len(*ws) {
+		return 0
+	}
+	if vm := (*ws)[i].vm; vm != nil {
+		return vm.MappedPages()
+	}
+	return 0
 }
 
 var _ Engine = (*MM)(nil)

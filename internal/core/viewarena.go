@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/metrics"
+)
+
+// This file implements the per-worker view arena: a size-classed bump
+// allocator with free lists that backs identity-view creation for monoids
+// whose views are fixed-size and pointer-free (ArenaMonoid).
+//
+// The paper amortises view bookkeeping against steals; what remains of the
+// post-steal lookup cost in this model is one heap allocation per identity
+// view.  The arena removes it: lookupSlow carves the view out of the
+// worker's arena, and views that the hypermerge folds away — the
+// non-surviving side of each reduce pair, dropped stale views, and
+// never-written identity views elided at trace end — are pushed back onto a
+// free list, so the steady-state steal→lookup→merge cycle allocates
+// nothing.
+//
+// Ownership: an arena belongs to one worker and is touched only from that
+// worker's goroutine (lookupSlow, EndTrace elision, and the post-join free
+// sweep of Merge all run there).  Blocks are not returned to the chunk they
+// were carved from: a block freed by the merging worker goes on the merging
+// worker's free list, which is safe because every block of one class is
+// interchangeable and the unsafe.Pointer references on free lists and in
+// SPA slots keep the backing chunks alive (interior pointers pin Go heap
+// objects).
+//
+// GC safety: arenas are only used for pointer-free view types, so the
+// collector never needs to see pointers inside a chunk; the chunks
+// themselves are ordinary []uint64 allocations kept alive by the block
+// pointers carved from them.
+
+const (
+	// arenaMinClassBytes is the smallest size class (one machine word).
+	arenaMinClassBytes = 8
+	// arenaMaxClassBytes is the largest view an arena will place; bigger
+	// views fall back to the monoid's heap Identity.
+	arenaMaxClassBytes = 128
+	// arenaNumClasses covers 8, 16, 32, 64 and 128 bytes.
+	arenaNumClasses = 5
+	// arenaChunkBytes is the size of one bump chunk (per class).
+	arenaChunkBytes = 8192
+)
+
+// ArenaClassFor returns the size class for a view of the given size, or -1
+// when the size is outside the arena's range.  Classes are powers of two
+// from 8 to 128 bytes; sizes round up to the next class.
+func ArenaClassFor(size uintptr) int {
+	if size > arenaMaxClassBytes {
+		return -1
+	}
+	c, bytes := 0, uintptr(arenaMinClassBytes)
+	for bytes < size {
+		bytes <<= 1
+		c++
+	}
+	return c
+}
+
+// arenaClassBytes returns the block size of a class.
+func arenaClassBytes(class int) uintptr {
+	return arenaMinClassBytes << uint(class)
+}
+
+// viewArena is one worker's size-classed view allocator.  The counters are
+// plain ints: the arena is owner-goroutine-only, and Stats is read when the
+// engine is quiescent (after a Run has returned).
+type viewArena struct {
+	classes [arenaNumClasses]arenaClass
+
+	allocs      int64 // blocks handed out
+	freeHits    int64 // allocations served from a free list
+	chunkAllocs int64 // fresh bump chunks allocated
+	frees       int64 // blocks returned to a free list
+	heapViews   int64 // identity views that bypassed the arena (heap path)
+}
+
+// arenaClass is one size class: a free list of recycled blocks and the
+// current bump chunk.
+type arenaClass struct {
+	free  []unsafe.Pointer
+	chunk []uint64
+	off   int // next free word index within chunk
+}
+
+// alloc carves one block of the given class: free list first, then the bump
+// chunk, then a fresh chunk.  Blocks are 8-byte aligned (chunks are
+// []uint64) and sized to the class, so any block can later serve any view
+// of the same class.
+func (a *viewArena) alloc(class int) unsafe.Pointer {
+	if class < 0 || class >= arenaNumClasses {
+		panic(fmt.Sprintf("core: view arena class %d out of range", class))
+	}
+	a.allocs++
+	c := &a.classes[class]
+	if n := len(c.free); n > 0 {
+		p := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		a.freeHits++
+		return p
+	}
+	words := int(arenaClassBytes(class) / 8)
+	if c.off+words > len(c.chunk) {
+		c.chunk = make([]uint64, arenaChunkBytes/8)
+		c.off = 0
+		a.chunkAllocs++
+	}
+	p := unsafe.Pointer(&c.chunk[c.off])
+	c.off += words
+	return p
+}
+
+// free returns a dead block to the class free list.  The block must be a
+// pointer previously handed out for this class by some worker's arena
+// (slots record this in their FlagArena bit), so the memory is at least
+// class-size bytes and 8-byte aligned.
+func (a *viewArena) free(class int, p unsafe.Pointer) {
+	if class < 0 || class >= arenaNumClasses || p == nil {
+		return
+	}
+	a.frees++
+	c := &a.classes[class]
+	c.free = append(c.free, p)
+}
+
+// stats snapshots the arena counters.
+func (a *viewArena) stats() metrics.ArenaStats {
+	s := metrics.ArenaStats{
+		Allocs:      a.allocs,
+		FreeHits:    a.freeHits,
+		ChunkAllocs: a.chunkAllocs,
+		Frees:       a.frees,
+		HeapViews:   a.heapViews,
+	}
+	for i := range a.classes {
+		s.FreeBlocks += int64(len(a.classes[i].free))
+	}
+	return s
+}

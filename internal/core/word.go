@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// This file implements the single-word view representation behind the
+// paper's 16-byte SPA slots.
+//
+// A Go interface value is two machine words: a type word and a data word.
+// Storing interface values in the SPA view array would make every slot 32
+// bytes — twice the paper's layout — and would drag interface conversions
+// through the hottest paths in the system.  Instead, the engines store only
+// the data word in the slot and keep the type word once per reducer:
+//
+//   - Every view of one reducer has the same dynamic type (the Monoid
+//     contract below), so the reducer captures its views' type word once,
+//     at registration, from the identity view that initialises its
+//     leftmost value.
+//   - UnboxView extracts a view's data word for storage, verifying the
+//     dynamic type against the captured word so a monoid that violates the
+//     contract fails loudly instead of corrupting memory.
+//   - BoxView reassembles the interface value from the stored word and the
+//     captured type word.  It is pure word assembly: no allocation, no
+//     reflection.
+//
+// Safety argument for the garbage collector: the data word of any non-nil
+// interface value is always a pointer — pointer-shaped types (pointers,
+// maps, channels, functions) store the value itself, and every other type
+// is boxed behind a pointer when it enters an interface.  SPA slots and
+// arena free lists store these words as unsafe.Pointer in ordinary Go
+// structs and slices, so the collector scans them and keeps both the views
+// and (through interior pointers) their backing arena chunks alive.  No
+// pointer is ever round-tripped through a uintptr variable; the only
+// pointer arithmetic is unsafe.Add on the owner stamp's flag bits (see
+// package spa), which `go vet -unsafeptr` accepts.
+
+// eface mirrors the runtime representation of an empty interface.
+type eface struct {
+	typ  unsafe.Pointer
+	data unsafe.Pointer
+}
+
+// unpackEface splits an interface value into its type and data words.
+func unpackEface(v any) (typ, data unsafe.Pointer) {
+	e := (*eface)(unsafe.Pointer(&v))
+	return e.typ, e.data
+}
+
+// packEface assembles an interface value from a type word and a data word.
+func packEface(typ, data unsafe.Pointer) any {
+	var v any
+	e := (*eface)(unsafe.Pointer(&v))
+	e.typ = typ
+	e.data = data
+	return v
+}
+
+// captureViewType records the reducer's view type word from its first
+// identity view.  Register calls it with the leftmost view.
+func (r *Reducer) captureViewType(view any) error {
+	typ, data := unpackEface(view)
+	if typ == nil || data == nil {
+		return fmt.Errorf("core: monoid %T produced a nil identity view", r.monoid)
+	}
+	r.viewType = typ
+	return nil
+}
+
+// UnboxView extracts the single-word representation of a view for storage
+// in a packed SPA slot (or hypermap entry).  It panics when the view's
+// dynamic type differs from the reducer's captured view type: the Monoid
+// contract requires Identity and Reduce to produce views of one concrete
+// type, because the slot has no room for a per-view type word.
+func (r *Reducer) UnboxView(v any) unsafe.Pointer {
+	typ, data := unpackEface(v)
+	if typ != r.viewType {
+		panic(fmt.Sprintf("core: reducer %d monoid %T changed its view type (views must share one concrete type)",
+			r.id, r.monoid))
+	}
+	if data == nil {
+		panic(fmt.Sprintf("core: reducer %d monoid %T produced a nil view", r.id, r.monoid))
+	}
+	return data
+}
+
+// BoxView reassembles the interface value for a stored view word.  It
+// performs no allocation: the result is the reducer's captured type word
+// paired with the slot word.
+func (r *Reducer) BoxView(word unsafe.Pointer) any {
+	return packEface(r.viewType, word)
+}

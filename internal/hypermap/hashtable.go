@@ -15,6 +15,11 @@ import "repro/internal/spa"
 //   - collisions chain within a bucket, and
 //   - exceeding the load factor triggers a rehash into the next size (the
 //     "hash-table expansion" the paper's Figure 6 discussion calls out).
+//
+// Entries are stored by value inside the chain nodes: one allocation per
+// node, none per entry.  The entry stores the same single-word view
+// representation the memory-mapped engine's SPA slots use (plus the owner
+// stamp and an explicit written byte — see entry's doc comment).
 type hashTable struct {
 	buckets  []*hashEntry
 	nbuckets uint64
@@ -25,7 +30,7 @@ type hashTable struct {
 // hashEntry is one chained element.
 type hashEntry struct {
 	key  spa.Addr
-	ent  *entry
+	ent  entry
 	next *hashEntry
 }
 
@@ -55,11 +60,14 @@ func (t *hashTable) hash(key spa.Addr) uint64 {
 // len returns the number of stored entries.
 func (t *hashTable) len() int { return t.n }
 
-// lookup returns the entry for key, or nil.
+// lookup returns a pointer to the entry for key, or nil.  The pointer
+// aliases the chain node, so callers may update the entry in place (the
+// hypermerge's reduce-into-current and the lookup path's written-bit
+// stamping both do).
 func (t *hashTable) lookup(key spa.Addr) *entry {
 	for e := t.buckets[t.hash(key)]; e != nil; e = e.next {
 		if e.key == key {
-			return e.ent
+			return &e.ent
 		}
 	}
 	return nil
@@ -67,7 +75,7 @@ func (t *hashTable) lookup(key spa.Addr) *entry {
 
 // insert adds an entry for key, which must not already be present, growing
 // the table when the load factor reaches 1.
-func (t *hashTable) insert(key spa.Addr, ent *entry) {
+func (t *hashTable) insert(key spa.Addr, ent entry) {
 	if t.n >= len(t.buckets) {
 		t.grow()
 	}
@@ -112,11 +120,12 @@ func (t *hashTable) grow() {
 	}
 }
 
-// forEach calls fn for every (key, entry) pair.
+// forEach calls fn for every (key, entry) pair; the entry pointer aliases
+// the chain node.
 func (t *hashTable) forEach(fn func(key spa.Addr, ent *entry)) {
 	for _, e := range t.buckets {
 		for ; e != nil; e = e.next {
-			fn(e.key, e.ent)
+			fn(e.key, &e.ent)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -71,6 +72,10 @@ type Engine struct {
 	// their respective lookup structures.  Maintained only while lookup
 	// counting is enabled.
 	cacheHits []metrics.PaddedCounter
+
+	// elisions counts never-written views the hypermerge skipped, the
+	// hypermap counterpart of metrics.MergePipeline.IdentityElisions.
+	elisions metrics.PaddedCounter
 }
 
 // hmWorker is the per-worker state: the user hypermap of the trace the
@@ -82,13 +87,22 @@ type hmWorker struct {
 	user *hashTable
 }
 
-// entry pairs a local view with the reducer that owns it.  The owner stamp
-// plays the role the monoid pointer plays in Cilk Plus (it carries the
-// monoid) and additionally lets a lookup detect that an entry at a recycled
-// address belongs to a retired reducer.
+// entry pairs a local view with the reducer that owns it.  The view is
+// stored as its packed single-word representation (core.Reducer.BoxView
+// reassembles the interface value) rather than as a two-word interface, so
+// both mechanisms share one boxing strategy; unlike the 16-byte SPA slot,
+// though, the written flag lives in an explicit byte (24 bytes per entry)
+// rather than in the stamp's low bits — the baseline keeps plain loads and
+// stores on its mutable-in-place entries.  The owner stamp plays the role
+// the monoid pointer plays in Cilk Plus (it carries the monoid) and
+// additionally lets a lookup detect that an entry at a recycled address
+// belongs to a retired reducer.  written mirrors the SPA slots' written
+// flag: entries never handed out for mutation still hold the monoid
+// identity and are elided by the hypermerge.
 type entry struct {
-	view  any
-	owner *core.Reducer
+	view    unsafe.Pointer
+	owner   *core.Reducer
+	written bool
 }
 
 // hmTrace identifies an active trace.  Traces nest when a worker helps at a
@@ -197,6 +211,8 @@ func (e *Engine) DirectoryStats() metrics.DirectoryStats { return e.dir.Stats() 
 // per-context single-entry cache the memory-mapped engine runs sits ahead
 // of the hash table, so repeated lookups of one reducer in a loop body skip
 // the hashing entirely and the Figure comparisons stay apples-to-apples.
+// Like the memory-mapped engine, Lookup hands out a mutable view, so it
+// stamps the entry's written bit.
 func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 	if c == nil {
 		return r.Value()
@@ -219,10 +235,12 @@ func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 		// The owner stamp guarantees an entry at a recycled address never
 		// serves a stale view (mirroring the memory-mapped engine's SPA
 		// slot stamp).
-		c.CacheView(r.ID(), ent.view)
-		return ent.view
+		ent.written = true
+		v := r.BoxView(ent.view)
+		c.CacheView(r.ID(), v)
+		return v
 	}
-	return e.lookupSlow(c, w, ws, r)
+	return e.lookupSlow(c, w, ws, r, true)
 }
 
 // LookupCached implements core.Engine: the resolution step behind the typed
@@ -244,6 +262,39 @@ func (e *Engine) LookupCached(c *sched.Context, r *core.Reducer, prevEpoch uint6
 	return v, epoch
 }
 
+// LookupWord implements core.Engine: the word-level lookup behind the typed
+// handles, mirroring the memory-mapped engine so the typed API is
+// mechanism-agnostic.  Only mutable accesses stamp the entry's written bit;
+// read-only accesses leave identity views elidable by the hypermerge.
+func (e *Engine) LookupWord(c *sched.Context, r *core.Reducer, prevEpoch uint64, mutable bool) (unsafe.Pointer, uint64) {
+	_ = prevEpoch
+	if c == nil {
+		return r.UnboxView(r.Value()), 0
+	}
+	w := c.Worker()
+	ws, _ := w.Local().(*hmWorker)
+	if ws == nil {
+		return r.UnboxView(r.Value()), 0
+	}
+	if e.countLookups {
+		// Counted handles route reads here (bypassing their caches), so
+		// instrumented runs keep exact lookup counts on this path too.
+		e.lookups[w.ID()].Add(1)
+	}
+	epoch := w.ViewEpoch()
+	if ent := ws.user.lookup(r.Addr()); ent != nil && ent.owner == r {
+		if mutable {
+			ent.written = true
+		}
+		return ent.view, epoch
+	}
+	v := e.lookupSlow(c, w, ws, r, mutable)
+	if !e.dir.Valid(r) {
+		return r.UnboxView(v), 0
+	}
+	return r.UnboxView(v), epoch
+}
+
 // Workers implements core.Engine: the number of per-worker structures
 // currently maintained (construction size, grown when a larger runtime
 // attaches).
@@ -253,7 +304,7 @@ func (e *Engine) Workers() int {
 	return len(e.lookups)
 }
 
-func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *core.Reducer) any {
+func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *core.Reducer, mutable bool) any {
 	if !e.dir.Valid(r) {
 		// A retired handle: serve the frozen leftmost value, matching a
 		// serial lookup after unregistration.
@@ -266,12 +317,18 @@ func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *
 	}
 	start := e.rec.Start()
 	view := r.Monoid().Identity()
+	word := r.UnboxView(view)
 	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
 
 	start = e.rec.Start()
-	ws.user.insert(r.Addr(), &entry{view: view, owner: r})
+	ws.user.insert(r.Addr(), entry{view: word, owner: r, written: mutable})
 	e.rec.Stop(w.ID(), metrics.ViewInsertion, start)
-	c.CacheView(r.ID(), view)
+	if mutable {
+		// Only mutable resolutions populate the context's boxed cache: a
+		// cached hit never revisits the entry, so it must not bypass the
+		// written-bit stamping of a later mutable access.
+		c.CacheView(r.ID(), view)
+	}
 	return view
 }
 
@@ -350,9 +407,11 @@ func (e *Engine) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 }
 
 // Merge implements sched.ReducerRuntime: the hypermerge.  The worker walks
-// the deposited hypermap; for every element it looks up the corresponding
-// view in its own user hypermap and either reduces the pair (current ⊗
-// deposited) or inserts the deposited view.
+// the deposited hypermap; never-written entries are elided outright (the
+// view still equals the monoid identity, so current ⊗ e = current — no
+// reduce call, no insertion); for every other element it looks up the
+// corresponding view in its own user hypermap and either reduces the pair
+// (current ⊗ deposited) or inserts the deposited entry wholesale.
 func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	dep, _ := d.(*Deposit)
 	if dep == nil {
@@ -365,10 +424,18 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	start := e.rec.Start()
 	reduces := int64(0)
 	inserts := int64(0)
+	elisions := int64(0)
 	dep.views.forEach(func(addr spa.Addr, depEnt *entry) {
+		if !depEnt.written {
+			elisions++
+			return
+		}
 		if curEnt := ws.user.lookup(addr); curEnt != nil {
 			if curEnt.owner == depEnt.owner {
-				curEnt.view = depEnt.owner.Monoid().Reduce(curEnt.view, depEnt.view)
+				r := depEnt.owner
+				combined := r.Monoid().Reduce(r.BoxView(curEnt.view), r.BoxView(depEnt.view))
+				curEnt.view = r.UnboxView(combined)
+				curEnt.written = true
 				reduces++
 				return
 			}
@@ -381,7 +448,7 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 			ws.user.remove(addr)
 		}
 		insStart := e.rec.Start()
-		ws.user.insert(addr, depEnt)
+		ws.user.insert(addr, *depEnt)
 		e.rec.Stop(w.ID(), metrics.ViewInsertion, insStart)
 		inserts++
 	})
@@ -391,25 +458,39 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	if reduces > 1 {
 		e.rec.RecordCount(w.ID(), metrics.Hypermerge, reduces-1)
 	}
+	if elisions > 0 {
+		e.elisions.Add(elisions)
+	}
 	_ = inserts
 }
 
 // MergeRootDeposit implements core.Engine.  Each entry's owner stamp
 // resolves the reducer directly — no registry copy, no lock — and the
 // directory's epoch-stamped Valid check drops views whose reducer was
-// unregistered while they were in flight.
+// unregistered while they were in flight.  Never-written entries are
+// elided exactly as in Merge.
 func (e *Engine) MergeRootDeposit(d sched.Deposit) {
 	dep, _ := d.(*Deposit)
 	if dep == nil || dep.views == nil {
 		return
 	}
 	dep.views.forEach(func(addr spa.Addr, ent *entry) {
-		if ent.owner != nil && e.dir.Valid(ent.owner) {
-			core.AbsorbView(ent.owner, ent.view)
+		if ent.owner == nil || !e.dir.Valid(ent.owner) {
+			return
 		}
+		if !ent.written {
+			e.elisions.Add(1)
+			return
+		}
+		core.AbsorbView(ent.owner, ent.owner.BoxView(ent.view))
 	})
 	dep.views = nil
 }
+
+// IdentityElisions reports the number of never-written views the
+// hypermerge elided since the last reset (the hypermap counterpart of the
+// memory-mapped engine's MergePipeline.IdentityElisions).
+func (e *Engine) IdentityElisions() int64 { return e.elisions.Load() }
 
 // --- instrumentation ---
 
@@ -425,6 +506,7 @@ func (e *Engine) ResetOverheads() {
 	for i := range e.cacheHits {
 		e.cacheHits[i].Store(0)
 	}
+	e.elisions.Store(0)
 }
 
 // CacheHits reports the number of lookups served by the per-context cache

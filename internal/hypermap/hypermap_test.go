@@ -169,3 +169,84 @@ func TestHypermapSerialContext(t *testing.T) {
 		t.Fatalf("serial-context value = %d, want 9", got)
 	}
 }
+
+// TestHypermapIdentityElision checks the written-bit elision on the
+// hypermap engine: read-only resolutions (LookupWord with mutable=false)
+// leave entries unwritten, and the hypermerge skips them — no reduce call,
+// no insertion into the current map — while written entries still fold.
+func TestHypermapIdentityElision(t *testing.T) {
+	const nred = 24
+	const reps = 4
+	e := hypermap.New(hypermap.Config{Workers: 1})
+	s := core.NewSession(1, e)
+	defer s.Close()
+	rs := make([]*core.Reducer, nred)
+	for i := range rs {
+		rs[i], _ = e.Register(sumMonoid{})
+	}
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		for rep := 0; rep < reps; rep++ {
+			tr := e.BeginTrace(w)
+			for i, r := range rs {
+				if i%2 == 0 {
+					e.Lookup(c, r).(*sumView).v++ // written
+				} else {
+					word, _ := e.LookupWord(c, r, 0, false) // read-only
+					if got := (*sumView)(word).v; got != 0 {
+						t.Errorf("read-only first lookup = %d, want identity 0", got)
+					}
+				}
+			}
+			d := e.EndTrace(w, tr)
+			e.Merge(w, w.CurrentTrace(), d)
+		}
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(func(c *sched.Context) {}); err != nil {
+		t.Fatalf("flush run: %v", err)
+	}
+	for i, r := range rs {
+		want := 0
+		if i%2 == 0 {
+			want = reps
+		}
+		if got := r.Value().(*sumView).v; got != want {
+			t.Fatalf("reducer %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := e.IdentityElisions(); got != int64(nred/2*reps) {
+		t.Fatalf("IdentityElisions = %d, want %d", got, nred/2*reps)
+	}
+}
+
+// TestHypermapWriteAfterReadOnlyLookup pins the written-bit stamping order:
+// a read-only first touch followed by a mutable lookup in the same trace
+// must produce a view that merges normally.
+func TestHypermapWriteAfterReadOnlyLookup(t *testing.T) {
+	e := hypermap.New(hypermap.Config{Workers: 1})
+	s := core.NewSession(1, e)
+	defer s.Close()
+	r, _ := e.Register(sumMonoid{})
+	if err := s.Run(func(c *sched.Context) {
+		w := c.Worker()
+		tr := e.BeginTrace(w)
+		word, _ := e.LookupWord(c, r, 0, false)
+		_ = (*sumView)(word).v
+		e.Lookup(c, r).(*sumView).v += 5
+		d := e.EndTrace(w, tr)
+		e.Merge(w, w.CurrentTrace(), d)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := s.Run(func(c *sched.Context) {}); err != nil {
+		t.Fatalf("flush run: %v", err)
+	}
+	if got := r.Value().(*sumView).v; got != 5 {
+		t.Fatalf("value = %d, want 5", got)
+	}
+	if got := e.IdentityElisions(); got != 0 {
+		t.Fatalf("IdentityElisions = %d, want 0", got)
+	}
+}

@@ -133,6 +133,11 @@ type MergePipeline struct {
 	BulkPageFetches PaddedCounter // bulk pagepool fetches by view transferal
 	BulkPageReturns PaddedCounter // bulk pagepool returns after merging
 	StaleViewDrops  PaddedCounter // in-flight views dropped after their reducer was unregistered
+	// IdentityElisions counts views that were looked up but never handed
+	// out for mutation (their slot's written bit stayed clear), so the
+	// pipeline recycled them without a reduce call or a page round-trip:
+	// reducing with the monoid identity is a no-op.
+	IdentityElisions PaddedCounter
 }
 
 // MergePipelineStats is a point-in-time snapshot of MergePipeline.
@@ -140,30 +145,32 @@ type MergePipeline struct {
 // per-worker hit counters next to their lookup counters and fill the field
 // in when snapshotting (see MM.MergeStats).
 type MergePipelineStats struct {
-	Merges          int64
-	SlotsMerged     int64
-	Reduces         int64
-	Adopts          int64
-	Batches         int64
-	ParallelMerges  int64
-	BulkPageFetches int64
-	BulkPageReturns int64
-	StaleViewDrops  int64
-	CacheHits       int64
+	Merges           int64
+	SlotsMerged      int64
+	Reduces          int64
+	Adopts           int64
+	Batches          int64
+	ParallelMerges   int64
+	BulkPageFetches  int64
+	BulkPageReturns  int64
+	StaleViewDrops   int64
+	IdentityElisions int64
+	CacheHits        int64
 }
 
 // Snapshot reads every counter.
 func (m *MergePipeline) Snapshot() MergePipelineStats {
 	return MergePipelineStats{
-		Merges:          m.Merges.Load(),
-		SlotsMerged:     m.SlotsMerged.Load(),
-		Reduces:         m.Reduces.Load(),
-		Adopts:          m.Adopts.Load(),
-		Batches:         m.Batches.Load(),
-		ParallelMerges:  m.ParallelMerges.Load(),
-		BulkPageFetches: m.BulkPageFetches.Load(),
-		BulkPageReturns: m.BulkPageReturns.Load(),
-		StaleViewDrops:  m.StaleViewDrops.Load(),
+		Merges:           m.Merges.Load(),
+		SlotsMerged:      m.SlotsMerged.Load(),
+		Reduces:          m.Reduces.Load(),
+		Adopts:           m.Adopts.Load(),
+		Batches:          m.Batches.Load(),
+		ParallelMerges:   m.ParallelMerges.Load(),
+		BulkPageFetches:  m.BulkPageFetches.Load(),
+		BulkPageReturns:  m.BulkPageReturns.Load(),
+		StaleViewDrops:   m.StaleViewDrops.Load(),
+		IdentityElisions: m.IdentityElisions.Load(),
 	}
 }
 
@@ -178,6 +185,31 @@ func (m *MergePipeline) Reset() {
 	m.BulkPageFetches.Store(0)
 	m.BulkPageReturns.Store(0)
 	m.StaleViewDrops.Store(0)
+	m.IdentityElisions.Store(0)
+}
+
+// ArenaStats is a point-in-time aggregate of the per-worker view arenas:
+// how identity views were allocated (free-list reuse vs fresh bump-chunk
+// carves), how many dead views came back, and how many views bypassed the
+// arena because their monoid is not arena-eligible.  Snapshots are taken
+// while the engine is quiescent (the arenas are owner-goroutine-only).
+type ArenaStats struct {
+	Allocs      int64 // blocks handed out by the arenas
+	FreeHits    int64 // allocations served from a free list (recycled views)
+	ChunkAllocs int64 // fresh bump chunks allocated
+	Frees       int64 // dead views returned to a free list
+	FreeBlocks  int64 // blocks currently sitting on free lists
+	HeapViews   int64 // identity views heap-allocated (monoid not arena-eligible)
+}
+
+// Add accumulates another snapshot into s (used to sum per-worker arenas).
+func (s *ArenaStats) Add(other ArenaStats) {
+	s.Allocs += other.Allocs
+	s.FreeHits += other.FreeHits
+	s.ChunkAllocs += other.ChunkAllocs
+	s.Frees += other.Frees
+	s.FreeBlocks += other.FreeBlocks
+	s.HeapViews += other.HeapViews
 }
 
 // DirectoryCounters aggregates one registry shard's registration and

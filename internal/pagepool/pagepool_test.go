@@ -299,3 +299,110 @@ func TestPutNDoesNotMutateCallerSlice(t *testing.T) {
 		t.Fatalf("rejected=%d frees=%d, want 2/3", st.RejectedDirty, st.Frees)
 	}
 }
+
+func TestPutNBurstRespectsLocalMaxBound(t *testing.T) {
+	// Merge-sized bursts: a wide hypermerge returns dozens of public pages
+	// in one PutN.  The local pool must never retain more than localMax
+	// pages after the call — the burst spills to the global pool — and no
+	// page may be lost or duplicated across repeated bursts.
+	const localMax = 8
+	const burst = 64
+	const rounds = 3
+	p, _ := newPool(2, localMax)
+	for round := 1; round <= rounds; round++ {
+		pages := p.GetN(0, burst)
+		p.PutN(0, pages)
+		st := p.Stats()
+		// After a spill the local pool holds exactly localMax/2 pages; it
+		// must never exceed the bound.
+		if st.LocalPages > localMax {
+			t.Fatalf("round %d: local pools hold %d pages, bound is %d", round, st.LocalPages, localMax)
+		}
+		if st.LocalPages != localMax/2 {
+			t.Fatalf("round %d: local pool holds %d pages after spill, want %d", round, st.LocalPages, localMax/2)
+		}
+		if st.GlobalPages != burst-localMax/2 {
+			t.Fatalf("round %d: global pool holds %d pages, want %d", round, st.GlobalPages, burst-localMax/2)
+		}
+		if st.Rebalances != int64(round) {
+			t.Fatalf("round %d: Rebalances = %d, want %d (one spill per burst)", round, st.Rebalances, round)
+		}
+	}
+	// Every page must come back out exactly once: the bursts conserved the
+	// population across local and global pools.
+	seen := map[*page]bool{}
+	for _, pg := range p.GetN(0, burst) {
+		if seen[pg] {
+			t.Fatal("burst spill duplicated a page")
+		}
+		seen[pg] = true
+	}
+	if len(seen) != burst {
+		t.Fatalf("recovered %d distinct pages, want %d", len(seen), burst)
+	}
+	if st := p.Stats(); st.FreshPages != burst {
+		t.Fatalf("FreshPages = %d, want %d (burst cycling must not allocate)", st.FreshPages, burst)
+	}
+}
+
+func TestGetNBurstPrefersLocalThenGlobal(t *testing.T) {
+	// A bulk fetch must drain the worker's local pool before touching the
+	// global pool, and the global pool before allocating fresh pages —
+	// each tier under a single lock acquisition.
+	const localMax = 8
+	p, _ := newPool(2, localMax)
+	p.PutN(1, p.GetN(1, 3)) // 3 fresh pages parked in worker 1's local pool
+	p.Prime(6)              // then 6 pages into the global pool
+	pre := p.Stats()
+	_ = p.GetN(1, 12) // 3 local + 6 global + 3 fresh
+	st := p.Stats()
+	if got := st.LocalHits - pre.LocalHits; got != 3 {
+		t.Fatalf("local hits during burst = %d, want 3", got)
+	}
+	if got := st.GlobalHits - pre.GlobalHits; got != 6 {
+		t.Fatalf("global hits during burst = %d, want 6", got)
+	}
+	if got := st.FreshPages - pre.FreshPages; got != 3 {
+		t.Fatalf("fresh pages during burst = %d, want 3", got)
+	}
+	if st.LocalPages != 0 || st.GlobalPages != 0 {
+		t.Fatalf("burst fetch left pages behind: %+v", st)
+	}
+}
+
+func TestConcurrentBulkBurstsKeepInvariants(t *testing.T) {
+	// Merge-sized GetN/PutN bursts from many goroutines: the pool must
+	// never hand out a duplicate page, and every local pool stays within
+	// its bound once the dust settles.
+	const localMax = 4
+	const workers = 4
+	p, _ := newPool(workers, localMax)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pages := p.GetN(w, 17)
+				for _, pg := range pages {
+					if pg == nil {
+						t.Error("GetN handed out a nil page")
+						return
+					}
+				}
+				p.PutN(w, pages)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.LocalPages > int64(workers*localMax) {
+		t.Fatalf("local pools exceed bound after bursts: %+v", st)
+	}
+	if st.RejectedDirty != 0 {
+		t.Fatalf("clean bursts produced dirty rejections: %+v", st)
+	}
+	if st.Allocs != st.Frees {
+		t.Fatalf("page population not conserved: allocs=%d frees=%d", st.Allocs, st.Frees)
+	}
+}

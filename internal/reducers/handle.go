@@ -2,6 +2,8 @@ package reducers
 
 import (
 	"fmt"
+	"reflect"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -31,11 +33,68 @@ func (a typedMonoidAdapter[V]) Reduce(left, right any) any {
 	return a.m.Reduce(left.(*V), right.(*V))
 }
 
+// arenaMonoidAdapter is the adapter used when V is arena-eligible (fixed
+// size, pointer-free): it additionally implements core.ArenaMonoid, so the
+// memory-mapping engine places identity views inside its per-worker view
+// arenas instead of calling the heap allocator.  The identity value is
+// captured once at adaptation — a monoid's identity element is unique, so
+// copying the seed is equivalent to calling Identity (which stays in use on
+// the heap path and for the reducer's leftmost view).
+type arenaMonoidAdapter[V any] struct {
+	m    TypedMonoid[V]
+	seed V
+}
+
+func (a *arenaMonoidAdapter[V]) Identity() any { return a.m.Identity() }
+func (a *arenaMonoidAdapter[V]) Reduce(left, right any) any {
+	return a.m.Reduce(left.(*V), right.(*V))
+}
+func (a *arenaMonoidAdapter[V]) ViewBytes() uintptr { return unsafe.Sizeof(a.seed) }
+func (a *arenaMonoidAdapter[V]) InitView(p unsafe.Pointer) {
+	*(*V)(p) = a.seed
+}
+
 // AdaptMonoid wraps a typed monoid into the untyped core.Monoid the engines
 // operate on.  Handles do this internally; it is exported for callers that
-// register typed monoids through the raw core.Engine API.
+// register typed monoids through the raw core.Engine API.  View types that
+// are fixed-size and pointer-free (numbers, bools, flat structs — the Add,
+// Min, Max, And and Or reducers) get the arena adapter, which lets the
+// memory-mapping engine construct and recycle their identity views inside
+// its per-worker view arenas: the post-steal first lookup then performs no
+// heap allocation at all.
 func AdaptMonoid[V any](m TypedMonoid[V]) core.Monoid {
+	if t := reflect.TypeFor[V](); pointerFree(t) && core.ArenaClassFor(t.Size()) >= 0 {
+		if id := m.Identity(); id != nil {
+			return &arenaMonoidAdapter[V]{m: m, seed: *id}
+		}
+	}
 	return typedMonoidAdapter[V]{m: m}
+}
+
+// pointerFree reports whether a value of type t contains no pointers, so
+// its views may live in arena memory the garbage collector does not scan.
+// The check is conservative: anything not provably pointer-free (slices,
+// maps, strings, interfaces, channels, pointers, functions) stays on the
+// heap path.
+func pointerFree(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return t.Len() == 0 || pointerFree(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !pointerFree(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
 }
 
 // TypedFuncMonoid adapts a pair of typed functions into a TypedMonoid, for
@@ -53,15 +112,18 @@ func (f TypedFuncMonoid[V]) Reduce(left, right *V) *V { return f.ReduceFn(left, 
 
 // viewSlot is one worker's entry in a handle's typed view cache: the
 // context the view was resolved for, the worker view epoch the resolution
-// is valid for, and the typed view pointer.  The entry is padded to a cache
+// is valid for, the typed view pointer, and whether the cached resolution
+// already stamped the engine-side written bit (a View after a ReadView must
+// revisit the engine once to stamp it).  The entry is padded to a cache
 // line so adjacent workers' slots never share one.  Each slot is read and
 // written only by its worker's goroutine; cross-goroutine invalidation
 // happens purely through the worker's atomic view epoch.
 type viewSlot[V any] struct {
-	ctx   *sched.Context
-	epoch uint64
-	view  *V
-	_     [40]byte
+	ctx     *sched.Context
+	epoch   uint64
+	view    *V
+	written bool
+	_       [39]byte
 }
 
 // Handle is the generic core every typed reducer embeds: a registered
@@ -131,9 +193,15 @@ func newHandle[V any](eng core.Engine, m TypedMonoid[V]) Handle[V] {
 }
 
 // View returns the local view of the reducer for context c as a typed
-// pointer.  With a nil context (serial code outside the scheduler) it
-// returns the leftmost view, so typed reducers degrade to ordinary
-// variables exactly like the untyped Lookup path.
+// pointer, for reading or mutation.  With a nil context (serial code
+// outside the scheduler) it returns the leftmost view, so typed reducers
+// degrade to ordinary variables exactly like the untyped Lookup path.
+//
+// The cache-miss path resolves through Engine.LookupWord — the packed slot
+// word converted straight to *V, with no interface value constructed
+// anywhere — and, being a mutable access, stamps the slot's written bit,
+// which exempts the view from the merge pipeline's identity-view elision.
+// The steady-state hit is one padded epoch load and three compares.
 func (h *Handle[V]) View(c *sched.Context) *V {
 	if c == nil {
 		return h.r.Value().(*V)
@@ -144,17 +212,54 @@ func (h *Handle[V]) View(c *sched.Context) *V {
 	w := c.Worker()
 	if id := w.ID(); id < len(h.slots) {
 		s := &h.slots[id]
-		if s.ctx == c && s.epoch == w.ViewEpoch() {
+		if s.ctx == c && s.written && s.epoch == w.ViewEpoch() {
 			return s.view
 		}
-		v, epoch := h.eng.LookupCached(c, h.r, s.epoch)
-		tv := v.(*V)
+		// Cache miss — or a hit resolved read-only, which must revisit the
+		// engine once so the slot's written bit gets stamped.
+		word, epoch := h.eng.LookupWord(c, h.r, s.epoch, true)
+		tv := (*V)(word)
 		if epoch != 0 {
 			// Engines return epoch zero for "do not cache" (retired
 			// handles); a worker running a context has passed BeginTrace,
 			// so its real epoch is never zero and the sentinel can never
 			// collide with a valid stamp.
-			s.ctx, s.epoch, s.view = c, epoch, tv
+			s.ctx, s.epoch, s.view, s.written = c, epoch, tv, true
+		}
+		return tv
+	}
+	return h.eng.Lookup(c, h.r).(*V)
+}
+
+// ReadView returns the local view for reading only.  It resolves exactly
+// like View but never stamps the written bit: a view that is only ever
+// read through ReadView still equals the monoid identity, so the merge
+// pipeline elides it — no reduce call, no transferal, and (on the
+// memory-mapped engine) its arena block is recycled at trace end.  Do not
+// write through the returned pointer; use View for that.
+func (h *Handle[V]) ReadView(c *sched.Context) *V {
+	if c == nil {
+		return h.r.Value().(*V)
+	}
+	if h.counted {
+		// Counted handles bypass their caches so instrumented runs keep
+		// exact lookup counts — but a read must still resolve through the
+		// read-only path (LookupWord counts it too), or counting would
+		// stamp the written bit and silently disable identity elision.
+		word, _ := h.eng.LookupWord(c, h.r, 0, false)
+		return (*V)(word)
+	}
+	w := c.Worker()
+	if id := w.ID(); id < len(h.slots) {
+		s := &h.slots[id]
+		if s.ctx == c && s.epoch == w.ViewEpoch() {
+			// A cached view serves reads regardless of how it was resolved.
+			return s.view
+		}
+		word, epoch := h.eng.LookupWord(c, h.r, s.epoch, false)
+		tv := (*V)(word)
+		if epoch != 0 {
+			s.ctx, s.epoch, s.view, s.written = c, epoch, tv, false
 		}
 		return tv
 	}

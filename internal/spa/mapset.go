@@ -1,6 +1,9 @@
 package spa
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // Addr is a global view-slot address: it identifies one 16-byte slot across
 // a sequence of SPA map pages.  It plays the role of the paper's tlmm_addr,
@@ -58,9 +61,9 @@ func (ms *MapSet) EnsurePage(i int) *Map {
 	return ms.pages[i]
 }
 
-// Get returns the view at addr, or nil if the page does not exist or the
-// slot is empty.  This is the lookup fast path at MapSet granularity.
-func (ms *MapSet) Get(addr Addr) any {
+// Get returns the view word at addr, or nil if the page does not exist or
+// the slot is empty.  This is the lookup fast path at MapSet granularity.
+func (ms *MapSet) Get(addr Addr) unsafe.Pointer {
 	pi := addr.Page()
 	if pi < 0 || pi >= len(ms.pages) {
 		return nil
@@ -69,9 +72,9 @@ func (ms *MapSet) Get(addr Addr) any {
 }
 
 // SlotAt returns the full slot at addr, or the zero Slot if the page does
-// not exist.  Reducer engines use it where Get's view pointer alone is not
+// not exist.  Reducer engines use it where Get's view word alone is not
 // enough: the slot's second word carries the owner stamp that guards
-// against a recycled address serving a stale view.
+// against a recycled address serving a stale view, plus the per-slot flags.
 func (ms *MapSet) SlotAt(addr Addr) Slot {
 	pi := addr.Page()
 	if pi < 0 || pi >= len(ms.pages) {
@@ -80,21 +83,41 @@ func (ms *MapSet) SlotAt(addr Addr) Slot {
 	return ms.pages[pi].SlotAt(addr.Slot())
 }
 
-// Insert stores a (view, monoid) pair at addr, growing the set as needed.
-func (ms *MapSet) Insert(addr Addr, view, monoid any) error {
+// Insert stores a (view, owner) pair with flags at addr, growing the set as
+// needed.
+func (ms *MapSet) Insert(addr Addr, view, owner unsafe.Pointer, flags uintptr) error {
 	if addr < 0 {
 		return fmt.Errorf("%w: %d", ErrSlotOutOfRange, addr)
 	}
-	return ms.EnsurePage(addr.Page()).Insert(addr.Slot(), view, monoid)
+	return ms.EnsurePage(addr.Page()).Insert(addr.Slot(), view, owner, flags)
 }
 
-// Update replaces the view at an occupied addr.
-func (ms *MapSet) Update(addr Addr, view any) error {
+// InsertSlot installs a pre-packed slot at addr, growing the set as needed.
+// Merges use it to move deposited slots wholesale, flags included.
+func (ms *MapSet) InsertSlot(addr Addr, s Slot) error {
+	if addr < 0 || s.IsEmpty() {
+		return fmt.Errorf("%w: %d", ErrSlotOutOfRange, addr)
+	}
+	return ms.EnsurePage(addr.Page()).insertSlot(addr.Slot(), s)
+}
+
+// Update replaces the view word and flags at an occupied addr.
+func (ms *MapSet) Update(addr Addr, view unsafe.Pointer, flags uintptr) error {
 	pi := addr.Page()
 	if pi < 0 || pi >= len(ms.pages) {
 		return fmt.Errorf("%w: %d", ErrSlotEmpty, addr)
 	}
-	return ms.pages[pi].Update(addr.Slot(), view)
+	return ms.pages[pi].Update(addr.Slot(), view, flags)
+}
+
+// MarkWritten sets the written flag on the slot at addr (no-op when the
+// page or slot does not exist).
+func (ms *MapSet) MarkWritten(addr Addr) {
+	pi := addr.Page()
+	if pi < 0 || pi >= len(ms.pages) {
+		return
+	}
+	ms.pages[pi].MarkWritten(addr.Slot())
 }
 
 // Remove clears the slot at addr and returns its previous contents.
@@ -107,7 +130,8 @@ func (ms *MapSet) Remove(addr Addr) (Slot, error) {
 }
 
 // Range calls fn for every valid (addr, slot) pair across all pages.
-// Iteration stops early if fn returns false.
+// Iteration stops early if fn returns false.  fn may Remove the slot it is
+// visiting (the engines' identity-view elision does exactly that).
 func (ms *MapSet) Range(fn func(addr Addr, s Slot) bool) {
 	for pi, p := range ms.pages {
 		stop := false

@@ -3,8 +3,8 @@
 //
 // A SPA map occupies one 4 KB page of the worker's TLMM region and holds
 //
-//   - a view array of 248 elements, each a pair of 8-byte pointers
-//     (local view, monoid),
+//   - a view array of 248 elements, each a pair of 8-byte machine words
+//     (local view pointer, owner stamp),
 //   - a log array of 120 one-byte indices naming the valid elements,
 //   - a 4-byte count of valid elements, and
 //   - a 4-byte count of log entries.
@@ -14,11 +14,33 @@
 // in the number of views by walking the log.  If more views are inserted
 // than the log can describe, the log is abandoned and sequencing falls back
 // to scanning the whole view array; the insertion cost amortises the scan.
+//
+// # Word packing
+//
+// A slot really is two machine words — 16 bytes, the paper's layout — not
+// two Go interfaces (32 bytes).  The first word is the view's single-word
+// representation (the data word of the interface value the reducer engine
+// hands out; see core.Reducer.BoxView for the safety argument).  The second
+// word is the owner stamp: a pointer to the owning reducer, whose low three
+// bits — always zero in a real pointer — carry per-slot flags:
+//
+//   - FlagWritten marks that the view has been handed out for mutation
+//     since it was inserted.  A slot whose flag is clear provably still
+//     holds the monoid identity, so hypermerges elide it (reduce with the
+//     identity is a no-op).
+//   - FlagArena marks that the view's memory was carved from a runtime
+//     view arena (or recycled through one) and may be returned to an arena
+//     free list when the view dies.
+//
+// The tagged stamp is produced with unsafe.Add, so it remains an interior
+// pointer into the owning reducer: the garbage collector keeps the reducer
+// alive through it, and `go vet -unsafeptr` accepts every conversion.
 package spa
 
 import (
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"repro/internal/tlmm"
 )
@@ -30,13 +52,30 @@ const (
 	SlotsPerMap = 248
 	// LogCapacity is the number of one-byte indices in the log array.
 	LogCapacity = 120
-	// SlotBytes is the in-page size of one view slot (two 8-byte pointers).
+	// SlotBytes is the in-page size of one view slot (two 8-byte words).
 	SlotBytes = 16
 )
 
-// Compile-time style check that the modelled layout fits one page:
-// 248*16 + 120 + 4 + 4 = 4096.
-var _ = [1]struct{}{}[(SlotsPerMap*SlotBytes+LogCapacity+4+4)-tlmm.PageSize]
+// Per-slot flags, carried in the low bits of the owner stamp.
+const (
+	// FlagWritten marks a view that has been handed out for mutation; a
+	// clear flag proves the view still equals the monoid identity.
+	FlagWritten uintptr = 1 << 0
+	// FlagArena marks a view whose memory may be recycled through a view
+	// arena when the view dies.
+	FlagArena uintptr = 1 << 1
+
+	// FlagMask covers every flag bit.  Owner stamps are at least 8-byte
+	// aligned, so the flag bits never collide with address bits.
+	FlagMask uintptr = FlagWritten | FlagArena
+)
+
+// Compile-time checks that the modelled layout fits one page
+// (248*16 + 120 + 4 + 4 = 4096) and that a slot really is two words.
+var (
+	_ = [1]struct{}{}[(SlotsPerMap*SlotBytes+LogCapacity+4+4)-tlmm.PageSize]
+	_ = [1]struct{}{}[unsafe.Sizeof(Slot{})-SlotBytes]
+)
 
 // Errors returned by SPA maps.
 var (
@@ -45,20 +84,61 @@ var (
 	ErrSlotEmpty      = errors.New("spa: slot holds no view")
 )
 
-// Slot is one element of the view array: a pointer to a local view paired
-// with a second 8-byte word identifying how to reduce it.  In the paper the
-// second word is the monoid pointer; the engines here store the owning
-// reducer handle (which carries the monoid) so that a recycled slot address
-// can be detected by comparing the stamp against the reducer being looked
-// up.  Both words are nil when the slot is empty; the runtime maintains the
-// invariant that they are nil or non-nil together.
+// Slot is one element of the view array: two packed machine words.  The
+// first is the view word (never nil in an occupied slot); the second is the
+// owner stamp — a pointer to the owning reducer tagged with the slot flags
+// in its low bits.  In the paper the second word is the monoid pointer; the
+// engines here store the owning reducer handle (which carries the monoid)
+// so that a recycled slot address can be detected by comparing the stamp
+// against the reducer being looked up.  Both words are nil when the slot is
+// empty; the runtime maintains the invariant that they are nil or non-nil
+// together.
 type Slot struct {
-	View   any
-	Monoid any
+	view  unsafe.Pointer
+	owner unsafe.Pointer
+}
+
+// MakeSlot packs a slot from a view word, an untagged owner stamp and flag
+// bits.  It is exported for tests and engine code that moves slots between
+// maps wholesale.
+func MakeSlot(view, owner unsafe.Pointer, flags uintptr) Slot {
+	return Slot{view: view, owner: tagOwner(owner, flags&FlagMask)}
+}
+
+// tagOwner folds flag bits into an owner stamp.  unsafe.Add keeps the
+// result an interior pointer into the owner allocation, so the GC still
+// pins the owner through the tagged word.
+func tagOwner(owner unsafe.Pointer, flags uintptr) unsafe.Pointer {
+	return unsafe.Add(owner, flags)
+}
+
+// untagOwner strips the flag bits from a tagged stamp.
+func untagOwner(tagged unsafe.Pointer) unsafe.Pointer {
+	return unsafe.Add(tagged, -int(uintptr(tagged)&FlagMask))
 }
 
 // IsEmpty reports whether the slot holds no view.
-func (s Slot) IsEmpty() bool { return s.View == nil && s.Monoid == nil }
+func (s Slot) IsEmpty() bool { return s.view == nil }
+
+// View returns the slot's view word (nil when the slot is empty).
+func (s Slot) View() unsafe.Pointer { return s.view }
+
+// Owner returns the slot's untagged owner stamp (nil when empty).
+func (s Slot) Owner() unsafe.Pointer {
+	if s.owner == nil {
+		return nil
+	}
+	return untagOwner(s.owner)
+}
+
+// Flags returns the slot's flag bits.
+func (s Slot) Flags() uintptr { return uintptr(s.owner) & FlagMask }
+
+// Written reports whether the slot's view has been handed out for mutation.
+func (s Slot) Written() bool { return uintptr(s.owner)&FlagWritten != 0 }
+
+// Arena reports whether the slot's view memory is arena-recyclable.
+func (s Slot) Arena() bool { return uintptr(s.owner)&FlagArena != 0 }
 
 // Map is one SPA map page.
 type Map struct {
@@ -112,13 +192,14 @@ func (m *Map) Lookup(i int) (Slot, error) {
 	return m.views[i], nil
 }
 
-// Get returns the view stored at slot i, or nil if the slot is empty or out
-// of range.  It is the unchecked fast path used by the reducer mechanism.
-func (m *Map) Get(i int) any {
+// Get returns the view word stored at slot i, or nil if the slot is empty
+// or out of range.  It is the unchecked fast path used by the reducer
+// mechanism.
+func (m *Map) Get(i int) unsafe.Pointer {
 	if i < 0 || i >= SlotsPerMap {
 		return nil
 	}
-	return m.views[i].View
+	return m.views[i].view
 }
 
 // SlotAt returns the full slot at index i, or the zero Slot if i is out of
@@ -131,18 +212,25 @@ func (m *Map) SlotAt(i int) Slot {
 	return m.views[i]
 }
 
-// Insert stores a (view, monoid) pair at slot i, which must be empty.
-func (m *Map) Insert(i int, view, monoid any) error {
+// Insert stores a (view, owner) pair with the given flags at slot i, which
+// must be empty.
+func (m *Map) Insert(i int, view, owner unsafe.Pointer, flags uintptr) error {
 	if i < 0 || i >= SlotsPerMap {
 		return fmt.Errorf("%w: %d", ErrSlotOutOfRange, i)
 	}
-	if view == nil || monoid == nil {
-		return errors.New("spa: nil view or monoid")
+	if view == nil || owner == nil {
+		return errors.New("spa: nil view or owner")
 	}
+	return m.insertSlot(i, MakeSlot(view, owner, flags))
+}
+
+// insertSlot installs a pre-packed slot at an empty index, maintaining the
+// count and log bookkeeping.
+func (m *Map) insertSlot(i int, s Slot) error {
 	if !m.views[i].IsEmpty() {
 		return fmt.Errorf("%w: %d", ErrSlotOccupied, i)
 	}
-	m.views[i] = Slot{View: view, Monoid: monoid}
+	m.views[i] = s
 	m.nviews++
 	if m.logValid {
 		if int(m.nlogs) < LogCapacity {
@@ -158,21 +246,34 @@ func (m *Map) Insert(i int, view, monoid any) error {
 	return nil
 }
 
-// Update replaces the view stored at an occupied slot, leaving the monoid
-// unchanged.  It is used by hypermerges, which fold one view into another
-// in place.
-func (m *Map) Update(i int, view any) error {
+// Update replaces the view word and flags stored at an occupied slot,
+// leaving the owner stamp unchanged.  It is used by hypermerges, which fold
+// one view into another in place.
+func (m *Map) Update(i int, view unsafe.Pointer, flags uintptr) error {
 	if i < 0 || i >= SlotsPerMap {
 		return fmt.Errorf("%w: %d", ErrSlotOutOfRange, i)
 	}
-	if m.views[i].IsEmpty() {
+	s := m.views[i]
+	if s.IsEmpty() {
 		return fmt.Errorf("%w: %d", ErrSlotEmpty, i)
 	}
 	if view == nil {
 		return errors.New("spa: nil view")
 	}
-	m.views[i].View = view
+	m.views[i] = MakeSlot(view, s.Owner(), flags)
 	return nil
+}
+
+// MarkWritten sets the written flag on slot i.  It is a no-op on empty or
+// out-of-range slots, so the lookup fast path can call it unconditionally
+// after its owner-stamp check.
+func (m *Map) MarkWritten(i int) {
+	if i < 0 || i >= SlotsPerMap {
+		return
+	}
+	if s := m.views[i]; !s.IsEmpty() {
+		m.views[i].owner = tagOwner(s.Owner(), s.Flags()|FlagWritten)
+	}
 }
 
 // Remove clears slot i (used when a reducer goes out of scope and its slot
@@ -195,7 +296,7 @@ func (m *Map) Remove(i int) (Slot, error) {
 // Range calls fn for every valid (index, slot) pair.  If the log is valid
 // it walks only the logged indices (linear in the number of insertions);
 // otherwise it scans the whole view array.  Iteration stops early if fn
-// returns false.
+// returns false.  fn may Remove the slot it is visiting.
 func (m *Map) Range(fn func(i int, s Slot) bool) {
 	if m.logValid {
 		for k := 0; k < int(m.nlogs); k++ {
@@ -238,10 +339,10 @@ func (m *Map) Indices() []int {
 // for view transferal (Section 7): as the worker sequences through valid
 // indices it simultaneously zeroes them out in the source map, so that
 // after the transfer the private map is empty and may be reused by the
-// worker for its next trace.
+// worker for its next trace.  Slots move wholesale, flags included.
 func (m *Map) TransferTo(dst *Map) (moved int, err error) {
 	transfer := func(i int, s Slot) bool {
-		if insErr := dst.Insert(i, s.View, s.Monoid); insErr != nil {
+		if insErr := dst.insertSlot(i, s); insErr != nil {
 			err = insErr
 			return false
 		}
@@ -262,20 +363,27 @@ func (m *Map) TransferTo(dst *Map) (moved int, err error) {
 }
 
 // Encode serialises the SPA map into its in-page byte layout inside buf,
-// which must be at least tlmm.PageSize bytes.  Views and monoids are
+// which must be at least tlmm.PageSize bytes.  View and owner words are
 // represented by the caller-provided handle function, which maps them to
 // 8-byte identifiers (a real system stores raw pointers; the model stores
 // stable handles so a page can round-trip through the TLMM page store).
-func (m *Map) Encode(buf []byte, handle func(any) uint64) error {
+// Handles must have their low three bits clear — like the 8-byte-aligned
+// pointers they stand in for — because the slot flags are packed into the
+// low bits of the encoded owner word.
+func (m *Map) Encode(buf []byte, handle func(unsafe.Pointer) uint64) error {
 	if len(buf) < tlmm.PageSize {
 		return fmt.Errorf("spa: encode buffer of %d bytes, need %d", len(buf), tlmm.PageSize)
 	}
 	off := 0
 	for i := 0; i < SlotsPerMap; i++ {
 		var hv, hm uint64
-		if !m.views[i].IsEmpty() {
-			hv = handle(m.views[i].View)
-			hm = handle(m.views[i].Monoid)
+		if s := m.views[i]; !s.IsEmpty() {
+			hv = handle(s.View())
+			hm = handle(s.Owner())
+			if hv&uint64(FlagMask) != 0 || hm&uint64(FlagMask) != 0 {
+				return fmt.Errorf("spa: handle with low flag bits set at slot %d", i)
+			}
+			hm |= uint64(s.Flags())
 		}
 		putLE64(buf[off:], hv)
 		putLE64(buf[off+8:], hm)
@@ -289,8 +397,9 @@ func (m *Map) Encode(buf []byte, handle func(any) uint64) error {
 }
 
 // Decode reconstructs the SPA map from its in-page byte layout, resolving
-// 8-byte identifiers back to views/monoids through the lookup function.
-func (m *Map) Decode(buf []byte, lookup func(uint64) any) error {
+// 8-byte identifiers back to view/owner words through the lookup function
+// and restoring the slot flags from the encoded owner word's low bits.
+func (m *Map) Decode(buf []byte, lookup func(uint64) unsafe.Pointer) error {
 	if len(buf) < tlmm.PageSize {
 		return fmt.Errorf("spa: decode buffer of %d bytes, need %d", len(buf), tlmm.PageSize)
 	}
@@ -304,7 +413,8 @@ func (m *Map) Decode(buf []byte, lookup func(uint64) any) error {
 		if hv == 0 && hm == 0 {
 			continue
 		}
-		m.views[i] = Slot{View: lookup(hv), Monoid: lookup(hm)}
+		flags := uintptr(hm) & FlagMask
+		m.views[i] = MakeSlot(lookup(hv), lookup(hm&^uint64(FlagMask)), flags)
 		valid++
 	}
 	copy(m.log[:], buf[off:off+LogCapacity])

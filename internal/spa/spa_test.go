@@ -5,11 +5,48 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"repro/internal/tlmm"
 )
 
-type fakeMonoid struct{ name string }
+// fakeOwner stands in for the reducer handle whose pointer the engines
+// stamp into a slot's second word.
+type fakeOwner struct{ name string }
+
+func (o *fakeOwner) ptr() unsafe.Pointer { return unsafe.Pointer(o) }
+
+// newView allocates a word-sized view and returns its word.
+func newView() unsafe.Pointer { return unsafe.Pointer(new(int64)) }
+
+func TestSlotIsTwoWords(t *testing.T) {
+	if got := unsafe.Sizeof(Slot{}); got != SlotBytes {
+		t.Fatalf("Slot is %d bytes, want %d (the paper's 16-byte pair)", got, SlotBytes)
+	}
+}
+
+func TestSlotFlagPacking(t *testing.T) {
+	own := &fakeOwner{"add"}
+	v := newView()
+	for _, flags := range []uintptr{0, FlagWritten, FlagArena, FlagWritten | FlagArena} {
+		s := MakeSlot(v, own.ptr(), flags)
+		if s.View() != v {
+			t.Fatalf("flags %#x: View mangled", flags)
+		}
+		if s.Owner() != own.ptr() {
+			t.Fatalf("flags %#x: Owner mangled", flags)
+		}
+		if s.Flags() != flags {
+			t.Fatalf("Flags = %#x, want %#x", s.Flags(), flags)
+		}
+		if s.Written() != (flags&FlagWritten != 0) || s.Arena() != (flags&FlagArena != 0) {
+			t.Fatalf("flags %#x: Written/Arena accessors wrong", flags)
+		}
+		if s.IsEmpty() {
+			t.Fatalf("flags %#x: packed slot reads empty", flags)
+		}
+	}
+}
 
 func TestNewMapIsEmpty(t *testing.T) {
 	m := New()
@@ -29,28 +66,28 @@ func TestNewMapIsEmpty(t *testing.T) {
 
 func TestInsertLookupRemove(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
-	v := new(int)
-	if err := m.Insert(7, v, mon); err != nil {
+	own := &fakeOwner{"add"}
+	v := newView()
+	if err := m.Insert(7, v, own.ptr(), 0); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
 	if m.Len() != 1 || m.LogLen() != 1 {
 		t.Fatalf("Len/LogLen = %d/%d, want 1/1", m.Len(), m.LogLen())
 	}
-	if got := m.Get(7); got != any(v) {
+	if got := m.Get(7); got != v {
 		t.Fatalf("Get(7) = %v, want inserted view", got)
 	}
 	if got := m.Get(8); got != nil {
 		t.Fatalf("Get(8) = %v, want nil", got)
 	}
-	if err := m.Insert(7, new(int), mon); !errors.Is(err, ErrSlotOccupied) {
+	if err := m.Insert(7, newView(), own.ptr(), 0); !errors.Is(err, ErrSlotOccupied) {
 		t.Fatalf("double insert: got %v, want ErrSlotOccupied", err)
 	}
 	s, err := m.Remove(7)
 	if err != nil {
 		t.Fatalf("Remove: %v", err)
 	}
-	if s.View != any(v) {
+	if s.View() != v || s.Owner() != own.ptr() {
 		t.Fatal("Remove returned wrong slot contents")
 	}
 	if _, err := m.Remove(7); !errors.Is(err, ErrSlotEmpty) {
@@ -61,28 +98,59 @@ func TestInsertLookupRemove(t *testing.T) {
 	}
 }
 
+func TestMarkWritten(t *testing.T) {
+	m := New()
+	own := &fakeOwner{"add"}
+	v := newView()
+	if err := m.Insert(11, v, own.ptr(), FlagArena); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if m.SlotAt(11).Written() {
+		t.Fatal("fresh slot already marked written")
+	}
+	m.MarkWritten(11)
+	s := m.SlotAt(11)
+	if !s.Written() {
+		t.Fatal("MarkWritten did not set the flag")
+	}
+	if !s.Arena() {
+		t.Fatal("MarkWritten clobbered the arena flag")
+	}
+	if s.View() != v || s.Owner() != own.ptr() {
+		t.Fatal("MarkWritten disturbed the slot words")
+	}
+	// Idempotent, and harmless on empty or out-of-range slots.
+	m.MarkWritten(11)
+	m.MarkWritten(12)
+	m.MarkWritten(-1)
+	m.MarkWritten(SlotsPerMap)
+	if m.Len() != 1 || !m.SlotAt(11).Written() {
+		t.Fatal("MarkWritten no-op cases disturbed the map")
+	}
+}
+
 func TestInsertValidation(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
-	if err := m.Insert(-1, new(int), mon); !errors.Is(err, ErrSlotOutOfRange) {
+	own := &fakeOwner{"add"}
+	if err := m.Insert(-1, newView(), own.ptr(), 0); !errors.Is(err, ErrSlotOutOfRange) {
 		t.Fatalf("Insert(-1): got %v, want ErrSlotOutOfRange", err)
 	}
-	if err := m.Insert(SlotsPerMap, new(int), mon); !errors.Is(err, ErrSlotOutOfRange) {
+	if err := m.Insert(SlotsPerMap, newView(), own.ptr(), 0); !errors.Is(err, ErrSlotOutOfRange) {
 		t.Fatalf("Insert(248): got %v, want ErrSlotOutOfRange", err)
 	}
-	if err := m.Insert(0, nil, mon); err == nil {
+	if err := m.Insert(0, nil, own.ptr(), 0); err == nil {
 		t.Fatal("Insert of nil view should fail")
 	}
-	if err := m.Insert(0, new(int), nil); err == nil {
-		t.Fatal("Insert of nil monoid should fail")
+	if err := m.Insert(0, newView(), nil, 0); err == nil {
+		t.Fatal("Insert of nil owner should fail")
 	}
 	if _, err := m.Lookup(SlotsPerMap); !errors.Is(err, ErrSlotOutOfRange) {
 		t.Fatalf("Lookup out of range: got %v, want ErrSlotOutOfRange", err)
 	}
-	if err := m.Update(5, new(int)); !errors.Is(err, ErrSlotEmpty) {
+	if err := m.Update(5, newView(), 0); !errors.Is(err, ErrSlotEmpty) {
 		t.Fatalf("Update of empty slot: got %v, want ErrSlotEmpty", err)
 	}
-	if err := m.Update(-3, new(int)); !errors.Is(err, ErrSlotOutOfRange) {
+	if err := m.Update(-3, newView(), 0); !errors.Is(err, ErrSlotOutOfRange) {
 		t.Fatalf("Update out of range: got %v, want ErrSlotOutOfRange", err)
 	}
 	if _, err := m.Remove(SlotsPerMap + 1); !errors.Is(err, ErrSlotOutOfRange) {
@@ -90,20 +158,27 @@ func TestInsertValidation(t *testing.T) {
 	}
 }
 
-func TestUpdateReplacesView(t *testing.T) {
+func TestUpdateReplacesViewAndFlags(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
-	v1, v2 := new(int), new(int)
-	if err := m.Insert(3, v1, mon); err != nil {
+	own := &fakeOwner{"add"}
+	v1, v2 := newView(), newView()
+	if err := m.Insert(3, v1, own.ptr(), FlagArena); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	if err := m.Update(3, v2); err != nil {
+	if err := m.Update(3, v2, FlagWritten); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
-	if got := m.Get(3); got != any(v2) {
+	s := m.SlotAt(3)
+	if s.View() != v2 {
 		t.Fatal("Update did not replace view")
 	}
-	if err := m.Update(3, nil); err == nil {
+	if s.Owner() != own.ptr() {
+		t.Fatal("Update disturbed the owner stamp")
+	}
+	if s.Flags() != FlagWritten {
+		t.Fatalf("Update flags = %#x, want FlagWritten", s.Flags())
+	}
+	if err := m.Update(3, nil, 0); err == nil {
 		t.Fatal("Update with nil view should fail")
 	}
 	if m.Len() != 1 {
@@ -113,10 +188,10 @@ func TestUpdateReplacesView(t *testing.T) {
 
 func TestRangeUsesLogWhenValid(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
+	own := &fakeOwner{"add"}
 	order := []int{17, 3, 200, 45}
 	for _, i := range order {
-		if err := m.Insert(i, new(int), mon); err != nil {
+		if err := m.Insert(i, newView(), own.ptr(), 0); err != nil {
 			t.Fatalf("Insert(%d): %v", i, err)
 		}
 	}
@@ -147,9 +222,9 @@ func TestRangeUsesLogWhenValid(t *testing.T) {
 
 func TestRangeSkipsRemovedEntriesLoggedEarlier(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
+	own := &fakeOwner{"add"}
 	for _, i := range []int{1, 2, 3} {
-		if err := m.Insert(i, new(int), mon); err != nil {
+		if err := m.Insert(i, newView(), own.ptr(), 0); err != nil {
 			t.Fatalf("Insert: %v", err)
 		}
 	}
@@ -166,13 +241,54 @@ func TestRangeSkipsRemovedEntriesLoggedEarlier(t *testing.T) {
 	}
 }
 
+func TestRangeAllowsRemovalDuringIteration(t *testing.T) {
+	// The engines' identity-view elision removes unwritten slots while
+	// ranging over the map; exercise that on both the logged and the
+	// overflowed (full-scan) sequencing paths.
+	for _, n := range []int{40, LogCapacity + 30} {
+		m := New()
+		own := &fakeOwner{"add"}
+		for i := 0; i < n; i++ {
+			flags := uintptr(0)
+			if i%2 == 0 {
+				flags = FlagWritten
+			}
+			if err := m.Insert(i, newView(), own.ptr(), flags); err != nil {
+				t.Fatalf("Insert(%d): %v", i, err)
+			}
+		}
+		removed := 0
+		m.Range(func(i int, s Slot) bool {
+			if !s.Written() {
+				if _, err := m.Remove(i); err != nil {
+					t.Fatalf("Remove(%d) during Range: %v", i, err)
+				}
+				removed++
+			}
+			return true
+		})
+		if removed != n/2 {
+			t.Fatalf("n=%d: removed %d unwritten slots, want %d", n, removed, n/2)
+		}
+		if m.Len() != n-removed {
+			t.Fatalf("n=%d: Len = %d after elision, want %d", n, m.Len(), n-removed)
+		}
+		m.Range(func(i int, s Slot) bool {
+			if !s.Written() {
+				t.Fatalf("n=%d: unwritten slot %d survived elision", n, i)
+			}
+			return true
+		})
+	}
+}
+
 func TestLogOverflowFallsBackToScan(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
+	own := &fakeOwner{"add"}
 	// Insert more views than the log can describe.
 	n := LogCapacity + 30
 	for i := 0; i < n; i++ {
-		if err := m.Insert(i, new(int), mon); err != nil {
+		if err := m.Insert(i, newView(), own.ptr(), 0); err != nil {
 			t.Fatalf("Insert(%d): %v", i, err)
 		}
 	}
@@ -197,9 +313,9 @@ func TestLogOverflowFallsBackToScan(t *testing.T) {
 
 func TestResetRestoresEmptyState(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
+	own := &fakeOwner{"add"}
 	for i := 0; i < LogCapacity+10; i++ {
-		_ = m.Insert(i, new(int), mon)
+		_ = m.Insert(i, newView(), own.ptr(), 0)
 	}
 	m.Reset()
 	if !m.IsEmpty() || m.LogLen() != 0 || !m.LogValid() {
@@ -213,10 +329,10 @@ func TestResetRestoresEmptyState(t *testing.T) {
 func TestTransferToMovesAndEmptiesSource(t *testing.T) {
 	src := New()
 	dst := New()
-	mon := &fakeMonoid{"add"}
+	own := &fakeOwner{"add"}
 	idx := []int{5, 9, 100, 247}
 	for _, i := range idx {
-		if err := src.Insert(i, new(int), mon); err != nil {
+		if err := src.Insert(i, newView(), own.ptr(), FlagWritten|FlagArena); err != nil {
 			t.Fatalf("Insert: %v", err)
 		}
 	}
@@ -234,8 +350,12 @@ func TestTransferToMovesAndEmptiesSource(t *testing.T) {
 		t.Fatalf("destination has %d views, want %d", dst.Len(), len(idx))
 	}
 	for _, i := range idx {
-		if dst.Get(i) == nil {
+		s := dst.SlotAt(i)
+		if s.IsEmpty() {
 			t.Fatalf("destination missing view at slot %d", i)
+		}
+		if s.Flags() != FlagWritten|FlagArena {
+			t.Fatalf("transfer dropped flags at slot %d: %#x", i, s.Flags())
 		}
 	}
 }
@@ -243,9 +363,9 @@ func TestTransferToMovesAndEmptiesSource(t *testing.T) {
 func TestTransferToOccupiedDestinationFails(t *testing.T) {
 	src := New()
 	dst := New()
-	mon := &fakeMonoid{"add"}
-	_ = src.Insert(4, new(int), mon)
-	_ = dst.Insert(4, new(int), mon)
+	own := &fakeOwner{"add"}
+	_ = src.Insert(4, newView(), own.ptr(), 0)
+	_ = dst.Insert(4, newView(), own.ptr(), 0)
 	if _, err := src.TransferTo(dst); !errors.Is(err, ErrSlotOccupied) {
 		t.Fatalf("TransferTo into occupied slot: got %v, want ErrSlotOccupied", err)
 	}
@@ -253,57 +373,62 @@ func TestTransferToOccupiedDestinationFails(t *testing.T) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	m := New()
-	mon := &fakeMonoid{"add"}
-	views := map[uint64]any{1: mon}
-	handleOf := map[any]uint64{mon: 1}
+	own := &fakeOwner{"add"}
+	// Handles are shifted past the flag bits, like aligned pointers.
+	words := map[uint64]unsafe.Pointer{1 << 3: own.ptr()}
+	handleOf := map[unsafe.Pointer]uint64{own.ptr(): 1 << 3}
 	next := uint64(2)
+	flagsAt := map[int]uintptr{0: 0, 10: FlagWritten, 200: FlagWritten | FlagArena}
 	for _, i := range []int{0, 10, 200} {
-		v := new(int)
-		*v = i
-		views[next] = v
-		handleOf[v] = next
+		v := newView()
+		words[next<<3] = v
+		handleOf[v] = next << 3
 		next++
-		if err := m.Insert(i, v, mon); err != nil {
+		if err := m.Insert(i, v, own.ptr(), flagsAt[i]); err != nil {
 			t.Fatalf("Insert: %v", err)
 		}
 	}
 	buf := make([]byte, tlmm.PageSize)
-	if err := m.Encode(buf, func(x any) uint64 { return handleOf[x] }); err != nil {
+	if err := m.Encode(buf, func(x unsafe.Pointer) uint64 { return handleOf[x] }); err != nil {
 		t.Fatalf("Encode: %v", err)
 	}
 	var out Map
-	if err := out.Decode(buf, func(h uint64) any { return views[h] }); err != nil {
+	if err := out.Decode(buf, func(h uint64) unsafe.Pointer { return words[h] }); err != nil {
 		t.Fatalf("Decode: %v", err)
 	}
 	if out.Len() != m.Len() {
 		t.Fatalf("decoded Len = %d, want %d", out.Len(), m.Len())
 	}
 	for _, i := range []int{0, 10, 200} {
-		got, want := out.Get(i), m.Get(i)
+		got, want := out.SlotAt(i), m.SlotAt(i)
 		if got != want {
-			t.Fatalf("decoded slot %d = %v, want %v", i, got, want)
+			t.Fatalf("decoded slot %d = %+v, want %+v (flags must round-trip)", i, got, want)
 		}
 	}
-	if err := m.Encode(make([]byte, 10), func(any) uint64 { return 0 }); err == nil {
+	// Handles with flag bits set cannot be distinguished from flags.
+	if err := m.Encode(buf, func(unsafe.Pointer) uint64 { return 3 }); err == nil {
+		t.Fatal("Encode with misaligned handles should fail")
+	}
+	if err := m.Encode(make([]byte, 10), func(unsafe.Pointer) uint64 { return 0 }); err == nil {
 		t.Fatal("Encode into short buffer should fail")
 	}
-	if err := out.Decode(make([]byte, 10), func(uint64) any { return nil }); err == nil {
+	if err := out.Decode(make([]byte, 10), func(uint64) unsafe.Pointer { return nil }); err == nil {
 		t.Fatal("Decode from short buffer should fail")
 	}
 }
 
 func TestPropertyInsertedViewsAreFound(t *testing.T) {
-	mon := &fakeMonoid{"m"}
+	own := &fakeOwner{"m"}
 	f := func(raw []uint8) bool {
 		m := New()
-		want := make(map[int]any)
+		want := make(map[int]unsafe.Pointer)
 		for _, r := range raw {
 			i := int(r) % SlotsPerMap
 			if _, ok := want[i]; ok {
 				continue
 			}
-			v := new(int)
-			if err := m.Insert(i, v, mon); err != nil {
+			v := newView()
+			if err := m.Insert(i, v, own.ptr(), 0); err != nil {
 				return false
 			}
 			want[i] = v
@@ -318,7 +443,7 @@ func TestPropertyInsertedViewsAreFound(t *testing.T) {
 		}
 		found := 0
 		m.Range(func(i int, s Slot) bool {
-			if want[i] != s.View {
+			if want[i] != s.View() {
 				return false
 			}
 			found++
@@ -332,17 +457,17 @@ func TestPropertyInsertedViewsAreFound(t *testing.T) {
 }
 
 func TestPropertyTransferPreservesViews(t *testing.T) {
-	mon := &fakeMonoid{"m"}
+	own := &fakeOwner{"m"}
 	f := func(raw []uint8) bool {
 		src, dst := New(), New()
-		want := make(map[int]any)
+		want := make(map[int]unsafe.Pointer)
 		for _, r := range raw {
 			i := int(r) % SlotsPerMap
 			if _, ok := want[i]; ok {
 				continue
 			}
-			v := new(int)
-			_ = src.Insert(i, v, mon)
+			v := newView()
+			_ = src.Insert(i, v, own.ptr(), 0)
 			want[i] = v
 		}
 		moved, err := src.TransferTo(dst)
@@ -369,31 +494,36 @@ func TestMapSetAddressing(t *testing.T) {
 		t.Fatal("MakeAddr/Page/Slot mismatch")
 	}
 	ms := NewMapSet()
-	mon := &fakeMonoid{"add"}
+	own := &fakeOwner{"add"}
 	addr := MakeAddr(3, 100)
-	v := new(int)
+	v := newView()
 	if got := ms.Get(addr); got != nil {
 		t.Fatalf("Get on empty set = %v, want nil", got)
 	}
-	if err := ms.Insert(addr, v, mon); err != nil {
+	if err := ms.Insert(addr, v, own.ptr(), 0); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
 	if ms.Pages() != 4 {
 		t.Fatalf("Pages = %d, want 4 (grown to cover page 3)", ms.Pages())
 	}
-	if got := ms.Get(addr); got != any(v) {
+	if got := ms.Get(addr); got != v {
 		t.Fatal("Get did not return inserted view")
 	}
 	if ms.Len() != 1 || ms.IsEmpty() {
 		t.Fatalf("Len = %d, IsEmpty = %v", ms.Len(), ms.IsEmpty())
 	}
-	if err := ms.Insert(Addr(-1), v, mon); err == nil {
+	if err := ms.Insert(Addr(-1), v, own.ptr(), 0); err == nil {
 		t.Fatal("Insert at negative addr should fail")
 	}
-	if err := ms.Update(addr, new(int)); err != nil {
+	if err := ms.Update(addr, newView(), FlagWritten); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
-	if err := ms.Update(MakeAddr(9, 0), new(int)); err == nil {
+	ms.MarkWritten(addr)
+	ms.MarkWritten(MakeAddr(9, 0)) // no-op beyond last page
+	if !ms.SlotAt(addr).Written() {
+		t.Fatal("MarkWritten at MapSet level did not stick")
+	}
+	if err := ms.Update(MakeAddr(9, 0), newView(), 0); err == nil {
 		t.Fatal("Update beyond last page should fail")
 	}
 	if _, err := ms.Remove(MakeAddr(9, 0)); err == nil {
@@ -411,26 +541,46 @@ func TestMapSetAddressing(t *testing.T) {
 	}
 }
 
+func TestMapSetInsertSlotPreservesFlags(t *testing.T) {
+	ms := NewMapSet()
+	own := &fakeOwner{"add"}
+	v := newView()
+	addr := MakeAddr(1, 9)
+	if err := ms.InsertSlot(addr, MakeSlot(v, own.ptr(), FlagWritten|FlagArena)); err != nil {
+		t.Fatalf("InsertSlot: %v", err)
+	}
+	s := ms.SlotAt(addr)
+	if s.View() != v || s.Owner() != own.ptr() || s.Flags() != FlagWritten|FlagArena {
+		t.Fatalf("InsertSlot mangled the slot: %+v", s)
+	}
+	if err := ms.InsertSlot(addr, MakeSlot(v, own.ptr(), 0)); !errors.Is(err, ErrSlotOccupied) {
+		t.Fatalf("InsertSlot into occupied slot: got %v, want ErrSlotOccupied", err)
+	}
+	if err := ms.InsertSlot(MakeAddr(0, 0), Slot{}); err == nil {
+		t.Fatal("InsertSlot of empty slot should fail")
+	}
+}
+
 func TestMapSetRangeAndTransfer(t *testing.T) {
-	mon := &fakeMonoid{"add"}
+	own := &fakeOwner{"add"}
 	src := NewMapSet()
 	dst := NewMapSet()
 	rng := rand.New(rand.NewSource(42))
-	want := make(map[Addr]any)
+	want := make(map[Addr]unsafe.Pointer)
 	for len(want) < 400 {
 		addr := MakeAddr(rng.Intn(3), rng.Intn(SlotsPerMap))
 		if _, ok := want[addr]; ok {
 			continue
 		}
-		v := new(int)
-		if err := src.Insert(addr, v, mon); err != nil {
+		v := newView()
+		if err := src.Insert(addr, v, own.ptr(), 0); err != nil {
 			t.Fatalf("Insert: %v", err)
 		}
 		want[addr] = v
 	}
 	count := 0
 	src.Range(func(addr Addr, s Slot) bool {
-		if want[addr] != s.View {
+		if want[addr] != s.View() {
 			t.Fatalf("Range returned wrong view at %d", addr)
 		}
 		count++
@@ -464,8 +614,8 @@ func TestMapSetRangeAndTransfer(t *testing.T) {
 
 func TestMapSetResetKeepsPages(t *testing.T) {
 	ms := NewMapSet()
-	mon := &fakeMonoid{"add"}
-	_ = ms.Insert(MakeAddr(1, 5), new(int), mon)
+	own := &fakeOwner{"add"}
+	_ = ms.Insert(MakeAddr(1, 5), newView(), own.ptr(), 0)
 	if ms.Pages() != 2 {
 		t.Fatalf("Pages = %d, want 2", ms.Pages())
 	}
@@ -477,11 +627,12 @@ func TestMapSetResetKeepsPages(t *testing.T) {
 
 func TestMapSetOccupiedPageSpan(t *testing.T) {
 	ms := NewMapSet()
+	own := &fakeOwner{"m"}
 	if got := ms.OccupiedPageSpan(); got != 0 {
 		t.Fatalf("empty set span = %d, want 0", got)
 	}
 	mustInsert := func(addr Addr) {
-		if err := ms.Insert(addr, "v", "m"); err != nil {
+		if err := ms.Insert(addr, newView(), own.ptr(), 0); err != nil {
 			t.Fatalf("Insert(%d): %v", addr, err)
 		}
 	}
@@ -503,8 +654,11 @@ func TestMapSetOccupiedPageSpan(t *testing.T) {
 
 func TestMapSetAttachAndDrainPages(t *testing.T) {
 	src := NewMapSet()
+	own := &fakeOwner{"m"}
+	views := make([]unsafe.Pointer, 3)
 	for i := 0; i < 3; i++ {
-		if err := src.Insert(MakeAddr(i, i), i, "m"); err != nil {
+		views[i] = newView()
+		if err := src.Insert(MakeAddr(i, i), views[i], own.ptr(), 0); err != nil {
 			t.Fatalf("Insert: %v", err)
 		}
 	}
@@ -520,7 +674,7 @@ func TestMapSetAttachAndDrainPages(t *testing.T) {
 	}
 	// The attached pages must be the ones that received the views.
 	for i, p := range pages {
-		if p.Get(i) != i {
+		if p.Get(i) != views[i] {
 			t.Fatalf("attached page %d missing its view", i)
 		}
 	}
