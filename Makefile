@@ -1,7 +1,8 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
+CHAOS_SEEDS ?= 6
 
-.PHONY: build vet vet-unsafe lint-deprecated check-binaries test race bench bench-directory bench-typed bench-spa bench-json fmt-check ci
+.PHONY: build vet vet-unsafe lint-deprecated check-binaries test race chaos bench bench-directory bench-typed bench-spa bench-json fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +44,16 @@ test:
 # the race detector.  Run it on every scheduler change.
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/...
+
+# chaos runs the fault-injection sweep under the race detector: every
+# compiled-in failpoint × CHAOS_SEEDS seeded schedules × both engines, the
+# failure-containment regression tests (reduce-panic resource conservation,
+# context-cancellation settlement), and the Close-vs-Run race.  Widen with
+# CHAOS_SEEDS=n.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
+		-run 'TestChaosSweep|TestReducePanicConservesResources|TestRunContextCancelSettles' .
+	$(GO) test -race -count=1 -run 'TestCloseRacingRun' ./internal/sched/
 
 # bench runs the scheduler microbenchmarks: the allocation-free fork fast
 # path (expect 0 allocs/op on BenchmarkForkNoSteal), steal throughput, and

@@ -75,6 +75,16 @@ type Extreme[T cmp.Ordered] = reducers.Extreme[T]
 // Reducer is an untyped reducer handle.
 type Reducer = core.Reducer
 
+// PanicError is the error returned by Session.RunErr and Session.RunContext
+// when parallel code panics: the job is aborted, its partial views are
+// released, and the original panic value plus the captured stack surface
+// here instead of crashing the caller.  errors.As-compatible; Unwrap
+// returns the payload when the code panicked with an error value.
+type PanicError = sched.PanicError
+
+// ErrClosed is returned by Session.Run (and friends) after Close.
+var ErrClosed = sched.ErrClosed
+
 // Mechanism selects the reducer implementation.
 type Mechanism = reducers.Mechanism
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cilkbench -experiment fig1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|mergepipe|manyreducers|all \
+//	cilkbench -experiment fig1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|mergepipe|manyreducers|faultoverhead|all \
 //	          [-workers N] [-lookups N] [-reps N] [-scale F] [-graphs a,b,c] [-quick]
 package main
 
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which figure to regenerate: fig1, fig5a, fig5b, fig6, fig7, fig8, fig9, fig10, mergepipe, manyreducers, or all")
+		experiment = flag.String("experiment", "all", "which figure to regenerate: fig1, fig5a, fig5b, fig6, fig7, fig8, fig9, fig10, mergepipe, manyreducers, faultoverhead, or all")
 		workers    = flag.Int("workers", 0, "maximum worker count for parallel experiments (default 16)")
 		lookups    = flag.Int("lookups", 0, "number of reducer lookups per microbenchmark run (default 2,000,000)")
 		reps       = flag.Int("reps", 0, "repetitions per data point (default 3)")
@@ -75,6 +75,7 @@ func main() {
 		{"fig10", func() error { return runFig10(cfg, inputs) }},
 		{"mergepipe", func() error { return runMergePipe(cfg) }},
 		{"manyreducers", func() error { return runManyReducers(cfg) }},
+		{"faultoverhead", func() error { return runFaultOverhead(cfg) }},
 	} {
 		if want != "all" && want != exp.name {
 			continue
@@ -178,6 +179,16 @@ func runMergePipe(cfg bench.Config) error {
 
 func runManyReducers(cfg bench.Config) error {
 	res, err := bench.RunManyReducers(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	fmt.Println()
+	return nil
+}
+
+func runFaultOverhead(cfg bench.Config) error {
+	res, err := bench.RunFaultOverhead(cfg)
 	if err != nil {
 		return err
 	}

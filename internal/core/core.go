@@ -28,6 +28,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"unsafe"
 
@@ -131,6 +132,14 @@ type Engine interface {
 	// MergeRootDeposit folds the deposit returned by Runtime.Run into the
 	// registered reducers' leftmost views.
 	MergeRootDeposit(d sched.Deposit)
+	// Quiescent verifies that no completed, failed, or cancelled job left
+	// engine resources in flight: no hypermerge still executing, no pool
+	// pages outstanding, no worker holding private views, and the view-
+	// arena accounting balanced.  It must only be called between jobs; it
+	// reads owner-local counters that are unsynchronised by design.  A
+	// nil result is the engine's quiescence guarantee after failure
+	// containment; a non-nil error describes the first leak found.
+	Quiescent() error
 
 	// Workers reports how many per-worker lookup structures the engine
 	// currently maintains (the construction-time worker count, grown if a
@@ -300,6 +309,40 @@ func (s *Session) Run(fn func(*sched.Context)) error {
 	}
 	s.eng.MergeRootDeposit(d)
 	return nil
+}
+
+// RunErr is Run with panic containment: a panic inside fn does not re-panic
+// on the caller's goroutine but is returned as a *sched.PanicError carrying
+// the original panic value and the captured stack.  Whatever the outcome,
+// the root deposit (if any) is settled — merged on success, discarded on
+// failure — so the engine is quiescent and reusable afterwards.
+func (s *Session) RunErr(fn func(*sched.Context)) error {
+	return s.RunContext(context.Background(), fn)
+}
+
+// RunContext is RunErr with cancellation: when ctx is cancelled the running
+// job is aborted at its next fork, spawn, steal, or merge checkpoint and
+// RunContext returns ctx.Err().  An aborted or failed job's partial root
+// deposit is discarded, never merged, so the reducers' leftmost views only
+// ever observe complete jobs.
+func (s *Session) RunContext(ctx context.Context, fn func(*sched.Context)) error {
+	d, err := s.rt.RunContext(ctx, fn)
+	if err != nil {
+		s.eng.Discard(nil, d)
+		return err
+	}
+	s.eng.MergeRootDeposit(d)
+	return nil
+}
+
+// Quiescent verifies that neither the scheduler nor the engine has work or
+// resources in flight; see Runtime.Quiescent and Engine.Quiescent.  Call it
+// only between jobs.
+func (s *Session) Quiescent() error {
+	if err := s.rt.Quiescent(); err != nil {
+		return err
+	}
+	return s.eng.Quiescent()
 }
 
 // Close shuts down the worker pool.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/spa"
 )
@@ -313,6 +314,11 @@ func (d *Directory) Register(eng Engine, m Monoid) (*Reducer, error) {
 		s.counters.FreshSlots.Add(1)
 	}
 	slot := s.slot(local)
+	// Chaos point for registration races: a Perturb yields between slot
+	// acquisition and reducer publication, widening the window in which
+	// concurrent registrations, lookups on recycled addresses, and shard
+	// growth can interleave with this half-done registration.
+	faultinject.Perturb(faultinject.DirectoryRegister)
 	r := &Reducer{
 		// id = seq*Shards + shard + 1: unique across the directory (the
 		// shard part distinguishes concurrent sequences) and nonzero (the

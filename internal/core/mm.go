@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/pagepool"
 	"repro/internal/sched"
@@ -98,6 +99,16 @@ type MM struct {
 	parallelThreshold int
 	// mergePipe aggregates the hypermerge pipeline counters.
 	mergePipe metrics.MergePipeline
+
+	// mergeInflight counts hypermerges (Merge and MergeRootDeposit calls)
+	// currently executing; part of the engine's quiescence invariant.
+	mergeInflight atomic.Int64
+	// arenaRootReleased counts arena-carved view blocks released on
+	// non-worker goroutines (the root merge and root-side discards), where
+	// no arena is available to recycle into: the blocks fall to the garbage
+	// collector, and this counter closes the arena live-view accounting —
+	// live = Σ(allocs − frees) − arenaRootReleased, zero at quiescence.
+	arenaRootReleased atomic.Int64
 }
 
 // mmWorker is the per-worker state of the memory-mapping engine: the
@@ -139,6 +150,38 @@ func (ws *mmWorker) freeSlotView(s spa.Slot) {
 type mmTrace struct {
 	ws    *mmWorker
 	saved *spa.MapSet
+	// ended makes the token single-shot: a trace that already ended — in
+	// particular one whose EndTrace panicked after restoring the suspended
+	// outer maps — must not swap maps again when the scheduler's abort path
+	// calls EndTrace defensively a second time.
+	ended bool
+}
+
+// dropPrivateViews discards every view in the worker's current private map
+// set without merging it anywhere: arena blocks recycle into this worker's
+// arena, heap views fall to the garbage collector.  It is the abort-path
+// counterpart of view transferal — the trace's updates are already lost,
+// so only the resource accounting matters.  Returns the number of views
+// dropped.
+func (ws *mmWorker) dropPrivateViews() int {
+	n := 0
+	ws.private.Range(func(addr spa.Addr, s spa.Slot) bool {
+		if _, err := ws.private.Remove(addr); err == nil {
+			ws.freeSlotView(s)
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// restoreOuterTrace swaps the (now empty) private map set for the suspended
+// outer trace's maps, exactly as the tail of a successful EndTrace does.
+func (ws *mmWorker) restoreOuterTrace(mt *mmTrace) {
+	if mt != nil && mt.saved != nil {
+		ws.spare = ws.private
+		ws.private = mt.saved
+	}
 }
 
 // MMDeposit is the result of view transferal: public SPA pages holding the
@@ -198,6 +241,12 @@ func NewMM(cfg MMConfig) *MM {
 // registrations.  Workers observe the growth through the published table
 // (and the view-epoch bump) the next time they need to map the page.
 func (e *MM) growReducerPage(page int) error {
+	if err := faultinject.Error(faultinject.TLMMGrow); err != nil {
+		// Injected address-space exhaustion: the registration that
+		// triggered the growth fails cleanly (the directory returns the
+		// slot to its free stack) and no reservation is recorded.
+		return fmt.Errorf("core: reserving TLMM page %d: %w", page, err)
+	}
 	base, err := e.layout.ReserveReducerPages(1)
 	if err != nil {
 		return fmt.Errorf("core: reserving TLMM page %d: %w", page, err)
@@ -430,6 +479,10 @@ func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Redu
 	if ws.vm != nil {
 		ws.ensureMapped(r.addr.Page())
 	}
+	// Chaos point for a monoid whose Identity blows up: fired before any
+	// slot state is written, so a contained identity panic leaves the
+	// worker's maps exactly as they were.
+	faultinject.Check(faultinject.MonoidIdentity)
 	var word unsafe.Pointer
 	var flags uintptr
 	start := e.rec.Start()
@@ -572,6 +625,12 @@ func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 		return nil
 	}
 	mt, _ := tr.(*mmTrace)
+	if mt != nil {
+		if mt.ended {
+			return nil
+		}
+		mt.ended = true
+	}
 	var dep *MMDeposit
 	elided := int64(0)
 	ws.private.Range(func(addr spa.Addr, s spa.Slot) bool {
@@ -589,12 +648,32 @@ func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	}
 	if span := ws.private.OccupiedPageSpan(); span > 0 {
 		start := e.rec.Start()
-		public := spa.NewMapSet()
-		public.AttachPages(e.pool.GetN(w.ID(), span))
-		e.mergePipe.BulkPageFetches.Add(1)
-		moved, err := ws.private.TransferTo(public)
+		pages, err := e.pool.TryGetN(w.ID(), span)
+		if err == nil {
+			// Chaos point for transferal failing after the page fetch: the
+			// abort path below must hand the fetched pages straight back.
+			if ferr := faultinject.Error(faultinject.EndTraceTransfer); ferr != nil {
+				e.pool.PutN(w.ID(), pages)
+				err = ferr
+			}
+		}
 		if err != nil {
-			panic(fmt.Sprintf("core: view transferal failed: %v", err))
+			// Page exhaustion (or an injected fault) mid-transferal: the
+			// trace's updates cannot be deposited, so the only sound exit is
+			// to drop them and unwind.  Every private view recycles into this
+			// worker's arena, the suspended outer trace's maps come back, and
+			// the panic is contained at the job boundary by the scheduler.
+			ws.dropPrivateViews()
+			ws.restoreOuterTrace(mt)
+			w.InvalidateLookupCache()
+			panic(fmt.Errorf("core: view transferal: %w", err))
+		}
+		public := spa.NewMapSet()
+		public.AttachPages(pages)
+		e.mergePipe.BulkPageFetches.Add(1)
+		moved, terr := ws.private.TransferTo(public)
+		if terr != nil {
+			panic(fmt.Sprintf("core: view transferal failed: %v", terr))
 		}
 		e.rec.Stop(w.ID(), metrics.ViewTransferal, start)
 		dep = &MMDeposit{views: public, count: moved}
@@ -635,6 +714,10 @@ type mergeOp struct {
 func runMergeBatch(cur *spa.MapSet, ops []mergeOp) {
 	for i := range ops {
 		op := &ops[i]
+		// Chaos point for a monoid whose Reduce blows up mid-hypermerge:
+		// fired before the op's slots are touched, so this op's dead records
+		// stay empty and the cleanup path treats it as never run.
+		faultinject.Check(faultinject.MonoidReduce)
 		left := op.owner.BoxView(op.cur.View())
 		right := op.owner.BoxView(op.dep.View())
 		combined := op.owner.UnboxView(op.owner.monoid.Reduce(left, right))
@@ -693,6 +776,8 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	if ws == nil {
 		return
 	}
+	e.mergeInflight.Add(1)
+	defer e.mergeInflight.Add(-1)
 	start := e.rec.Start()
 	// Capture the merging trace's map set once: if the fan-out below
 	// stalls and this worker helps with other stolen work, ws.private is
@@ -700,6 +785,53 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	// that owns the join.
 	cur := ws.private
 	var ops []mergeOp
+	// If a reduce panics mid-hypermerge (a buggy — or fault-injected —
+	// monoid), the deposit must not leak: every deposited view is either
+	// already folded into cur, recorded dead, or still unmerged in ops /
+	// dep.views.  Settle all three classes, return the public pages, and
+	// let the wrapped panic unwind to the job boundary.
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if dep.views == nil {
+			// The deposit was already fully settled by the success path.
+			panic(p)
+		}
+		for i := range ops {
+			op := &ops[i]
+			dep.views.Remove(op.addr)
+			if op.dead[0].IsEmpty() && op.dead[1].IsEmpty() {
+				// The op never ran: its deposited view dies unmerged.  (cur
+				// may hold a partial merge — the job is aborting, and the
+				// trace's views are discarded at the recovery point.)
+				ws.freeSlotView(op.dep)
+				continue
+			}
+			for _, dv := range op.dead {
+				if !dv.IsEmpty() {
+					ws.freeSlotView(dv)
+				}
+			}
+		}
+		// Anything still left (a future transport that panics during the
+		// partition pass) dies with its slot.
+		dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
+			if _, err := dep.views.Remove(addr); err == nil {
+				ws.freeSlotView(s)
+			}
+			return true
+		})
+		if pages := dep.views.DrainPages(); len(pages) > 0 {
+			e.pool.PutN(w.ID(), pages)
+			e.mergePipe.BulkPageReturns.Add(1)
+		}
+		dep.views = nil
+		dep.count = 0
+		w.InvalidateLookupCache()
+		panic(p)
+	}()
 	adopts := int64(0)
 	staleDrops := int64(0)
 	elisions := int64(0)
@@ -708,8 +840,12 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 		if !s.Written() {
 			// The view was looked up but never written: it still equals the
 			// monoid identity, and current ⊗ e = current.  Recycle it with
-			// no reduce call and no slot traffic.
-			ws.freeSlotView(s)
+			// no reduce call and no slot traffic.  The slot is removed from
+			// the deposit as it is freed so the panic-cleanup sweep above can
+			// never see (and double-free) it.
+			if _, err := dep.views.Remove(addr); err == nil {
+				ws.freeSlotView(s)
+			}
 			elisions++
 			return true
 		}
@@ -726,7 +862,9 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 			// one live registration per address, so at most one side can
 			// still be valid.  Drop the stale side (recycling its block).
 			if owner == nil || !e.dir.Valid(owner) {
-				ws.freeSlotView(s)
+				if _, err := dep.views.Remove(addr); err == nil {
+					ws.freeSlotView(s)
+				}
 				staleDrops++
 				return true
 			}
@@ -744,6 +882,9 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 		if err := cur.InsertSlot(addr, s); err != nil {
 			panic(fmt.Sprintf("core: hypermerge insert: %v", err))
 		}
+		// The view now lives in cur; clear the deposit's reference so the
+		// panic-cleanup sweep cannot free a view another map owns.
+		dep.views.Remove(addr)
 		adopts++
 		return true
 	})
@@ -815,7 +956,17 @@ func (e *MM) MergeRootDeposit(d sched.Deposit) {
 	if dep == nil || dep.views == nil {
 		return
 	}
+	e.mergeInflight.Add(1)
+	defer e.mergeInflight.Add(-1)
 	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
+		// Whatever happens to the view below — absorbed into the leftmost,
+		// elided, or dropped stale — an arena-carved block leaves the arena
+		// accounting here: no worker goroutine owns this code path, so the
+		// block goes to the garbage collector instead of a free list, and
+		// arenaRootReleased closes the books on it.
+		if s.Arena() {
+			e.arenaRootReleased.Add(1)
+		}
 		owner := (*Reducer)(s.Owner())
 		if owner == nil || !e.dir.Valid(owner) {
 			// The reducer was unregistered while views for it were still
@@ -837,6 +988,81 @@ func (e *MM) MergeRootDeposit(d sched.Deposit) {
 	}
 	dep.views = nil
 	dep.count = 0
+}
+
+// Discard implements sched.ReducerRuntime: release the resources held by a
+// deposit that will never be merged — the containment path for a job that
+// panicked or was cancelled between a trace's EndTrace and its join.  When
+// the discarding goroutine is a worker, arena-carved views recycle into
+// that worker's arena (cross-arena frees are legal: blocks are not returned
+// to the chunk they were carved from); from a non-worker goroutine the
+// blocks fall to the garbage collector and are counted out of the arena
+// accounting like root-merged views.  The public SPA pages always go back
+// to the pool.  A nil or already-consumed deposit is a no-op, so Discard
+// is safe to call on both sides of a racing settle.
+func (e *MM) Discard(w *sched.Worker, d sched.Deposit) {
+	dep, _ := d.(*MMDeposit)
+	if dep == nil || dep.views == nil {
+		return
+	}
+	var ws *mmWorker
+	if w != nil {
+		ws, _ = w.Local().(*mmWorker)
+	}
+	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
+		if _, err := dep.views.Remove(addr); err != nil {
+			return true
+		}
+		if ws != nil {
+			ws.freeSlotView(s)
+		} else if s.Arena() {
+			e.arenaRootReleased.Add(1)
+		}
+		return true
+	})
+	wid := 0
+	if w != nil {
+		wid = w.ID()
+	}
+	if pages := dep.views.DrainPages(); len(pages) > 0 {
+		e.pool.PutN(wid, pages)
+		e.mergePipe.BulkPageReturns.Add(1)
+	}
+	dep.views = nil
+	dep.count = 0
+}
+
+// Quiescent implements Engine: verify that no job left resources in flight.
+// It must only be called while no job is running (after Runtime.Run and the
+// root-deposit merge have returned); the checks read owner-local counters
+// that are unsynchronised by design.  The invariants checked are exactly
+// the ones failure containment promises to restore: no hypermerge still
+// executing, every pagepool page back in the pool, no worker holding
+// private views, and every arena block either on a free list or accounted
+// to a root-side release.
+func (e *MM) Quiescent() error {
+	if n := e.mergeInflight.Load(); n != 0 {
+		return fmt.Errorf("core: %d hypermerges still in flight", n)
+	}
+	if out := e.pool.Stats().Outstanding(); out != 0 {
+		return fmt.Errorf("core: %d pagepool pages outstanding", out)
+	}
+	if list := e.workers.Load(); list != nil {
+		for i, ws := range *list {
+			if ws == nil {
+				continue
+			}
+			if n := ws.private.Len(); n != 0 {
+				return fmt.Errorf("core: worker %d holds %d private views", i, n)
+			}
+		}
+	}
+	ar := e.ArenaStats()
+	if live := ar.Allocs - ar.Frees - e.arenaRootReleased.Load(); live != 0 {
+		return fmt.Errorf("core: %d arena view blocks live (allocs=%d frees=%d rootReleased=%d)",
+			live, ar.Allocs, ar.Frees, e.arenaRootReleased.Load())
+	}
+	return nil
 }
 
 // --- instrumentation ---

@@ -1,0 +1,147 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no plan active, Enabled() = true")
+	}
+	for _, id := range IDs() {
+		if Fire(id) {
+			t.Fatalf("%v fired with no plan active", id)
+		}
+		if err := Error(id); err != nil {
+			t.Fatalf("%v produced error %v with no plan active", id, err)
+		}
+		Check(id) // must not panic
+		if Perturb(id) {
+			t.Fatalf("%v perturbed with no plan active", id)
+		}
+	}
+}
+
+func TestDeterministicPerOrdinal(t *testing.T) {
+	decide := func(seed uint64) []bool {
+		p := NewPlan(seed).Arm(MonoidReduce, Rule{Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			_, out[i] = p.fire(MonoidReduce)
+		}
+		return out
+	}
+	a, b := decide(42), decide(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: decision not reproducible from seed", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.3 fired %d/%d hits", fired, len(a))
+	}
+	c := decide(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	p := NewPlan(7).Arm(TLMMGrow, Rule{Prob: 1, After: 3, Limit: 2})
+	var fires []uint64
+	for i := 0; i < 10; i++ {
+		if hit, ok := p.fire(TLMMGrow); ok {
+			fires = append(fires, hit)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 4 || fires[1] != 5 {
+		t.Fatalf("After=3 Limit=2: fired at hits %v, want [4 5]", fires)
+	}
+	if got := p.Fires(TLMMGrow); got != 2 {
+		t.Fatalf("Fires = %d, want 2", got)
+	}
+	if got := p.Hits(TLMMGrow); got != 10 {
+		t.Fatalf("Hits = %d, want 10", got)
+	}
+}
+
+func TestActivateInjectsTypedFault(t *testing.T) {
+	p := NewPlan(1).Arm(PagepoolGetN, Rule{Prob: 1, Limit: 1})
+	deactivate := Activate(p)
+	defer deactivate()
+
+	err := Error(PagepoolGetN)
+	if err == nil {
+		t.Fatal("armed failpoint did not fire")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.ID != PagepoolGetN {
+		t.Fatalf("injected error %v is not a *Fault for %v", err, PagepoolGetN)
+	}
+	if Error(PagepoolGetN) != nil {
+		t.Fatal("Limit=1 fired twice")
+	}
+}
+
+func TestCheckPanicsWithFault(t *testing.T) {
+	deactivate := Activate(NewPlan(1).Arm(MonoidIdentity, Rule{Prob: 1, Limit: 1}))
+	defer deactivate()
+	defer func() {
+		p := recover()
+		f, ok := p.(*Fault)
+		if !ok || f.ID != MonoidIdentity {
+			t.Fatalf("Check panicked with %v, want *Fault{MonoidIdentity}", p)
+		}
+	}()
+	Check(MonoidIdentity)
+	t.Fatal("Check did not panic")
+}
+
+func TestDoubleActivatePanics(t *testing.T) {
+	deactivate := Activate(NewPlan(1))
+	defer deactivate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Activate did not panic")
+		}
+	}()
+	Activate(NewPlan(2))
+}
+
+func TestConcurrentHitsRace(t *testing.T) {
+	p := NewPlan(99).Arm(SchedSteal, Rule{Prob: 0.5, Limit: 100})
+	deactivate := Activate(p)
+	defer deactivate()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Fire(SchedSteal)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Hits(SchedSteal); got != 8000 {
+		t.Fatalf("Hits = %d, want 8000", got)
+	}
+	if got := p.Fires(SchedSteal); got > 100 {
+		t.Fatalf("Fires = %d exceeds Limit 100", got)
+	}
+}

@@ -14,11 +14,13 @@ package hypermap
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"unsafe"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/spa"
@@ -76,6 +78,10 @@ type Engine struct {
 	// elisions counts never-written views the hypermerge skipped, the
 	// hypermap counterpart of metrics.MergePipeline.IdentityElisions.
 	elisions metrics.PaddedCounter
+
+	// mergeInflight counts hypermerges (Merge and MergeRootDeposit calls)
+	// currently executing; part of the engine's quiescence invariant.
+	mergeInflight atomic.Int64
 }
 
 // hmWorker is the per-worker state: the user hypermap of the trace the
@@ -111,6 +117,11 @@ type entry struct {
 type hmTrace struct {
 	ws    *hmWorker
 	saved *hashTable
+	// ended makes the token single-shot: the scheduler's abort path may
+	// call EndTrace defensively on a trace that already ended, and the
+	// second call must not deposit (and then discard) the restored outer
+	// trace's hypermap.
+	ended bool
 }
 
 // Deposit is a deposited hypermap: view transferal in the hypermap scheme
@@ -315,6 +326,10 @@ func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *
 		// drop its in-flight view before installing r's identity view.
 		ws.user.remove(r.Addr())
 	}
+	// Chaos point for a monoid whose Identity blows up: fired before the
+	// entry is inserted, so a contained identity panic leaves the worker's
+	// hypermap exactly as it was.
+	faultinject.Check(faultinject.MonoidIdentity)
 	start := e.rec.Start()
 	view := r.Monoid().Identity()
 	word := r.UnboxView(view)
@@ -387,6 +402,12 @@ func (e *Engine) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 		return nil
 	}
 	ht, _ := tr.(*hmTrace)
+	if ht != nil {
+		if ht.ended {
+			return nil
+		}
+		ht.ended = true
+	}
 	var dep *Deposit
 	if ws.user.len() != 0 {
 		start := e.rec.Start()
@@ -421,6 +442,8 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	if ws == nil {
 		return
 	}
+	e.mergeInflight.Add(1)
+	defer e.mergeInflight.Add(-1)
 	start := e.rec.Start()
 	reduces := int64(0)
 	inserts := int64(0)
@@ -433,6 +456,11 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 		if curEnt := ws.user.lookup(addr); curEnt != nil {
 			if curEnt.owner == depEnt.owner {
 				r := depEnt.owner
+				// Chaos point for a monoid whose Reduce blows up
+				// mid-hypermerge; views are heap-backed here, so a contained
+				// reduce panic leaks nothing — the dropped deposit falls to
+				// the garbage collector.
+				faultinject.Check(faultinject.MonoidReduce)
 				combined := r.Monoid().Reduce(r.BoxView(curEnt.view), r.BoxView(depEnt.view))
 				curEnt.view = r.UnboxView(combined)
 				curEnt.written = true
@@ -474,6 +502,8 @@ func (e *Engine) MergeRootDeposit(d sched.Deposit) {
 	if dep == nil || dep.views == nil {
 		return
 	}
+	e.mergeInflight.Add(1)
+	defer e.mergeInflight.Add(-1)
 	dep.views.forEach(func(addr spa.Addr, ent *entry) {
 		if ent.owner == nil || !e.dir.Valid(ent.owner) {
 			return
@@ -485,6 +515,38 @@ func (e *Engine) MergeRootDeposit(d sched.Deposit) {
 		core.AbsorbView(ent.owner, ent.owner.BoxView(ent.view))
 	})
 	dep.views = nil
+}
+
+// Discard implements sched.ReducerRuntime: release a deposit that will
+// never be merged — the containment path for a job that panicked or was
+// cancelled between a trace's EndTrace and its join.  Hypermap views are
+// heap-backed and the deposit is the hash table itself, so dropping the
+// reference is the whole release; the garbage collector reclaims the views.
+// A nil or already-consumed deposit is a no-op.
+func (e *Engine) Discard(w *sched.Worker, d sched.Deposit) {
+	dep, _ := d.(*Deposit)
+	if dep == nil {
+		return
+	}
+	dep.views = nil
+}
+
+// Quiescent implements core.Engine: verify that no job left engine state in
+// flight.  The hypermap engine holds no pooled resources, so quiescence is
+// just "no hypermerge executing and every worker's user hypermap empty".
+// It must only be called between jobs; the hypermaps are owner-local.
+func (e *Engine) Quiescent() error {
+	if n := e.mergeInflight.Load(); n != 0 {
+		return fmt.Errorf("hypermap: %d hypermerges still in flight", n)
+	}
+	if list := e.workers.Load(); list != nil {
+		for i, ws := range *list {
+			if n := ws.user.len(); n != 0 {
+				return fmt.Errorf("hypermap: worker %d holds %d views", i, n)
+			}
+		}
+	}
+	return nil
 }
 
 // IdentityElisions reports the number of never-written views the

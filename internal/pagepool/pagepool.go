@@ -8,8 +8,11 @@
 package pagepool
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Stats summarises pool activity.
@@ -35,6 +38,15 @@ type Stats struct {
 // fewer pool operations than slots merged — is asserted against this.
 func (s Stats) RoundTrips() int64 {
 	return s.SingleGets + s.SinglePuts + s.BulkGets + s.BulkPuts
+}
+
+// Outstanding reports the number of pages currently checked out of the
+// pool: handed out and neither returned nor rejected as dirty (a rejected
+// page is dropped to the garbage collector, closing its accounting).  It is
+// the pool half of the runtime's leak invariant — zero whenever no job is
+// in flight, including after a panicked or cancelled job.
+func (s Stats) Outstanding() int64 {
+	return s.Allocs - s.Frees - s.RejectedDirty
 }
 
 // Pool is a Hoard-style two-level page pool for values of type T.
@@ -177,6 +189,21 @@ func (p *Pool[T]) Put(worker int, page T) {
 	lp.mu.Unlock()
 }
 
+// TryGet is Get with an exhaustion path: it fails (allocating nothing)
+// when the pagepool/get failpoint fires, modelling the backing allocator
+// running dry.  Production callers that can surface an error use it so
+// chaos plans can drive their failure handling; with no plan active it is
+// Get plus one atomic load.
+func (p *Pool[T]) TryGet(worker int) (T, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Error(faultinject.PagepoolGet); err != nil {
+			var zero T
+			return zero, fmt.Errorf("pagepool: page allocation failed: %w", err)
+		}
+	}
+	return p.Get(worker), nil
+}
+
 // GetN returns n pages for the given worker in one pool round-trip: the
 // worker's local pool is drained first, then the global pool, each under a
 // single lock acquisition, and any shortfall is made up with fresh pages.
@@ -216,6 +243,19 @@ func (p *Pool[T]) GetN(worker int, n int) []T {
 		out = append(out, p.newPage())
 	}
 	return out
+}
+
+// TryGetN is GetN with an exhaustion path: it fails (allocating nothing)
+// when the pagepool/getn failpoint fires.  View transferal fetches its
+// deposit pages through it, so a chaos plan can fail a deposit mid-job and
+// the leak accounting can prove nothing escaped.
+func (p *Pool[T]) TryGetN(worker int, n int) ([]T, error) {
+	if n > 0 && faultinject.Enabled() {
+		if err := faultinject.Error(faultinject.PagepoolGetN); err != nil {
+			return nil, fmt.Errorf("pagepool: bulk allocation of %d pages failed: %w", n, err)
+		}
+	}
+	return p.GetN(worker, n), nil
 }
 
 // PutN returns pages to the given worker's local pool in one round-trip.

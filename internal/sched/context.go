@@ -1,7 +1,5 @@
 package sched
 
-import "fmt"
-
 // Context is the handle through which running code interacts with the
 // scheduler: it identifies the worker currently executing the code and
 // provides the fork-join primitives.  A Context is only valid on the
@@ -60,6 +58,7 @@ func (c *Context) Runtime() *Runtime { return c.w.rt }
 // merges those views back in serial order at the join.
 func (c *Context) Fork(left, right func(*Context)) {
 	w := c.w
+	w.checkCancelled()
 	w.forksLocal++
 	j := w.newJoin()
 	t := w.newTask(right, j)
@@ -88,7 +87,10 @@ func (c *Context) Fork(left, right func(*Context)) {
 	w.rt.reducers.Merge(w, w.curTrace, j.deposit)
 	w.popLiveFork(j)
 	if j.panicVal != nil {
-		panic(fmt.Sprintf("sched: stolen branch panicked: %v", j.panicVal))
+		// Re-raise the contained value itself (a *PanicError wrapped at
+		// the thief's recovery point, or the cancellation token) so the
+		// original payload and stack survive every join on the way out.
+		panic(j.panicVal)
 	}
 }
 
@@ -203,6 +205,7 @@ func (g *Group) Spawn(fn func(*Context)) {
 		panic("sched: Spawn after Wait")
 	}
 	w := g.ctx.w
+	w.checkCancelled()
 	w.forksLocal++
 	j := w.newJoin()
 	t := w.newTask(fn, j)
@@ -272,6 +275,8 @@ func (g *Group) Wait() {
 	}
 	g.children = g.children[:0]
 	if panicked != nil {
-		panic(fmt.Sprintf("sched: spawned child panicked: %v", panicked))
+		// Contained value, not a formatted string: the child's recovery
+		// point already wrapped it with the original payload and stack.
+		panic(panicked)
 	}
 }

@@ -24,6 +24,10 @@ type task struct {
 	mfn func()
 	// owner is the worker that pushed the task; recorded for statistics.
 	owner int
+	// job is the submission this task belongs to, captured from the
+	// pushing worker at creation so a thief inherits the forker's
+	// cancellation token.  Nil for jobs submitted through plain Run.
+	job *job
 	// next links tasks in a worker's free list while recycled.
 	next *task
 }

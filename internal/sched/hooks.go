@@ -45,6 +45,18 @@ type ReducerRuntime interface {
 	// current ⊗ deposit for every reducer present in the deposit (the
 	// hypermerge).
 	Merge(w *Worker, tr Trace, d Deposit)
+
+	// Discard is called when a Deposit produced by EndTrace will never be
+	// merged: its job panicked or was cancelled before the join's Merge
+	// could run.  The mechanism must release every resource the deposit
+	// holds (pagepool pages, arena view blocks) so that an aborted job
+	// leaves the engine quiescent and reusable.  w is the worker
+	// performing the abort; it is nil when the discard happens on a
+	// non-worker goroutine (the Run caller's), in which case the
+	// implementation must not touch owner-only per-worker state.  A nil
+	// or already-consumed deposit must be a no-op, so double discards
+	// along overlapping failure paths are safe.
+	Discard(w *Worker, d Deposit)
 }
 
 // nopReducerRuntime is used when no reducer mechanism is configured.
@@ -54,3 +66,4 @@ func (nopReducerRuntime) WorkerInit(*Worker)              {}
 func (nopReducerRuntime) BeginTrace(*Worker) Trace        { return nil }
 func (nopReducerRuntime) EndTrace(*Worker, Trace) Deposit { return nil }
 func (nopReducerRuntime) Merge(*Worker, Trace, Deposit)   {}
+func (nopReducerRuntime) Discard(*Worker, Deposit)        {}

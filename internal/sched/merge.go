@@ -1,6 +1,6 @@
 package sched
 
-import "fmt"
+import "repro/internal/faultinject"
 
 // This file is the scheduler's merge-task hook: the narrow facility through
 // which a reducer mechanism fans the independent per-reducer Reduce calls of
@@ -20,9 +20,10 @@ func (w *Worker) runMergeTask(t *task) {
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				panicked = p
+				panicked = wrapPanic(p)
 			}
 		}()
+		faultinject.Check(faultinject.MergeTask)
 		t.mfn()
 	}()
 	if panicked != nil {
@@ -43,9 +44,16 @@ func (w *Worker) runMergeTask(t *task) {
 //
 // The caller must be on w's goroutine, mid-join (its liveForks discipline is
 // the same as Fork's: entries are pushed here and resolved here, newest
-// first, and a panicking closure leaves the remainder to abortScope).  The
-// closures must write disjoint state: the scheduler provides no ordering
-// between them beyond completion of all before return.
+// first).  The closures must write disjoint state: the scheduler provides no
+// ordering between them beyond completion of all before return.
+//
+// Failure containment: a panicking batch does NOT unwind past this function
+// while any sibling batch may still be running.  Every fork is settled
+// (popped back or waited out) and no further unstolen batch is started
+// before the first panic is re-raised, so a hypermerge's deferred cleanup
+// can walk merge-op state without racing live executors.  Batches that were
+// skipped or ran on a thief that also panicked leave their ops unexecuted;
+// the hypermerge's cleanup treats un-run ops as unmerged sources.
 func (w *Worker) ForkMergeTasks(fns []func()) {
 	n := len(fns)
 	if n == 0 {
@@ -65,20 +73,32 @@ func (w *Worker) ForkMergeTasks(fns []func()) {
 		t := w.newMergeTask(fns[i], j)
 		forks[i-1] = mergeFork{t: t, j: j}
 		w.pushTask(t)
+		faultinject.Perturb(faultinject.SchedMergeFork)
 	}
-	fns[0]()
 	var panicked any
+	runBatch := func(fn func()) {
+		defer func() {
+			if p := recover(); p != nil && panicked == nil {
+				panicked = wrapPanic(p)
+			}
+		}()
+		faultinject.Check(faultinject.MergeTask)
+		fn()
+	}
+	runBatch(fns[0])
 	for i := n - 2; i >= 0; i-- {
 		mf := forks[i]
 		if w.tryPopOwn(mf.t) {
-			// Not stolen: run the batch inline.  The pop proves no thief
-			// ever saw the join, so both objects recycle immediately; a
-			// panic below unwinds to the scope's abortScope, which settles
-			// the remaining entries.
+			// Not stolen: the pop proves no thief ever saw the join, so
+			// both objects recycle immediately and the batch runs inline —
+			// unless a sibling already failed, in which case its work is
+			// abandoned (the hypermerge's cleanup releases its sources).
 			w.popLiveFork(mf.j)
 			w.freeTask(mf.t)
 			w.freeJoin(mf.j)
-			fns[i+1]()
+			if panicked == nil {
+				runBatch(fns[i+1])
+			}
 			continue
 		}
 		w.waitJoin(mf.j)
@@ -88,6 +108,9 @@ func (w *Worker) ForkMergeTasks(fns []func()) {
 		}
 	}
 	if panicked != nil {
-		panic(fmt.Sprintf("sched: merge task panicked: %v", panicked))
+		// Every fork above is settled; re-raise the contained value itself
+		// so the monoid's original panic payload survives to the job
+		// boundary.
+		panic(panicked)
 	}
 }

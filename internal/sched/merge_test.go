@@ -70,7 +70,16 @@ func TestForkMergeTasksPanicPropagates(t *testing.T) {
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				panicked = p.(string)
+				pe, ok := p.(*PanicError)
+				if !ok {
+					t.Errorf("merge-task panic surfaced as %T, want *PanicError", p)
+					panicked = "" // fail the Contains check below too
+					return
+				}
+				if len(pe.Stack) == 0 {
+					t.Error("contained panic lost its captured stack")
+				}
+				panicked, _ = pe.Value.(string)
 			}
 		}()
 		_ = rt.RunAndMerge(func(c *Context) {

@@ -13,6 +13,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -57,13 +58,14 @@ type Runtime struct {
 	workers  []*Worker
 	reducers ReducerRuntime
 
-	inbox   chan *rootTask
-	quit    chan struct{}
-	wake    chan struct{}
-	parked  atomic.Int32
-	started sync.WaitGroup
-	stopped sync.WaitGroup
-	closed  atomic.Bool
+	inbox    chan *rootTask
+	quit     chan struct{}
+	wake     chan struct{}
+	parked   atomic.Int32
+	started  sync.WaitGroup
+	stopped  sync.WaitGroup
+	closed   atomic.Bool
+	inflight atomic.Int64
 
 	stats struct {
 		rootTasks atomic.Int64
@@ -73,8 +75,9 @@ type Runtime struct {
 // rootTask carries one Run invocation into the worker pool.
 type rootTask struct {
 	fn   func(*Context)
+	job  *job // cancellation token; nil for plain Run
 	done chan Deposit
-	err  chan any // panic value, if any
+	err  chan any // contained panic value (*PanicError or cancellation token)
 }
 
 // ErrClosed is returned by Run after Close has been called.
@@ -155,13 +158,125 @@ func (rt *Runtime) Run(fn func(*Context)) (Deposit, error) {
 	case <-rt.quit:
 		return nil, ErrClosed
 	}
+	rt.inflight.Add(1)
+	defer rt.inflight.Add(-1)
 	rt.signalWork()
 	select {
 	case d := <-root.done:
 		return d, nil
 	case p := <-root.err:
-		panic(fmt.Sprintf("sched: root task panicked: %v", p))
+		// p is the contained *PanicError wrapped at the recovery point
+		// nearest the original panic: re-raising the value itself keeps
+		// the caller's recover() able to inspect the typed payload (via
+		// PanicError.Value) and the captured stack.  By the time it is
+		// delivered every branch of the job has been settled and its views
+		// discarded, so the engine is reusable even if the caller recovers.
+		panic(p)
 	}
+}
+
+// RunErr is Run with the panic contained at the job boundary: a panic
+// anywhere in the job — any branch, any worker, the merge pipeline — is
+// returned as a *PanicError carrying the original panic value and the
+// panicking goroutine's stack, instead of re-panicking on the caller's
+// goroutine.  The failed job is fully settled before RunErr returns: every
+// branch it forked has completed or been reclaimed and every undeposited
+// view has been discarded, so the runtime (and the reducer engine behind
+// it) is immediately reusable.
+func (rt *Runtime) RunErr(fn func(*Context)) (Deposit, error) {
+	return rt.RunContext(context.Background(), fn)
+}
+
+// RunContext is RunErr with cooperative cancellation.  When ctx is
+// cancelled the job is asked to stop: every fork checkpoint (Fork, ForkN,
+// ParallelFor splits, Group.Spawn) and every not-yet-started stolen branch
+// observes the token and unwinds, already-running serial sections run to
+// their next checkpoint (or may poll Context.Cancelled), and RunContext
+// waits for the job to fully settle before returning ctx.Err() — it never
+// abandons a running job, so a cancelled runtime is quiescent, not leaking.
+// A job that completes in the same instant its context is cancelled has its
+// result discarded and still reports ctx.Err().
+func (rt *Runtime) RunContext(ctx context.Context, fn func(*Context)) (Deposit, error) {
+	if rt.closed.Load() {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rt.stats.rootTasks.Add(1)
+	root := &rootTask{
+		fn:   fn,
+		job:  &job{},
+		done: make(chan Deposit, 1),
+		err:  make(chan any, 1),
+	}
+	select {
+	case rt.inbox <- root:
+	case <-rt.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	rt.inflight.Add(1)
+	defer rt.inflight.Add(-1)
+	rt.signalWork()
+	select {
+	case d := <-root.done:
+		return d, nil
+	case p := <-root.err:
+		return nil, containedError(p, nil)
+	case <-ctx.Done():
+		// Request cancellation, then keep waiting: the job must fully
+		// settle (every branch joined or reclaimed, every deposit
+		// discarded) before the pool is reusable.
+		root.job.cancelled.Store(true)
+		cerr := ctx.Err()
+		select {
+		case d := <-root.done:
+			// The job outran its cancellation.  Honour the context
+			// contract — no result after Done — and hand the root deposit
+			// back to the mechanism so nothing leaks.
+			rt.reducers.Discard(nil, d)
+			return nil, cerr
+		case p := <-root.err:
+			return nil, containedError(p, cerr)
+		}
+	}
+}
+
+// containedError translates a value delivered on rootTask.err into the
+// error RunErr/RunContext return: the cancellation token becomes the
+// context's error, anything else is the already-wrapped *PanicError.
+func containedError(p any, cancelErr error) error {
+	if p == errJobCancelled {
+		if cancelErr != nil {
+			return cancelErr
+		}
+		return context.Canceled
+	}
+	if pe, ok := p.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: p}
+}
+
+// Quiescent reports whether the scheduler holds no trace of any job: no
+// Run/RunErr/RunContext call is in flight and every worker's deque is
+// empty.  A panicked or cancelled job must leave the runtime quiescent by
+// the time its Run variant returns; chaos tests assert this between jobs.
+func (rt *Runtime) Quiescent() error {
+	if n := rt.inflight.Load(); n != 0 {
+		return fmt.Errorf("sched: %d jobs still in flight", n)
+	}
+	for _, w := range rt.workers {
+		if n := w.dq.size(); n != 0 {
+			return fmt.Errorf("sched: worker %d deque still holds %d tasks", w.id, n)
+		}
+	}
+	return nil
 }
 
 // RunAndMerge executes fn and asks the reducer mechanism to merge the root

@@ -334,6 +334,7 @@ func (r *recordingReducers) EndTrace(w *Worker, tr Trace) Deposit {
 	}
 	return &recordingDeposit{id: r.ends.Add(1)}
 }
+func (r *recordingReducers) Discard(*Worker, Deposit) {}
 func (r *recordingReducers) Merge(w *Worker, tr Trace, d Deposit) {
 	if d == nil {
 		return

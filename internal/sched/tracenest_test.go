@@ -48,6 +48,8 @@ func (orderReducers) Merge(w *Worker, tr Trace, dep Deposit) {
 	l.stack[top] = append(l.stack[top], d...)
 }
 
+func (orderReducers) Discard(*Worker, Deposit) {}
+
 // orderAppend records v in the current trace of the executing worker.
 func orderAppend(c *Context, v int) {
 	l := c.Worker().Local().(*orderLocal)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 )
 
@@ -30,6 +31,12 @@ type Worker struct {
 	// executing in serial order.  It changes only when the worker begins
 	// or ends a stolen task (or the root task).
 	curTrace Trace
+
+	// curJob is the submission whose work the worker is currently
+	// executing; fork checkpoints poll its cancellation flag.  Owner-only,
+	// saved and restored around nested traces exactly like curTrace.  Nil
+	// while executing a plain Run (which has no cancellation).
+	curJob *job
 
 	// local is per-worker storage for the reducer mechanism.
 	local any
@@ -145,10 +152,10 @@ func (w *Worker) Steals() int64 { return w.nSteals.Load() }
 func (w *Worker) newTask(fn func(*Context), j *join) *task {
 	if t := w.freeTasks; t != nil {
 		w.freeTasks = t.next
-		t.fn, t.mfn, t.join, t.owner, t.next = fn, nil, j, w.id, nil
+		t.fn, t.mfn, t.join, t.owner, t.job, t.next = fn, nil, j, w.id, w.curJob, nil
 		return t
 	}
-	return &task{fn: fn, join: j, owner: w.id}
+	return &task{fn: fn, join: j, owner: w.id, job: w.curJob}
 }
 
 // newMergeTask takes a task from the free list (or allocates one) and
@@ -157,17 +164,17 @@ func (w *Worker) newTask(fn func(*Context), j *join) *task {
 func (w *Worker) newMergeTask(fn func(), j *join) *task {
 	if t := w.freeTasks; t != nil {
 		w.freeTasks = t.next
-		t.fn, t.mfn, t.join, t.owner, t.next = nil, fn, j, w.id, nil
+		t.fn, t.mfn, t.join, t.owner, t.job, t.next = nil, fn, j, w.id, w.curJob, nil
 		return t
 	}
-	return &task{mfn: fn, join: j, owner: w.id}
+	return &task{mfn: fn, join: j, owner: w.id, job: w.curJob}
 }
 
 // freeTask recycles a task whose identity-check window has closed: popped
 // back by its owner on the fast path, or a Group child the owner ran
 // locally and has finished waiting on.
 func (w *Worker) freeTask(t *task) {
-	t.fn, t.mfn, t.join = nil, nil, nil
+	t.fn, t.mfn, t.join, t.job = nil, nil, nil, nil
 	t.next = w.freeTasks
 	w.freeTasks = t
 }
@@ -289,6 +296,11 @@ func (w *Worker) abortScope(mark int) {
 			w.freeJoin(lf.j)
 		} else {
 			w.waitJoin(lf.j)
+			// The deposit the stolen branch left behind will never reach a
+			// Merge — the scope that would have folded it in is panicking —
+			// so hand it back to the reducer mechanism, keeping the
+			// pagepool and view accounting balanced across an abort.
+			w.rt.reducers.Discard(w, lf.j.deposit)
 		}
 	}
 	w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
@@ -336,6 +348,9 @@ func (w *Worker) loop() {
 		}
 		// Nothing found: register as parked, then re-check for work that
 		// raced with the registration before actually sleeping.
+		if faultinject.Enabled() && faultinject.Perturb(faultinject.SchedPark) {
+			continue // chaos: delay the park decision by one extra sweep
+		}
 		rt.parked.Add(1)
 		if rt.workAvailable(w) {
 			rt.parked.Add(-1)
@@ -357,18 +372,24 @@ func (w *Worker) loop() {
 // runRoot executes one Run invocation as a fresh trace.
 func (w *Worker) runRoot(root *rootTask) {
 	w.nTasks.Add(1)
-	prev := w.curTrace
+	prev, prevJob := w.curTrace, w.curJob
 	w.curTrace = w.rt.reducers.BeginTrace(w)
+	w.curJob = root.job
 	mark := len(w.liveForks)
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				// Settle everything the failed root pushed, then leave
-				// the trace in a defined (empty) state before reporting
-				// the panic to the Run caller.
+				// Wrap here, at the recovery point nearest the panic, so
+				// the value reported to the Run caller carries the original
+				// payload and the panicking goroutine's stack.  Then settle
+				// everything the failed root pushed and leave the trace in
+				// a defined (empty) state, discarding the views of the
+				// aborted job.
+				p = wrapPanic(p)
 				w.abortScope(mark)
-				_ = w.rt.reducers.EndTrace(w, w.curTrace)
+				w.endTraceAbort()
 				w.curTrace = prev
+				w.curJob = prevJob
 				w.flushCounters()
 				root.err <- p
 			}
@@ -378,9 +399,19 @@ func (w *Worker) runRoot(root *rootTask) {
 		w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
 		d := w.rt.reducers.EndTrace(w, w.curTrace)
 		w.curTrace = prev
+		w.curJob = prevJob
 		w.flushCounters()
 		root.done <- d
 	}()
+}
+
+// endTraceAbort performs view transferal for a scope that is already
+// panicking: the deposit is discarded (its merge will never run), and a
+// secondary panic from the reducer mechanism itself is contained so the
+// primary failure — already captured by the caller — is the one reported.
+func (w *Worker) endTraceAbort() {
+	defer func() { _ = recover() }()
+	w.rt.reducers.Discard(w, w.rt.reducers.EndTrace(w, w.curTrace))
 }
 
 // runTask executes a stolen task as a fresh trace, completes its join, and
@@ -391,19 +422,28 @@ func (w *Worker) runTask(t *task) {
 		return
 	}
 	w.nTasks.Add(1)
-	prev := w.curTrace
+	prev, prevJob := w.curTrace, w.curJob
 	w.curTrace = w.rt.reducers.BeginTrace(w)
+	w.curJob = t.job
 	mark := len(w.liveForks)
 	var panicked any
-	func() {
-		defer func() {
-			if p := recover(); p != nil {
-				panicked = p
-			}
+	if j := t.job; j != nil && j.cancelled.Load() {
+		// The job was cancelled before this branch started: skip the user
+		// closure entirely.  The join still completes (with an empty
+		// deposit) so the forker unblocks, and the token propagates so the
+		// forker's own join logic treats the branch as cancelled.
+		panicked = errJobCancelled
+	} else {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked = wrapPanic(p)
+				}
+			}()
+			ctx := &Context{w: w}
+			t.fn(ctx)
 		}()
-		ctx := &Context{w: w}
-		t.fn(ctx)
-	}()
+	}
 	if panicked != nil {
 		w.abortScope(mark)
 	}
@@ -412,8 +452,24 @@ func (w *Worker) runTask(t *task) {
 	// Waited for.  Clamp to len: a nested Wait's sweep may have truncated
 	// below mark, and reslicing up would resurrect vacated slots.
 	w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
-	d := w.rt.reducers.EndTrace(w, w.curTrace)
+	var d Deposit
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				// View transferal itself failed (e.g. injected pagepool
+				// exhaustion).  The join must still complete or the forker
+				// hangs forever; report the transferal failure through the
+				// join unless the branch had already failed.
+				d = nil
+				if panicked == nil {
+					panicked = wrapPanic(p)
+				}
+			}
+		}()
+		d = w.rt.reducers.EndTrace(w, w.curTrace)
+	}()
 	w.curTrace = prev
+	w.curJob = prevJob
 	if panicked != nil {
 		t.join.panicVal = panicked
 	}
@@ -439,6 +495,13 @@ func (w *Worker) trySteal() *task {
 	rt := w.rt
 	n := len(rt.workers)
 	if n == 1 {
+		return nil
+	}
+	if faultinject.Enabled() && faultinject.Perturb(faultinject.SchedSteal) {
+		// Chaos: the sweep pretends every deque was empty, perturbing
+		// victim order and park timing without invalidating the schedule
+		// (a sweep racing real pushes can legally find nothing).
+		w.nFailedSteals.Add(1)
 		return nil
 	}
 	start := int(w.nextRand() % uint64(n))
@@ -495,6 +558,9 @@ func (w *Worker) waitJoin(j *join) {
 			continue
 		}
 		attempts = 0
+		if faultinject.Enabled() && faultinject.Perturb(faultinject.SchedPark) {
+			continue // chaos: delay the park decision by one extra sweep
+		}
 		ch := j.park()
 		if j.finished() {
 			return
