@@ -1,8 +1,9 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr6.json
+BENCH_BASE ?= BENCH_pr5.json
 CHAOS_SEEDS ?= 6
 
-.PHONY: build vet vet-unsafe lint-deprecated check-binaries test race chaos bench bench-directory bench-typed bench-spa bench-json fmt-check ci
+.PHONY: build vet vet-unsafe lint-deprecated check-binaries test race chaos bench bench-directory bench-typed bench-spa bench-json bench-diff docs-check fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -112,6 +113,20 @@ bench-json:
 	@$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $(BENCH_OUT).txt
 	@rm -f $(BENCH_OUT).txt
 
+# bench-diff compares two committed perf-trajectory artifacts and fails on
+# >10% ns/op regressions in the headline benchmarks (fork, steal, lookup,
+# merge, first-lookup).  CI runs it as an advisory step; the committed
+# BENCH_pr*.json trajectory is the record of truth.  Override the pair with
+# BENCH_BASE/BENCH_OUT.
+bench-diff:
+	$(GO) run ./cmd/benchjson diff $(BENCH_BASE) $(BENCH_OUT)
+
+# docs-check is the documentation lint: broken relative links in README.md
+# and docs/, and undocumented exported identifiers in the public facade
+# packages (the repo root and internal/reducers).
+docs-check:
+	$(GO) run ./cmd/docscheck -md README.md,docs -pkgs .,./internal/reducers
+
 # fmt-check fails when any file is not gofmt-clean, printing the offenders.
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -119,4 +134,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build fmt-check vet vet-unsafe lint-deprecated check-binaries test race
+ci: build fmt-check vet vet-unsafe lint-deprecated check-binaries docs-check test race

@@ -38,6 +38,8 @@ import (
 	"cmp"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
 	"repro/internal/reducers"
 	"repro/internal/sched"
 )
@@ -99,14 +101,33 @@ const (
 // Mechanisms lists all mechanisms in display order.
 func Mechanisms() []Mechanism { return reducers.Mechanisms() }
 
+// Exporter gathers metric samples from registered sources and serves them
+// over HTTP as Prometheus text exposition format or expvar-style JSON.
+// Create one with NewExporter and attach it to a session with
+// WithMetricsExporter.
+type Exporter = metrics.Exporter
+
+// MetricSample is one exported time-series value: a named counter or
+// gauge, optionally carrying a single label pair.
+type MetricSample = metrics.MetricSample
+
+// MetricSource is implemented by subsystems that can be sampled for
+// export; custom application sources can register alongside the runtime's
+// on the same Exporter.
+type MetricSource = metrics.Source
+
+// NewExporter creates an empty metrics exporter.
+func NewExporter() *Exporter { return metrics.NewExporter() }
+
 // Option configures New (and NewEngineWith): mechanism, worker count, and
 // the engine knobs that used to live in the EngineOptions struct.
 type Option func(*options)
 
 type options struct {
-	mech    Mechanism
-	workers int
-	eng     reducers.EngineOptions
+	mech     Mechanism
+	workers  int
+	eng      reducers.EngineOptions
+	exporter *Exporter
 }
 
 // WithMechanism selects the reducer implementation (default MemoryMapped).
@@ -157,6 +178,33 @@ func WithDirectoryShards(n int) Option {
 	return func(o *options) { o.eng.DirectoryShards = n }
 }
 
+// WithAdaptiveMerge lets the memory-mapped engine retune its hypermerge
+// batching knobs (MergeBatchSize, ParallelMergeThreshold) from live
+// pipeline signals — reduce pairs per merge, batch occupancy, the
+// identity-elision rate — at trace boundaries.  Knobs set explicitly with
+// WithMergeBatchSize or WithParallelMergeThreshold stay fixed overrides
+// the tuner never touches.  Tuning only changes merge partitioning
+// granularity, never reduce order, so results are unchanged.  Ignored by
+// the hypermap engine.
+func WithAdaptiveMerge() Option {
+	return func(o *options) { o.eng.AdaptiveMerge = true }
+}
+
+// WithMetricsExporter registers the session's runtime signals on the given
+// exporter: the reducer engine (merge pipeline, arenas, directory, page
+// pool), the scheduler (steals, forks, merge tasks), and the
+// fault-injection plan.  The exporter is an http.Handler — mount it to
+// serve Prometheus text format (default) or expvar JSON (?format=expvar):
+//
+//	exp := cilkm.NewExporter()
+//	s := cilkm.New(cilkm.WithMetricsExporter(exp))
+//	http.Handle("/metrics", exp)
+//
+// Sampling reads lock-free counters, so scraping never perturbs a run.
+func WithMetricsExporter(exp *Exporter) Option {
+	return func(o *options) { o.exporter = exp }
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
@@ -174,7 +222,18 @@ func buildOptions(opts []Option) options {
 //	               cilkm.WithTiming())
 func New(opts ...Option) *Session {
 	o := buildOptions(opts)
-	return reducers.NewSession(o.mech, o.workers, o.eng)
+	s := reducers.NewSession(o.mech, o.workers, o.eng)
+	if o.exporter != nil {
+		// The engines implement metrics.Source as an optional interface;
+		// registration replaces by name, so a later session pointed at the
+		// same exporter takes over the endpoint.
+		if src, ok := s.Engine().(MetricSource); ok {
+			o.exporter.Register("engine", src)
+		}
+		o.exporter.Register("sched", s.Runtime())
+		o.exporter.Register("faultinject", metrics.SourceFunc(faultinject.SampleMetrics))
+	}
+	return s
 }
 
 // NewEngineWith creates a stand-alone reducer engine from the same

@@ -4,9 +4,15 @@
 // echoed to stdout unchanged, letting the command sit at the end of a pipe
 // while still showing the numbers in the CI log.
 //
+// The diff subcommand compares two committed artifacts, prints a
+// per-benchmark delta table, and exits nonzero when a headline benchmark
+// (fork, steal, lookup, merge, first-lookup) regressed by more than the
+// threshold — the repo's CI-advisory perf-trajectory guardrail.
+//
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem ./... | go run ./cmd/benchjson -out BENCH.json
+//	go run ./cmd/benchjson diff [-threshold pct] BENCH_pr5.json BENCH_pr6.json
 package main
 
 import (
@@ -41,6 +47,9 @@ type Document struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	out := flag.String("out", "", "file to write the JSON document to (default stdout only)")
 	label := flag.String("label", "", "free-form label stored in the document")
 	flag.Parse()

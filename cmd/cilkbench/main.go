@@ -11,11 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -28,6 +31,7 @@ func main() {
 		graphs     = flag.String("graphs", "", "comma-separated subset of PBFS inputs (default: all eight)")
 		quick      = flag.Bool("quick", false, "use a very small configuration for a smoke run")
 		seed       = flag.Int64("seed", 0, "workload seed")
+		metricsAt  = flag.String("metrics-addr", "", "serve runtime metrics on this address while experiments run (e.g. :9090; Prometheus text at /metrics, ?format=expvar for JSON)")
 	)
 	flag.Parse()
 
@@ -57,6 +61,24 @@ func main() {
 				inputs = append(inputs, g)
 			}
 		}
+	}
+
+	if *metricsAt != "" {
+		exp := metrics.NewExporter()
+		cfg.Exporter = exp
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", exp)
+		ln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cilkbench: metrics listener: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cilkbench: serving metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "cilkbench: metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	want := strings.ToLower(*experiment)

@@ -1,0 +1,220 @@
+// Command docscheck is the repository's documentation lint, run by `make
+// docs-check` (and CI).  It performs two checks and exits nonzero if
+// either finds a problem:
+//
+//  1. Link check: every relative markdown link in the given files and
+//     directories must resolve to an existing file (fragments are
+//     stripped; absolute URLs and mailto links are skipped).
+//  2. Doc check: every exported identifier in the given Go packages must
+//     carry a doc comment — the revive/golint rule, applied here to the
+//     public API packages so `go doc` output stays complete.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck -md README.md,docs -pkgs .,./internal/reducers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	md := flag.String("md", "", "comma-separated markdown files or directories to link-check")
+	pkgs := flag.String("pkgs", "", "comma-separated Go package directories to doc-check")
+	flag.Parse()
+
+	var problems []string
+	for _, root := range splitList(*md) {
+		problems = append(problems, checkMarkdown(root)...)
+	}
+	for _, dir := range splitList(*pkgs) {
+		problems = append(problems, checkPackageDocs(dir)...)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// mdLink matches [text](target); images ![alt](target) share the suffix.
+// Targets containing spaces or parens are not used in this repo.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// inlineCode matches `code` spans, which can contain indexing expressions
+// like NewAdd[int](x) that would otherwise look like markdown links.
+var inlineCode = regexp.MustCompile("`[^`\n]*`")
+
+// stripCode removes fenced code blocks and inline code spans so the link
+// check only sees prose.
+func stripCode(src string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		out.WriteString(inlineCode.ReplaceAllString(line, "``"))
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// checkMarkdown link-checks one markdown file, or every *.md under a
+// directory.
+func checkMarkdown(root string) []string {
+	var files []string
+	info, err := os.Stat(root)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: %v", err)}
+	}
+	if info.IsDir() {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			return []string{fmt.Sprintf("docscheck: %v", err)}
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				files = append(files, filepath.Join(root, e.Name()))
+			}
+		}
+	} else {
+		files = []string{root}
+	}
+
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: %v", err))
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripCode(string(data)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", file, m[1]))
+			}
+		}
+	}
+	return problems
+}
+
+// checkPackageDocs parses one package directory (tests excluded) and
+// reports exported identifiers without doc comments.
+func checkPackageDocs(dir string) []string {
+	fset := token.NewFileSet()
+	pkgMap, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: %s: %v", dir, err)}
+	}
+
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgMap {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && exportedReceiver(d) && d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether a function is package-level or a method
+// on an exported type (methods on unexported types are not API surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkGenDecl walks a const/var/type declaration.  A doc comment on the
+// grouped declaration documents every spec inside it — the Go convention
+// for enum-style const blocks.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	kind := map[token.Token]string{token.CONST: "const", token.VAR: "var", token.TYPE: "type"}[d.Tok]
+	if kind == "" {
+		return // imports
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+				report(s.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+					report(name.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}

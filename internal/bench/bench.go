@@ -42,6 +42,12 @@ type Config struct {
 	// sizing sweeps (manyreducers) shrink them rather than inferring
 	// smallness from the other knobs.
 	Quick bool
+	// Exporter, when non-nil, receives the live engine, scheduler and
+	// fault-injection metric sources of each experiment as it runs, so a
+	// scrape endpoint (cilkbench -metrics-addr) follows the experiment
+	// currently executing.  Experiments that rebuild their engine per case
+	// re-register under the same source names.
+	Exporter *metrics.Exporter
 }
 
 // DefaultConfig returns a configuration sized for a laptop-class machine.

@@ -5,6 +5,7 @@ import (
 	"unsafe"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 )
@@ -56,7 +57,7 @@ func RunMergePipeline(cfg Config) (*MergePipelineResult, error) {
 	res := &MergePipelineResult{Workers: workers}
 	for _, n := range []int{64, 256, 1024} {
 		for _, writtenPct := range []int{100, 50, 0} {
-			row, err := runMergePipelineCase(workers, n, writtenPct, reps)
+			row, err := runMergePipelineCase(cfg, workers, n, writtenPct, reps)
 			if err != nil {
 				return nil, err
 			}
@@ -66,10 +67,17 @@ func RunMergePipeline(cfg Config) (*MergePipelineResult, error) {
 	return res, nil
 }
 
-func runMergePipelineCase(workers, n, writtenPct, reps int) (MergePipelineRow, error) {
+func runMergePipelineCase(cfg Config, workers, n, writtenPct, reps int) (MergePipelineRow, error) {
 	eng := core.NewMM(core.MMConfig{Workers: workers})
 	s := core.NewSession(workers, eng)
 	defer s.Close()
+	if cfg.Exporter != nil {
+		// Re-registering under the same names points a live scrape
+		// endpoint at the case currently running.
+		cfg.Exporter.Register("engine", eng)
+		cfg.Exporter.Register("sched", s.Runtime())
+		cfg.Exporter.Register("faultinject", metrics.SourceFunc(faultinject.SampleMetrics))
+	}
 	rs := make([]*core.Reducer, n)
 	for i := range rs {
 		r, err := eng.Register(addMonoid{})

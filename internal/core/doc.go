@@ -1,0 +1,38 @@
+// Package core implements reducer hyperobjects and, in particular, the
+// paper's primary contribution: the memory-mapping reducer mechanism that
+// Cilk-M uses in place of Cilk Plus's hypermaps.
+//
+// A reducer is defined by an algebraic monoid (T, ⊗, e).  During parallel
+// execution each worker operates on its own local view of the reducer; the
+// runtime creates identity views lazily when a stolen computation first
+// touches a reducer, transfers views out when a stolen branch completes,
+// and reduces ("hypermerges") view sets back together in serial order at
+// joins, so that the final value equals the value a serial execution would
+// produce.
+//
+// The memory-mapping mechanism (type MM) answers the paper's four design
+// questions as follows:
+//
+//  1. Operating-system support: each worker owns a modelled TLMM region
+//     (package tlmm) in which the same virtual address resolves to that
+//     worker's own SPA pages.
+//  2. Thread-local indirection: the TLMM region holds only pointers to
+//     views; the views themselves live on the ordinary shared heap.
+//  3. View organisation: pointers are arranged in SPA map pages
+//     (package spa), giving constant-time lookup and linear-time
+//     sequencing.
+//  4. View transferal: on completion of a stolen branch the worker copies
+//     its private SPA-map slots into public SPA pages drawn from a
+//     Hoard-style pool (package pagepool) and zeroes the private ones, so
+//     hypermerges never remap memory.
+//
+// Around that mechanism the package grows the runtime pieces a resident
+// engine needs: a sharded lock-free reducer directory (type Directory),
+// per-worker size-classed view arenas that recycle identity views through
+// the merge, a batched hypermerge pipeline that fans out through the
+// scheduler past a threshold, and — behind MMConfig.AdaptiveMerge — a
+// tuner (mergetune.go) that retunes the batching knobs from the live
+// pipeline counters at trace boundaries.  MM implements metrics.Source, so
+// every one of those counters is exportable on a scrape endpoint; see
+// docs/OBSERVABILITY.md at the repository root.
+package core

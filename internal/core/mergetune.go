@@ -1,0 +1,145 @@
+package core
+
+import "sync/atomic"
+
+// This file implements adaptive merge tuning: instead of running the
+// hypermerge pipeline with whatever MergeBatchSize/ParallelMergeThreshold
+// the constructor picked, an engine built with MMConfig.AdaptiveMerge
+// re-derives both knobs from the live pipeline counters.  The Xeon Phi
+// MapReduce literature's observation motivates this: merge/batch
+// parameters are workload-dependent enough that a fixed constant is wrong
+// for somebody — a 4-reducer histogram and a 100k-reducer analytics job
+// want very different fan-out points.
+//
+// Correctness never depends on the knob values: batching partitions the
+// reduce pairs of one hypermerge into contiguous groups, each pair is
+// still folded exactly once with the serially-earlier view on the left,
+// and distinct pairs touch disjoint slots.  Tuning therefore changes
+// scheduling granularity only; the noncommutative-monoid equivalence
+// suites run with tuning enabled to pin that down.
+//
+// The controller is deliberately simple and observable (every input and
+// output is exported by the metrics sampler):
+//
+//   - Window: every mergeTuneWindow completed hypermerges, one retune
+//     runs.  Concurrent merges elect the retuner with a CAS; losers skip.
+//   - Batch size: a fanned-out merge should split into about two batches
+//     per worker — enough parallelism to occupy thieves without paying
+//     fork overhead for tiny batches.  With avg = reduce pairs per
+//     hypermerge observed over the window and P workers, the target is
+//     avg/(2P), rounded up to a power of two and clamped to
+//     [minMergeBatch, maxMergeBatch].
+//   - Parallel threshold: fanning out pays only when it yields several
+//     batches, so the threshold tracks 4× the batch size (clamped to
+//     [minParallelThreshold, maxParallelThreshold]).  A pipeline whose
+//     identity-elision rate exceeds tunerElisionBias additionally doubles
+//     the threshold: elision-dominated merges spend their time in the
+//     serial partition pass, which fan-out cannot parallelise, so the
+//     fork overhead buys nothing.
+//
+// Knobs the constructor set explicitly (batchFixed/thresholdFixed) are
+// user overrides the tuner leaves alone; the remaining knob still adapts.
+
+// Tuning-policy constants.
+const (
+	// mergeTuneWindow is the number of completed hypermerges between
+	// retunes.
+	mergeTuneWindow = 32
+	// minMergeBatch and maxMergeBatch clamp the adaptive batch size.
+	minMergeBatch = 8
+	maxMergeBatch = 512
+	// minParallelThreshold and maxParallelThreshold clamp the adaptive
+	// fan-out threshold.
+	minParallelThreshold = 32
+	maxParallelThreshold = 8192
+	// tunerElisionBias is the identity-elision rate above which the tuner
+	// biases toward serial merging (doubling the fan-out threshold).
+	tunerElisionBias = 0.5
+)
+
+// mergeTuner holds the adaptive controller's window state.  The last*
+// fields snapshot the pipeline counters at the previous retune so each
+// window works on deltas; retuning is a single-winner CAS election so the
+// knobs are written by at most one goroutine at a time.
+type mergeTuner struct {
+	batchFixed     bool // MergeBatchSize was set explicitly: never retuned
+	thresholdFixed bool // ParallelMergeThreshold was set explicitly: never retuned
+
+	retuning     atomic.Bool  // CAS election lock for the retune critical section
+	lastMerges   atomic.Int64 // Merges counter at the last retune
+	lastReduces  atomic.Int64 // Reduces counter at the last retune
+	lastElisions atomic.Int64 // IdentityElisions counter at the last retune
+	retunes      atomic.Int64 // completed retunes (exported as a metric)
+}
+
+// maybeRetune runs the controller if a full window of hypermerges has
+// completed since the last retune.  The fast path — window not full — is
+// one atomic load and a compare.  Safe to call concurrently from any
+// worker finishing a merge.
+func (t *mergeTuner) maybeRetune(e *MM) {
+	merges := e.mergePipe.Merges.Load()
+	if merges-t.lastMerges.Load() < mergeTuneWindow {
+		return
+	}
+	if !t.retuning.CompareAndSwap(false, true) {
+		return // another worker is retuning this window
+	}
+	defer t.retuning.Store(false)
+	last := t.lastMerges.Load()
+	if merges-last < mergeTuneWindow {
+		return // the winner of a racing election already consumed the window
+	}
+	reduces := e.mergePipe.Reduces.Load()
+	elisions := e.mergePipe.IdentityElisions.Load()
+	dM := merges - last
+	dR := reduces - t.lastReduces.Load()
+	dE := elisions - t.lastElisions.Load()
+	t.lastMerges.Store(merges)
+	t.lastReduces.Store(reduces)
+	t.lastElisions.Store(elisions)
+
+	avg := float64(dR) / float64(dM) // observed reduce pairs per hypermerge
+	workers := e.nworkers.Load()
+	if workers < 1 {
+		workers = 1
+	}
+
+	batch := e.mergeBatch.Load()
+	if !t.batchFixed {
+		batch = int64(ceilPow2(int(avg / float64(2*workers))))
+		if batch < minMergeBatch {
+			batch = minMergeBatch
+		}
+		if batch > maxMergeBatch {
+			batch = maxMergeBatch
+		}
+		e.mergeBatch.Store(batch)
+	}
+	if !t.thresholdFixed {
+		threshold := 4 * batch
+		if dR+dE > 0 && float64(dE)/float64(dR+dE) > tunerElisionBias {
+			threshold *= 2
+		}
+		if threshold < minParallelThreshold {
+			threshold = minParallelThreshold
+		}
+		if threshold > maxParallelThreshold {
+			threshold = maxParallelThreshold
+		}
+		e.parallelThreshold.Store(threshold)
+	}
+	t.retunes.Add(1)
+}
+
+// MergeTuning reports the live batching knobs, whether the adaptive tuner
+// is driving them, and how many retunes it has performed.  The values are
+// the ones the next hypermerge will load.
+func (e *MM) MergeTuning() (batchSize, parallelThreshold int, adaptive bool, retunes int64) {
+	batchSize = int(e.mergeBatch.Load())
+	parallelThreshold = int(e.parallelThreshold.Load())
+	if e.tuner != nil {
+		adaptive = true
+		retunes = e.tuner.retunes.Load()
+	}
+	return
+}

@@ -1,0 +1,103 @@
+package core
+
+import "testing"
+
+// tuneEngine builds an adaptive engine without starting a scheduler: the
+// tuner only reads the pipeline counters and the worker count, so the test
+// drives it by pumping the counters directly.
+func tuneEngine(t *testing.T, cfg MMConfig) *MM {
+	t.Helper()
+	cfg.AdaptiveMerge = true
+	return NewMM(cfg)
+}
+
+func TestTunerSkipsUntilWindowFull(t *testing.T) {
+	e := tuneEngine(t, MMConfig{Workers: 4})
+	e.mergePipe.Merges.Add(mergeTuneWindow - 1)
+	e.mergePipe.Reduces.Add(10_000)
+	e.tuner.maybeRetune(e)
+	if n := e.tuner.retunes.Load(); n != 0 {
+		t.Fatalf("retunes = %d before the window filled", n)
+	}
+}
+
+func TestTunerBatchTracksReducesPerMerge(t *testing.T) {
+	e := tuneEngine(t, MMConfig{Workers: 4})
+	// 32 merges x 1024 reduce pairs each: avg/(2P) = 1024/8 = 128,
+	// already a power of two, inside the clamps.
+	e.mergePipe.Merges.Add(mergeTuneWindow)
+	e.mergePipe.Reduces.Add(mergeTuneWindow * 1024)
+	e.tuner.maybeRetune(e)
+	batch, threshold, adaptive, retunes := e.MergeTuning()
+	if !adaptive || retunes != 1 {
+		t.Fatalf("adaptive=%v retunes=%d, want one retune", adaptive, retunes)
+	}
+	if batch != 128 {
+		t.Errorf("batch = %d, want 128 (1024 pairs / 2x4 workers)", batch)
+	}
+	if threshold != 4*128 {
+		t.Errorf("threshold = %d, want 4x batch = 512", threshold)
+	}
+}
+
+func TestTunerClampsTinyAndHugeMerges(t *testing.T) {
+	e := tuneEngine(t, MMConfig{Workers: 4})
+	// Tiny merges: avg 2 pairs -> floor clamp.
+	e.mergePipe.Merges.Add(mergeTuneWindow)
+	e.mergePipe.Reduces.Add(mergeTuneWindow * 2)
+	e.tuner.maybeRetune(e)
+	if batch, threshold, _, _ := e.MergeTuning(); batch != minMergeBatch || threshold != minParallelThreshold {
+		t.Errorf("tiny merges: batch=%d threshold=%d, want floor clamps %d/%d",
+			batch, threshold, minMergeBatch, minParallelThreshold)
+	}
+	// Huge merges: avg 1M pairs -> ceiling clamp.
+	e.mergePipe.Merges.Add(mergeTuneWindow)
+	e.mergePipe.Reduces.Add(mergeTuneWindow * 1_000_000)
+	e.tuner.maybeRetune(e)
+	if batch, _, _, _ := e.MergeTuning(); batch != maxMergeBatch {
+		t.Errorf("huge merges: batch=%d, want ceiling clamp %d", batch, maxMergeBatch)
+	}
+}
+
+func TestTunerElisionBiasDoublesThreshold(t *testing.T) {
+	e := tuneEngine(t, MMConfig{Workers: 4})
+	// avg 1024 pairs/merge -> batch 128, base threshold 512; elision rate
+	// 0.75 (> tunerElisionBias) doubles it.
+	e.mergePipe.Merges.Add(mergeTuneWindow)
+	e.mergePipe.Reduces.Add(mergeTuneWindow * 1024)
+	e.mergePipe.IdentityElisions.Add(mergeTuneWindow * 1024 * 3)
+	e.tuner.maybeRetune(e)
+	if _, threshold, _, _ := e.MergeTuning(); threshold != 2*4*128 {
+		t.Errorf("threshold = %d, want elision-biased 1024", threshold)
+	}
+}
+
+func TestTunerRespectsFixedKnobs(t *testing.T) {
+	e := tuneEngine(t, MMConfig{Workers: 4, MergeBatchSize: 48, ParallelMergeThreshold: 200})
+	e.mergePipe.Merges.Add(mergeTuneWindow)
+	e.mergePipe.Reduces.Add(mergeTuneWindow * 1024)
+	e.tuner.maybeRetune(e)
+	batch, threshold, _, retunes := e.MergeTuning()
+	if batch != 48 || threshold != 200 {
+		t.Errorf("fixed knobs moved: batch=%d threshold=%d, want 48/200", batch, threshold)
+	}
+	if retunes != 1 {
+		t.Errorf("retunes = %d, want the retune to still count", retunes)
+	}
+}
+
+func TestTunerWindowDeltasNotCumulative(t *testing.T) {
+	e := tuneEngine(t, MMConfig{Workers: 4})
+	// First window: huge merges push the batch to the ceiling.
+	e.mergePipe.Merges.Add(mergeTuneWindow)
+	e.mergePipe.Reduces.Add(mergeTuneWindow * 1_000_000)
+	e.tuner.maybeRetune(e)
+	// Second window: tiny merges.  If the tuner used cumulative counters
+	// instead of deltas the stale first window would dominate.
+	e.mergePipe.Merges.Add(mergeTuneWindow)
+	e.mergePipe.Reduces.Add(mergeTuneWindow * 2)
+	e.tuner.maybeRetune(e)
+	if batch, _, _, retunes := e.MergeTuning(); batch != minMergeBatch || retunes != 2 {
+		t.Errorf("batch=%d retunes=%d, want window-local floor clamp after 2 retunes", batch, retunes)
+	}
+}

@@ -44,6 +44,17 @@ type MMConfig struct {
 	// serially.  Zero selects the default (96); set it very large to keep
 	// every merge serial.
 	ParallelMergeThreshold int
+	// AdaptiveMerge enables the merge tuner: the engine re-derives
+	// MergeBatchSize and ParallelMergeThreshold at trace boundaries from
+	// the live pipeline signals (average reduce pairs per hypermerge,
+	// identity-elision rate) instead of keeping the constructor values for
+	// the engine's lifetime.  A knob explicitly set in this config is an
+	// override the tuner never touches, so fixed and adaptive operation
+	// compose per knob.  Tuning changes only how reduce batches are
+	// partitioned and fanned out, never the per-reducer reduce order, so
+	// results are bit-identical with tuning on or off (the noncommutative
+	// equivalence suites run under both).
+	AdaptiveMerge bool
 }
 
 // Default batching parameters of the hypermerge pipeline.
@@ -94,9 +105,18 @@ type MM struct {
 	// the cached fast path stays free of atomic writes otherwise.
 	cacheHits []metrics.PaddedCounter
 
-	// mergeBatch and parallelThreshold are the normalised batching knobs.
-	mergeBatch        int
-	parallelThreshold int
+	// mergeBatch and parallelThreshold are the live batching knobs.  They
+	// are atomics because the adaptive merge tuner (when enabled) retunes
+	// them concurrently with merges reading them; Merge loads each knob
+	// once per hypermerge, so one merge never observes a mid-flight mix.
+	mergeBatch        atomic.Int64
+	parallelThreshold atomic.Int64
+	// tuner adapts the batching knobs from live pipeline signals; nil
+	// unless cfg.AdaptiveMerge.
+	tuner *mergeTuner
+	// nworkers mirrors len(lookups) for lock-free readers (the tuner and
+	// the metrics sampler); updated under initMu in WorkerInit.
+	nworkers atomic.Int64
 	// mergePipe aggregates the hypermerge pipeline counters.
 	mergePipe metrics.MergePipeline
 
@@ -203,6 +223,10 @@ func NewMM(cfg MMConfig) *MM {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
+	// An explicitly configured knob is an override the adaptive tuner
+	// never touches; record which knobs were fixed before defaulting.
+	batchFixed := cfg.MergeBatchSize > 0
+	thresholdFixed := cfg.ParallelMergeThreshold > 0
 	if cfg.MergeBatchSize <= 0 {
 		cfg.MergeBatchSize = defaultMergeBatchSize
 	}
@@ -210,12 +234,16 @@ func NewMM(cfg MMConfig) *MM {
 		cfg.ParallelMergeThreshold = defaultParallelMergeThreshold
 	}
 	e := &MM{
-		cfg:               cfg,
-		rec:               metrics.NewRecorder(cfg.Workers),
-		lookups:           make([]metrics.PaddedCounter, cfg.Workers),
-		cacheHits:         make([]metrics.PaddedCounter, cfg.Workers),
-		mergeBatch:        cfg.MergeBatchSize,
-		parallelThreshold: cfg.ParallelMergeThreshold,
+		cfg:       cfg,
+		rec:       metrics.NewRecorder(cfg.Workers),
+		lookups:   make([]metrics.PaddedCounter, cfg.Workers),
+		cacheHits: make([]metrics.PaddedCounter, cfg.Workers),
+	}
+	e.mergeBatch.Store(int64(cfg.MergeBatchSize))
+	e.parallelThreshold.Store(int64(cfg.ParallelMergeThreshold))
+	e.nworkers.Store(int64(cfg.Workers))
+	if cfg.AdaptiveMerge {
+		e.tuner = &mergeTuner{batchFixed: batchFixed, thresholdFixed: thresholdFixed}
 	}
 	e.rec.SetTiming(cfg.Timing)
 	e.countLookups = cfg.CountLookups
@@ -283,9 +311,10 @@ func (e *MM) RegionLayout() *tlmm.RegionLayout { return e.layout }
 // PoolStats exposes the public SPA page pool statistics.
 func (e *MM) PoolStats() pagepool.Stats { return e.pool.Stats() }
 
-// ArenaStats aggregates the per-worker view-arena counters.  Call it only
-// while the engine is quiescent (no Run in flight): the arenas are
-// owner-goroutine structures.
+// ArenaStats aggregates the per-worker view-arena counters.  The counters
+// are per-worker atomics, so sampling is safe at any time — including
+// mid-run, which is how the metrics exporter reads them; a snapshot taken
+// while the engine is quiescent is exact.
 func (e *MM) ArenaStats() metrics.ArenaStats {
 	var s metrics.ArenaStats
 	if ws := e.workers.Load(); ws != nil {
@@ -492,7 +521,7 @@ func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Redu
 		flags = spa.FlagArena
 	} else {
 		word = r.UnboxView(r.monoid.Identity())
-		ws.arena.heapViews++
+		ws.arena.heapViews.Add(1)
 	}
 	e.rec.Stop(w.ID(), metrics.ViewCreation, start)
 	if mutable {
@@ -577,6 +606,7 @@ func (e *MM) WorkerInit(w *sched.Worker) {
 		e.lookups = append(e.lookups, make([]metrics.PaddedCounter, n-len(e.lookups))...)
 		e.cacheHits = append(e.cacheHits, make([]metrics.PaddedCounter, n-len(e.cacheHits))...)
 		e.rec.EnsureWorkers(n)
+		e.nworkers.Store(int64(n))
 	}
 	// Republish the worker list copy-on-write: publication sweeps
 	// (Unregister, region growth) iterate it lock-free.
@@ -888,15 +918,19 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 		adopts++
 		return true
 	})
+	// Load the batching knobs once per hypermerge: the adaptive tuner may
+	// retune them concurrently, and one merge must partition consistently.
+	mergeBatch := int(e.mergeBatch.Load())
+	parallelThreshold := int(e.parallelThreshold.Load())
 	reduces := int64(len(ops))
 	batches := 0
 	if len(ops) > 0 {
-		batches = (len(ops) + e.mergeBatch - 1) / e.mergeBatch
+		batches = (len(ops) + mergeBatch - 1) / mergeBatch
 	}
-	if len(ops) >= e.parallelThreshold && batches > 1 {
+	if len(ops) >= parallelThreshold && batches > 1 {
 		fns := make([]func(), 0, batches)
-		for lo := 0; lo < len(ops); lo += e.mergeBatch {
-			batch := ops[lo:min(lo+e.mergeBatch, len(ops))]
+		for lo := 0; lo < len(ops); lo += mergeBatch {
+			batch := ops[lo:min(lo+mergeBatch, len(ops))]
 			fns = append(fns, func() { runMergeBatch(cur, batch) })
 		}
 		e.mergePipe.ParallelMerges.Add(1)
@@ -940,6 +974,13 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	}
 	dep.views = nil
 	dep.count = 0
+	// A completed hypermerge is a trace-boundary event and the only point
+	// where the tuner's input signals change, so retuning hooks in here
+	// (and costs one atomic load and a compare when the window has not
+	// filled, nothing when tuning is off).
+	if e.tuner != nil {
+		e.tuner.maybeRetune(e)
+	}
 }
 
 // MergeRootDeposit implements Engine: the views produced by the root trace

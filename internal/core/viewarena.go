@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"unsafe"
 
 	"repro/internal/metrics"
@@ -66,17 +67,19 @@ func arenaClassBytes(class int) uintptr {
 	return arenaMinClassBytes << uint(class)
 }
 
-// viewArena is one worker's size-classed view allocator.  The counters are
-// plain ints: the arena is owner-goroutine-only, and Stats is read when the
-// engine is quiescent (after a Run has returned).
+// viewArena is one worker's size-classed view allocator.  The allocator
+// state (free lists, bump chunks) is owner-goroutine-only, but the counters
+// are atomics: only the owning worker writes them, while the metrics
+// exporter may sample them lock-free at any time during a run.
 type viewArena struct {
 	classes [arenaNumClasses]arenaClass
 
-	allocs      int64 // blocks handed out
-	freeHits    int64 // allocations served from a free list
-	chunkAllocs int64 // fresh bump chunks allocated
-	frees       int64 // blocks returned to a free list
-	heapViews   int64 // identity views that bypassed the arena (heap path)
+	allocs      atomic.Int64 // blocks handed out
+	freeHits    atomic.Int64 // allocations served from a free list
+	chunkAllocs atomic.Int64 // fresh bump chunks allocated
+	frees       atomic.Int64 // blocks returned to a free list
+	freeBlocks  atomic.Int64 // blocks currently sitting on free lists
+	heapViews   atomic.Int64 // identity views that bypassed the arena (heap path)
 }
 
 // arenaClass is one size class: a free list of recycled blocks and the
@@ -95,20 +98,21 @@ func (a *viewArena) alloc(class int) unsafe.Pointer {
 	if class < 0 || class >= arenaNumClasses {
 		panic(fmt.Sprintf("core: view arena class %d out of range", class))
 	}
-	a.allocs++
+	a.allocs.Add(1)
 	c := &a.classes[class]
 	if n := len(c.free); n > 0 {
 		p := c.free[n-1]
 		c.free[n-1] = nil
 		c.free = c.free[:n-1]
-		a.freeHits++
+		a.freeHits.Add(1)
+		a.freeBlocks.Add(-1)
 		return p
 	}
 	words := int(arenaClassBytes(class) / 8)
 	if c.off+words > len(c.chunk) {
 		c.chunk = make([]uint64, arenaChunkBytes/8)
 		c.off = 0
-		a.chunkAllocs++
+		a.chunkAllocs.Add(1)
 	}
 	p := unsafe.Pointer(&c.chunk[c.off])
 	c.off += words
@@ -123,22 +127,22 @@ func (a *viewArena) free(class int, p unsafe.Pointer) {
 	if class < 0 || class >= arenaNumClasses || p == nil {
 		return
 	}
-	a.frees++
+	a.frees.Add(1)
+	a.freeBlocks.Add(1)
 	c := &a.classes[class]
 	c.free = append(c.free, p)
 }
 
-// stats snapshots the arena counters.
+// stats snapshots the arena counters.  Safe to call at any time (atomic
+// loads); the counters are only mutated by the owning worker, so a snapshot
+// taken while the engine is quiescent is exact.
 func (a *viewArena) stats() metrics.ArenaStats {
-	s := metrics.ArenaStats{
-		Allocs:      a.allocs,
-		FreeHits:    a.freeHits,
-		ChunkAllocs: a.chunkAllocs,
-		Frees:       a.frees,
-		HeapViews:   a.heapViews,
+	return metrics.ArenaStats{
+		Allocs:      a.allocs.Load(),
+		FreeHits:    a.freeHits.Load(),
+		ChunkAllocs: a.chunkAllocs.Load(),
+		Frees:       a.frees.Load(),
+		FreeBlocks:  a.freeBlocks.Load(),
+		HeapViews:   a.heapViews.Load(),
 	}
-	for i := range a.classes {
-		s.FreeBlocks += int64(len(a.classes[i].free))
-	}
-	return s
 }

@@ -1,0 +1,43 @@
+package faultinject
+
+import "repro/internal/metrics"
+
+// SampleMetrics is a package-level metrics.Source (wrap it in
+// metrics.SourceFunc to register): it exports the active chaos plan's
+// per-failpoint hit and fire counters, labelled by site name, plus a gauge
+// reporting whether a plan is active at all.  With no plan active it emits
+// only the gauge — the failpoints themselves are dormant and have no
+// counters to read.  All values are atomic loads from the plan's padded
+// per-site state, safe to sample during a chaos run.
+func SampleMetrics(emit func(metrics.MetricSample)) {
+	p := active.Load()
+	activeVal := 0.0
+	if p != nil {
+		activeVal = 1
+	}
+	emit(metrics.MetricSample{
+		Name:  "cilkm_faultinject_plan_active",
+		Help:  "Whether a chaos plan is currently activated (0 or 1).",
+		Kind:  metrics.KindGauge,
+		Value: activeVal,
+	})
+	if p == nil {
+		return
+	}
+	for _, id := range IDs() {
+		emit(metrics.MetricSample{
+			Name:     "cilkm_faultinject_hits_total",
+			Help:     "Failpoint hits observed by the active plan.",
+			Kind:     metrics.KindCounter,
+			LabelKey: "site", LabelValue: id.String(),
+			Value: float64(p.Hits(id)),
+		})
+		emit(metrics.MetricSample{
+			Name:     "cilkm_faultinject_fires_total",
+			Help:     "Failpoint hits that fired an injected fault.",
+			Kind:     metrics.KindCounter,
+			LabelKey: "site", LabelValue: id.String(),
+			Value: float64(p.Fires(id)),
+		})
+	}
+}

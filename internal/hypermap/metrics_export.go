@@ -1,0 +1,23 @@
+package hypermap
+
+import "repro/internal/metrics"
+
+// engineLabel is the engine label value the hypermap engine exports under.
+const engineLabel = "hypermap"
+
+// SampleMetrics implements metrics.Source.  The hypermap engine does not
+// run the batched merge pipeline, so it exports the subset of the shared
+// metric names it actually tracks: identity elisions, lookup counters and
+// the reducer-directory aggregate.  All values are atomic loads, safe to
+// sample mid-run.
+func (e *Engine) SampleMetrics(emit func(metrics.MetricSample)) {
+	emit(metrics.MetricSample{
+		Name:     "cilkm_identity_elisions_total",
+		Help:     "Never-written identity views elided instead of merged.",
+		Kind:     metrics.KindCounter,
+		LabelKey: "engine", LabelValue: engineLabel,
+		Value: float64(e.IdentityElisions()),
+	})
+	metrics.EmitLookups(emit, engineLabel, e.Lookups(), e.CacheHits())
+	metrics.EmitDirectory(emit, engineLabel, e.DirectoryStats())
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func staticSource(samples ...MetricSample) Source {
+	return SourceFunc(func(emit func(MetricSample)) {
+		for _, s := range samples {
+			emit(s)
+		}
+	})
+}
+
+func TestExporterWritePrometheus(t *testing.T) {
+	e := NewExporter()
+	e.Register("a", staticSource(
+		MetricSample{Name: "cilkm_merges_total", Help: "Completed hypermerges.", Kind: KindCounter,
+			LabelKey: "engine", LabelValue: "mm", Value: 42},
+		MetricSample{Name: "cilkm_arena_hit_rate", Help: "Arena hit rate.", Kind: KindGauge,
+			LabelKey: "engine", LabelValue: "mm", Value: 0.75},
+		MetricSample{Name: "cilkm_sched_workers", Kind: KindGauge, Value: 8},
+	))
+	var b strings.Builder
+	if err := e.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP cilkm_merges_total Completed hypermerges.\n",
+		"# TYPE cilkm_merges_total counter\n",
+		`cilkm_merges_total{engine="mm"} 42` + "\n",
+		"# TYPE cilkm_arena_hit_rate gauge\n",
+		`cilkm_arena_hit_rate{engine="mm"} 0.75` + "\n",
+		"cilkm_sched_workers 8\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExporterHeaderOncePerName(t *testing.T) {
+	e := NewExporter()
+	e.Register("engines", staticSource(
+		MetricSample{Name: "cilkm_lookups_total", Kind: KindCounter, LabelKey: "engine", LabelValue: "mm", Value: 1},
+		MetricSample{Name: "cilkm_lookups_total", Kind: KindCounter, LabelKey: "engine", LabelValue: "hypermap", Value: 2},
+	))
+	var b strings.Builder
+	if err := e.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "# TYPE cilkm_lookups_total"); got != 1 {
+		t.Errorf("TYPE header emitted %d times, want once:\n%s", got, out)
+	}
+	if !strings.Contains(out, `cilkm_lookups_total{engine="hypermap"} 2`) ||
+		!strings.Contains(out, `cilkm_lookups_total{engine="mm"} 1`) {
+		t.Errorf("missing per-engine samples:\n%s", out)
+	}
+}
+
+func TestExporterExpvarJSON(t *testing.T) {
+	e := NewExporter()
+	e.Register("a", staticSource(
+		MetricSample{Name: "cilkm_merges_total", Kind: KindCounter, LabelKey: "engine", LabelValue: "mm", Value: 7},
+		MetricSample{Name: "cilkm_sched_steals_total", Kind: KindCounter, Value: 3},
+	))
+	var b strings.Builder
+	if err := e.WriteExpvar(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("expvar output is not JSON: %v\n%s", err, b.String())
+	}
+	if m["cilkm_merges_total.mm"] != 7 || m["cilkm_sched_steals_total"] != 3 {
+		t.Errorf("expvar map = %v", m)
+	}
+}
+
+func TestExporterServeHTTPFormats(t *testing.T) {
+	e := NewExporter()
+	e.Register("a", staticSource(MetricSample{Name: "x_total", Kind: KindCounter, Value: 1}))
+
+	rec := httptest.NewRecorder()
+	e.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default Content-Type = %q, want Prometheus text", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("Prometheus body = %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	e.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=expvar", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("expvar Content-Type = %q, want JSON", ct)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil || m["x_total"] != 1 {
+		t.Errorf("expvar body = %q (err %v)", rec.Body.String(), err)
+	}
+}
+
+func TestExporterRegisterReplacesByName(t *testing.T) {
+	e := NewExporter()
+	e.Register("engine", staticSource(MetricSample{Name: "v", Kind: KindGauge, Value: 1}))
+	e.Register("engine", staticSource(MetricSample{Name: "v", Kind: KindGauge, Value: 2}))
+	samples := e.Gather()
+	if len(samples) != 1 || samples[0].Value != 2 {
+		t.Errorf("Gather after re-register = %+v, want single replaced sample", samples)
+	}
+	e.Unregister("engine")
+	if got := e.Gather(); len(got) != 0 {
+		t.Errorf("Gather after Unregister = %+v, want empty", got)
+	}
+}
+
+func TestPromValueFormatting(t *testing.T) {
+	if got := promValue(1e7); got != "10000000" {
+		t.Errorf("promValue(1e7) = %q, want plain integer", got)
+	}
+	if got := promValue(0.25); got != "0.25" {
+		t.Errorf("promValue(0.25) = %q", got)
+	}
+}

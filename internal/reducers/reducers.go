@@ -72,6 +72,11 @@ type EngineOptions struct {
 	// many workers benefit from more shards; tests pin it to 1 to make
 	// slot recycling deterministic.
 	DirectoryShards int
+	// AdaptiveMerge lets the memory-mapped engine retune its hypermerge
+	// batching knobs from live pipeline signals at trace boundaries
+	// (ignored by the hypermap engine).  Knobs set explicitly above stay
+	// fixed overrides the tuner never touches.
+	AdaptiveMerge bool
 }
 
 // NewEngine creates a reducer engine of the requested mechanism sized for
@@ -94,6 +99,7 @@ func NewEngine(m Mechanism, workers int, opts EngineOptions) core.Engine {
 			MergeBatchSize:         opts.MergeBatchSize,
 			ParallelMergeThreshold: opts.ParallelMergeThreshold,
 			DirectoryShards:        opts.DirectoryShards,
+			AdaptiveMerge:          opts.AdaptiveMerge,
 		})
 	}
 }

@@ -1,0 +1,20 @@
+// Package sched implements the work-stealing fork-join runtime on which the
+// reducer mechanisms run.  It plays the role of the Cilk-M/Cilk Plus
+// runtime in the paper: P workers, per-worker deques, randomized work
+// stealing, and a join protocol under which a worker's execution between
+// steals mirrors a serial execution exactly, so that reducer views need to
+// be created, transferred and merged only when steals actually occur.
+//
+// Go cannot steal the un-reified continuation of a running function, so the
+// primitive is Fork(left, right): left runs inline and right — the
+// continuation — is pushed to the deque where a thief may promote it.  The
+// serial fast path (no steal) performs no reducer-related work at all,
+// matching the property the paper's overhead accounting relies on.
+//
+// The runtime keeps per-worker padded counters (forks, steals, merge
+// tasks, deque depth) that Stats aggregates lock-free; Runtime implements
+// metrics.Source, so the same counters can be scraped live through the
+// metrics exporter.  Job-boundary failure containment (panic.go) turns
+// panics in parallel code into errors at the Run boundary without leaking
+// views or deque entries.
+package sched

@@ -1,0 +1,37 @@
+package sched
+
+import "repro/internal/metrics"
+
+// SampleMetrics implements metrics.Source: it exports the scheduler's
+// per-worker counters (forks, steals, merge tasks, deque depth) as
+// exporter samples.  Stats already reads nothing but per-worker padded
+// atomics, so sampling is lock-free and safe at any point of a run; a
+// Prometheus rate() over cilkm_sched_steals_total is the steals/s signal
+// the observability docs describe.
+func (rt *Runtime) SampleMetrics(emit func(metrics.MetricSample)) {
+	s := rt.Stats()
+	counter := func(name, help string, v int64) {
+		emit(metrics.MetricSample{Name: name, Help: help, Kind: metrics.KindCounter, Value: float64(v)})
+	}
+	counter("cilkm_sched_forks_total", "Fork calls.", s.Forks)
+	counter("cilkm_sched_steals_total", "Successful steals.", s.Steals)
+	counter("cilkm_sched_failed_steals_total", "Steal sweeps that found nothing.", s.FailedSteals)
+	counter("cilkm_sched_stalled_joins_total", "Forks whose continuation was stolen.", s.StalledJoins)
+	counter("cilkm_sched_helped_tasks_total", "Tasks executed while waiting at a join.", s.HelpedTasks)
+	counter("cilkm_sched_tasks_executed_total", "Stolen or injected tasks executed.", s.TasksExecuted)
+	counter("cilkm_sched_merge_tasks_total", "Runtime-internal merge tasks run by thieves.", s.MergeTasks)
+	counter("cilkm_sched_root_tasks_total", "Run invocations.", s.RootTasks)
+	counter("cilkm_sched_parallel_for_splits_total", "Splits performed by ParallelFor.", s.ParallelForSpl)
+	emit(metrics.MetricSample{
+		Name:  "cilkm_sched_max_deque_depth",
+		Help:  "High-water mark of any worker deque.",
+		Kind:  metrics.KindGauge,
+		Value: float64(s.MaxDequeDepth),
+	})
+	emit(metrics.MetricSample{
+		Name:  "cilkm_sched_workers",
+		Help:  "Configured worker count.",
+		Kind:  metrics.KindGauge,
+		Value: float64(len(rt.workers)),
+	})
+}
