@@ -1,9 +1,9 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr6.json
-BENCH_BASE ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr8.json
+BENCH_BASE ?= BENCH_pr6.json
 CHAOS_SEEDS ?= 6
 
-.PHONY: build vet vet-unsafe lint-deprecated check-binaries test race chaos bench bench-directory bench-typed bench-spa bench-json bench-diff docs-check fmt-check ci
+.PHONY: build vet vet-unsafe lint-deprecated check-binaries inline-check test race chaos bench bench-directory bench-typed bench-spa bench-lookup bench-json bench-diff docs-check fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ check-binaries:
 	if [ -n "$$out" ]; then \
 		echo "committed test binaries (add to .gitignore and git rm):"; echo "$$out"; exit 1; \
 	fi
+
+# inline-check pins the compiler's inlining decisions for the typed-lookup
+# fast path (slot probe, owner-stamp check, bucket-head probe, epoch and
+# worker-id accessors).  A helper growing past the inlining budget would
+# silently turn the single-deref steady-state hit into a call chain; this
+# greps -gcflags=-m and fails when any pinned decision is gone.
+inline-check:
+	@GO="$(GO)" sh scripts/inline_check.sh
 
 test:
 	$(GO) test ./...
@@ -88,6 +96,22 @@ bench-spa:
 	$(GO) test -run NONE -bench 'TypedAdd' \
 		-benchmem -benchtime=0.5s ./internal/reducers/
 
+# bench-lookup runs the steady-state typed-lookup benchmark against the raw
+# per-worker []V array-index floor on both engines and records the numbers
+# as a perf-trajectory artifact (BENCH_LOOKUP_OUT).  The acceptance bar for
+# the devirtualized fast path is TypedLookupSteadyState within 1.5x of
+# RawSliceIndexBaseline; -count=5 because single runs on shared machines
+# are noisy (the diff tool aggregates by min).
+BENCH_LOOKUP_OUT ?= BENCH_lookup.json
+bench-lookup:
+	@$(GO) test -run NONE -bench 'TypedLookupSteadyState|RawSliceIndexBaseline' \
+		-benchmem -benchtime=0.5s -count=5 \
+		./internal/reducers/ > $(BENCH_LOOKUP_OUT).txt 2>&1 \
+		|| { cat $(BENCH_LOOKUP_OUT).txt; rm -f $(BENCH_LOOKUP_OUT).txt; exit 1; }
+	@$(GO) run ./cmd/benchjson -out $(BENCH_LOOKUP_OUT) < $(BENCH_LOOKUP_OUT).txt
+	@cat $(BENCH_LOOKUP_OUT).txt
+	@rm -f $(BENCH_LOOKUP_OUT).txt
+
 # bench-json runs the sched, core and typed-reducer microbenchmarks
 # (fork/steal, lookup, merge pipeline, directory registration, typed vs
 # boxed update paths) and records them as a machine-readable
@@ -106,7 +130,7 @@ bench-json:
 		-benchmem -benchtime=0.5s -count=3 -cpu 8 \
 		./internal/core/ >> $(BENCH_OUT).txt 2>&1 \
 		|| { cat $(BENCH_OUT).txt; rm -f $(BENCH_OUT).txt; exit 1; }
-	@$(GO) test -run NONE -bench 'TypedAdd|BoxedAdd|TypedList|BoxedList' \
+	@$(GO) test -run NONE -bench 'TypedAdd|BoxedAdd|TypedList|BoxedList|TypedLookupSteadyState|RawSliceIndexBaseline' \
 		-benchmem -benchtime=0.5s -count=3 \
 		./internal/reducers/ >> $(BENCH_OUT).txt 2>&1 \
 		|| { cat $(BENCH_OUT).txt; rm -f $(BENCH_OUT).txt; exit 1; }
@@ -134,4 +158,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build fmt-check vet vet-unsafe lint-deprecated check-binaries docs-check test race
+ci: build fmt-check vet vet-unsafe lint-deprecated check-binaries inline-check docs-check test race

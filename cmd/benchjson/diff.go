@@ -54,16 +54,28 @@ func headlineCategory(name string) string {
 	return ""
 }
 
-// normalizeBenchName strips the trailing -<digits> GOMAXPROCS suffix that
-// `go test -bench` appends to parallel benchmark names.
+// normalizeBenchName strips run-configuration suffixes so artifacts
+// recorded under different settings still line up: the trailing -<digits>
+// GOMAXPROCS suffix that `go test -bench` appends to parallel benchmark
+// names, and the -race / -short tags a bench runner may append when it
+// records instrumented or shortened runs.  Tags can stack (a -race run on
+// 8 cores records Benchmark...-race-8), so stripping repeats until no
+// recognised suffix remains.
 func normalizeBenchName(name string) string {
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		suffix := name[i+1:]
-		if suffix != "" && strings.Trim(suffix, "0123456789") == "" {
-			return name[:i]
+	for {
+		i := strings.LastIndex(name, "-")
+		if i <= 0 {
+			return name
 		}
+		suffix := name[i+1:]
+		switch {
+		case suffix == "race" || suffix == "short":
+		case suffix != "" && strings.Trim(suffix, "0123456789") == "":
+		default:
+			return name
+		}
+		name = name[:i]
 	}
-	return name
 }
 
 // aggregateResults reduces a document to one ns/op per normalised
@@ -139,9 +151,13 @@ func computeDiff(oldDoc, newDoc Document, thresholdPct float64) benchDiff {
 	return d
 }
 
-// writeDiff renders the delta table and warnings.
+// writeDiff renders the delta table and warnings.  The header names the
+// comparison baseline explicitly so a pasted table is self-describing —
+// "which artifact were these deltas measured against" does not depend on
+// remembering the argument order.
 func writeDiff(w io.Writer, d benchDiff, oldLabel, newLabel string) {
-	fmt.Fprintf(w, "benchmark comparison: %s -> %s\n\n", oldLabel, newLabel)
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s\n", oldLabel, newLabel)
+	fmt.Fprintf(w, "baseline: %s\n\n", oldLabel)
 	fmt.Fprintf(w, "%-44s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "headline")
 	for _, r := range d.Rows {
 		mark := r.Category

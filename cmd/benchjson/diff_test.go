@@ -98,6 +98,29 @@ func TestDiffMissingBenchmarkWarnsWithoutFailing(t *testing.T) {
 	}
 }
 
+func TestDiffRaceSuffixedRunsLineUp(t *testing.T) {
+	// A -race bench artifact must compare against a plain baseline without
+	// every benchmark degenerating into missing-name warnings.
+	oldDoc := fixture("BenchmarkStealThroughput-4", 100.0)
+	newDoc := fixture("BenchmarkStealThroughput-race-4", 104.0)
+	d := computeDiff(oldDoc, newDoc, 10)
+	if len(d.MissingInNew) != 0 || len(d.MissingInOld) != 0 {
+		t.Fatalf("missing = %v / %v, want suffixed names to line up", d.MissingInNew, d.MissingInOld)
+	}
+	if len(d.Rows) != 1 || d.Rows[0].Name != "BenchmarkStealThroughput" {
+		t.Fatalf("rows = %+v, want one normalised steal row", d.Rows)
+	}
+}
+
+func TestDiffHeaderReportsBaselinePath(t *testing.T) {
+	d := computeDiff(fixture("BenchmarkForkNoSteal", 100.0), fixture("BenchmarkForkNoSteal", 100.0), 10)
+	var out strings.Builder
+	writeDiff(&out, d, "BENCH_pr6.json", "BENCH_pr8.json")
+	if !strings.Contains(out.String(), "baseline: BENCH_pr6.json") {
+		t.Errorf("diff header lacks the baseline path:\n%s", out.String())
+	}
+}
+
 func TestDiffAggregatesRepeatedRunsByMin(t *testing.T) {
 	// -count=3 produces three lines per benchmark; min ns/op wins.
 	oldDoc := fixture(
@@ -124,12 +147,17 @@ func TestDiffAggregatesRepeatedRunsByMin(t *testing.T) {
 
 func TestNormalizeBenchName(t *testing.T) {
 	cases := map[string]string{
-		"BenchmarkForkNoSteal-8":       "BenchmarkForkNoSteal",
-		"BenchmarkForkNoSteal-128":     "BenchmarkForkNoSteal",
-		"BenchmarkForkNoStealDepth8":   "BenchmarkForkNoStealDepth8",
-		"BenchmarkTypedAdd/hypermap":   "BenchmarkTypedAdd/hypermap",
-		"BenchmarkMergeParallel1k":     "BenchmarkMergeParallel1k",
-		"BenchmarkRegisterChurn-foo-8": "BenchmarkRegisterChurn-foo",
+		"BenchmarkForkNoSteal-8":          "BenchmarkForkNoSteal",
+		"BenchmarkForkNoSteal-128":        "BenchmarkForkNoSteal",
+		"BenchmarkForkNoStealDepth8":      "BenchmarkForkNoStealDepth8",
+		"BenchmarkTypedAdd/hypermap":      "BenchmarkTypedAdd/hypermap",
+		"BenchmarkMergeParallel1k":        "BenchmarkMergeParallel1k",
+		"BenchmarkRegisterChurn-foo-8":    "BenchmarkRegisterChurn-foo",
+		"BenchmarkForkNoSteal-race":       "BenchmarkForkNoSteal",
+		"BenchmarkForkNoSteal-short":      "BenchmarkForkNoSteal",
+		"BenchmarkForkNoSteal-race-8":     "BenchmarkForkNoSteal",
+		"BenchmarkForkNoSteal-8-race":     "BenchmarkForkNoSteal",
+		"BenchmarkRegisterChurn-foo-race": "BenchmarkRegisterChurn-foo",
 	}
 	for in, want := range cases {
 		if got := normalizeBenchName(in); got != want {

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	cilkm "repro"
+	"repro/internal/core"
+	"repro/internal/reducers"
 )
 
 // opTree is a randomly generated fork structure used to check that both
@@ -201,6 +203,117 @@ func TestReadOnlyAccessesPreserveEquivalence(t *testing.T) {
 		}
 		if got := watched.Value(); got != 0 {
 			t.Fatalf("%v: read-only reducer = %d, want 0", mech, got)
+		}
+		s.Close()
+	}
+}
+
+// TestFastPathInvalidationOnMidRunUnregister pins the lookup fast path's
+// invalidation contract against the nastiest reuse scenario: a reducer is
+// unregistered mid-run and its slot address is immediately recycled by a
+// fresh registration.  With a single directory shard the shard's LIFO free
+// stack makes the reuse deterministic.  The Unregister must bump the view
+// epoch (so every per-handle and per-context cache re-resolves), and the
+// handle occupying the recycled address must read its own identity view —
+// never the retired reducer's value — on both engines.
+func TestFastPathInvalidationOnMidRunUnregister(t *testing.T) {
+	const n = 1000
+	for _, mech := range []cilkm.Mechanism{cilkm.MemoryMapped, cilkm.Hypermap} {
+		s := cilkm.New(cilkm.WithMechanism(mech), cilkm.WithWorkers(2),
+			cilkm.WithDirectoryShards(1))
+		keep := cilkm.NewAdd[int64](s.Engine())
+		var reused *reducers.Add[int64]
+		err := s.Run(func(c *cilkm.Context) {
+			doomed := cilkm.NewAdd[int64](s.Engine())
+			doomed.Add(c, 41)
+			keep.Add(c, 1)
+			if got := *doomed.ReadView(c); got != 41 {
+				t.Errorf("%v: doomed view = %d, want 41", mech, got)
+			}
+			addr := doomed.Reducer().Addr()
+			before := c.ViewEpoch()
+			doomed.Close()
+			if after := c.ViewEpoch(); after <= before {
+				t.Errorf("%v: Unregister left the view epoch at %d (was %d); "+
+					"stale fast-path caches would survive", mech, after, before)
+			}
+			reused = cilkm.NewAdd[int64](s.Engine())
+			if got := reused.Reducer().Addr(); got != addr {
+				t.Fatalf("%v: recycled registration landed at %v, want reuse of %v",
+					mech, got, addr)
+			}
+			// The recycled address must resolve to the new reducer's
+			// identity, not the retired reducer's 41.
+			if got := *reused.ReadView(c); got != 0 {
+				t.Errorf("%v: reused slot's first read = %d, want identity 0", mech, got)
+			}
+			c.ParallelForGrain(0, n, 8, func(c *cilkm.Context, i int) {
+				if i%64 == 0 {
+					time.Sleep(time.Microsecond) // widen the steal window
+				}
+				reused.Add(c, 1)
+				keep.Add(c, 1)
+			})
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if got := reused.Value(); got != n {
+			t.Fatalf("%v: reused-slot reducer = %d, want %d", mech, got, n)
+		}
+		if got := keep.Value(); got != n+1 {
+			t.Fatalf("%v: surviving reducer = %d, want %d", mech, got, n+1)
+		}
+		s.Close()
+	}
+}
+
+// TestFastPathInvalidationOnAdaptiveRetune drives enough hypermerges
+// through an adaptively tuned engine to force the merge tuner through
+// several retune windows, while a typed handle is read between every merge.
+// Each spawned child runs as its own trace, so every Wait performs a real
+// hypermerge that bumps the worker's view epoch; the handle's fast path
+// must re-resolve after each bump and observe the running merged total — a
+// stale cached view would report a stale count.  Retuning itself only
+// changes batching granularity, and the test pins that the totals stay
+// exact on both engines (the tuner is memory-mapped-only; the hypermap
+// engine runs the same schedule as the no-tuner control).
+func TestFastPathInvalidationOnAdaptiveRetune(t *testing.T) {
+	const rounds = 80 // > 2 full retune windows of 32 hypermerges
+	for _, mech := range []cilkm.Mechanism{cilkm.MemoryMapped, cilkm.Hypermap} {
+		s := cilkm.New(cilkm.WithMechanism(mech), cilkm.WithWorkers(2),
+			cilkm.WithAdaptiveMerge())
+		sum := cilkm.NewAdd[int64](s.Engine())
+		err := s.Run(func(c *cilkm.Context) {
+			start := c.ViewEpoch()
+			for round := 1; round <= rounds; round++ {
+				g := c.NewGroup()
+				g.Spawn(func(c *cilkm.Context) { sum.Add(c, 1) })
+				g.Wait()
+				// The child's trace deposited one written view and Wait
+				// merged it here, bumping the epoch; the fast path must
+				// re-resolve and see every contribution so far.
+				if got := *sum.ReadView(c); got != int64(round) {
+					t.Fatalf("%v: after %d merges the fast path reads %d",
+						mech, round, got)
+				}
+			}
+			if end := c.ViewEpoch(); end <= start {
+				t.Errorf("%v: %d hypermerges never bumped the view epoch (%d -> %d)",
+					mech, rounds, start, end)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if got := sum.Value(); got != rounds {
+			t.Fatalf("%v: merged total = %d, want %d", mech, got, rounds)
+		}
+		if mm, ok := s.Engine().(*core.MM); ok {
+			if _, _, adaptive, retunes := mm.MergeTuning(); !adaptive || retunes == 0 {
+				t.Fatalf("adaptive tuner never retuned (adaptive=%v retunes=%d); "+
+					"the test exercised no retune-epoch interaction", adaptive, retunes)
+			}
 		}
 		s.Close()
 	}

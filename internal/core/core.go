@@ -152,6 +152,12 @@ type Engine interface {
 type Reducer struct {
 	id   uint64
 	addr spa.Addr
+	// page and slot are addr's decomposed SPA coordinates (addr.Page() and
+	// addr.Slot()), precomputed at registration.  SlotsPerMap is not a power
+	// of two, so the decomposition costs an integer division and a modulo;
+	// hoisting it here means the lookup fast path probes the worker's
+	// private maps with two plain array indexes (see MM.LookupWordFast).
+	page, slot int32
 	// slotEpoch is the incarnation of the directory slot this reducer was
 	// registered under.  The slot's epoch is bumped on every unregister, so
 	// a handle kept across Unregister can never pass Directory.Valid once

@@ -298,11 +298,12 @@ func (d *Directory) Register(eng Engine, m Monoid) (*Reducer, error) {
 	} else {
 		local = s.next.Add(1) - 1
 	}
+	addr := d.addr(si, local)
 	if d.onGrow != nil {
 		// Both branches verify growth: a recycled slot normally sits on an
 		// already-grown page (one atomic load), but a slot pushed back by a
 		// previously failed registration may not.
-		if err := d.growToPage(d.addr(si, local).Page()); err != nil {
+		if err := d.growToPage(addr.Page()); err != nil {
 			// Hand the unused slot back so the address is not leaked.
 			s.pushFree(local)
 			return nil, err
@@ -324,7 +325,9 @@ func (d *Directory) Register(eng Engine, m Monoid) (*Reducer, error) {
 		// shard part distinguishes concurrent sequences) and nonzero (the
 		// per-context lookup cache requires nonzero keys).
 		id:         (s.idSeq.Add(1)-1)<<d.shift + si + 1,
-		addr:       d.addr(si, local),
+		addr:       addr,
+		page:       int32(addr.Page()),
+		slot:       int32(addr.Slot()),
 		slotEpoch:  slot.epoch.Load(),
 		monoid:     m,
 		eng:        eng,

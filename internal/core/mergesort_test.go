@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/spa"
+)
+
+// mkCurSlot packs a (view, owner) pair into a written SPA slot the way the
+// merge partition would find it in the current trace's maps.
+func mkCurSlot(t *testing.T, view, owner unsafe.Pointer) spa.Slot {
+	t.Helper()
+	m := spa.New()
+	if err := m.Insert(0, view, owner, spa.FlagWritten); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	return m.SlotAt(0)
+}
+
+// TestSortOpsByLocality pins the locality sort's ordering contract: the
+// returned permutation groups reduce ops by arena size class first
+// (heap-backed views, class -1, lead), ascends by current-view address
+// within a class, keeps ops with identical (class, address) keys in their
+// original relative order (the packed index makes the sort stable), and
+// leaves the ops slice itself untouched — the panic-cleanup and dead-view
+// sweeps iterate it positionally.  An already-ordered partition returns
+// nil ("run in natural order").
+func TestSortOpsByLocality(t *testing.T) {
+	backing := make([]int64, 64)
+	ptr := func(i int) unsafe.Pointer { return unsafe.Pointer(&backing[i]) }
+	heap := &Reducer{arenaClass: -1}
+	c0 := &Reducer{arenaClass: 0}
+	c2 := &Reducer{arenaClass: 2}
+	mk := func(r *Reducer, vi, tag int) mergeOp {
+		return mergeOp{
+			addr:  spa.Addr(tag), // tag marks the op's original position
+			owner: r,
+			cur:   mkCurSlot(t, ptr(vi), unsafe.Pointer(r)),
+		}
+	}
+
+	ops := []mergeOp{
+		mk(c2, 8, 0),
+		mk(c0, 40, 1),
+		mk(heap, 0, 2),
+		mk(c0, 16, 3),
+		mk(c2, 8, 4), // identical key to index 0: stability tiebreak
+		mk(heap, 48, 5),
+	}
+	order := sortOpsByLocality(ops)
+	want := []uint32{2, 5, 3, 1, 0, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	for i := range ops {
+		if ops[i].addr != spa.Addr(i) {
+			t.Fatalf("sortOpsByLocality moved op %d (tag %d)", i, ops[i].addr)
+		}
+	}
+
+	// Feed the ops back in their locality order: the partition is now
+	// sorted, so the pre-pass must report natural order with no sort.
+	resorted := make([]mergeOp, len(ops))
+	for i, j := range order {
+		resorted[i] = ops[j]
+	}
+	if got := sortOpsByLocality(resorted); got != nil {
+		t.Fatalf("ordered partition still returned a permutation: %v", got)
+	}
+}

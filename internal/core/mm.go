@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -120,6 +121,14 @@ type MM struct {
 	// mergePipe aggregates the hypermerge pipeline counters.
 	mergePipe metrics.MergePipeline
 
+	// fastHits, fastMisses and fastCold count the devirtualized typed-lookup
+	// fast path's outcomes (see lookupfast.go).  They tick only on
+	// handle-cache misses, never on the single-deref hit path, so one shared
+	// padded counter per outcome is contention-free enough.
+	fastHits   metrics.PaddedCounter
+	fastMisses metrics.PaddedCounter
+	fastCold   metrics.PaddedCounter
+
 	// mergeInflight counts hypermerges (Merge and MergeRootDeposit calls)
 	// currently executing; part of the engine's quiescence invariant.
 	mergeInflight atomic.Int64
@@ -148,6 +157,37 @@ type mmWorker struct {
 	// mapped[i] reports whether SPA page index i is backed by a TLMM page
 	// in this worker's address space.
 	mapped []bool
+	// opsFree caches reduce-partition buffers for reuse across hypermerges,
+	// so the steady state allocates no mergeOp storage at all.  It is a
+	// small stack, not a single slot: a worker blocked in ForkMergeTasks
+	// can steal and run another hypermerge reentrantly, putting several
+	// buffers in flight at once.  Owner-goroutine only — every merge this
+	// worker owns partitions and recycles on its own goroutine.
+	opsFree [][]mergeOp
+}
+
+// getOpsBuf hands out a recycled reduce-partition buffer, or a fresh one
+// sized to capHint when the stack is empty.
+func (ws *mmWorker) getOpsBuf(capHint int) []mergeOp {
+	if n := len(ws.opsFree); n > 0 {
+		buf := ws.opsFree[n-1]
+		ws.opsFree[n-1] = nil
+		ws.opsFree = ws.opsFree[:n-1]
+		return buf
+	}
+	return make([]mergeOp, 0, capHint)
+}
+
+// putOpsBuf returns a settled partition buffer to the stack.  The buffer is
+// cleared first so a cached buffer never pins dead views, owners or pages
+// for the collector; merges that panic never reach here, leaving their
+// buffer to the panic-cleanup sweep (and the GC) instead.
+func (ws *mmWorker) putOpsBuf(ops []mergeOp) {
+	if cap(ops) == 0 || len(ws.opsFree) >= 4 {
+		return
+	}
+	clear(ops)
+	ws.opsFree = append(ws.opsFree, ops[:0])
 }
 
 // freeSlotView recycles a dead slot's view block into this worker's arena.
@@ -722,16 +762,70 @@ func (e *MM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 
 // mergeOp is one reduce pair of a hypermerge: the slot address, the owning
 // reducer resolved from the owner stamp, and the packed slots holding the
-// serially-earlier current view and the deposited view.  runMergeBatch
-// records the views the reduce killed in dead; the merge owner recycles
-// their arena blocks after the batches join (cross-worker batch executors
-// never touch an arena).
+// serially-earlier current view and the deposited view.  The partition pass
+// also resolves the slot's position in the current trace's map set — the
+// page pointer and the slot index — so the reduce inner loop updates the
+// surviving slot with plain indexing instead of re-deriving page and slot
+// from the address (SlotsPerMap is 248, so every Addr decomposition is an
+// integer division).  page stays valid even if the map set grows during the
+// partition: pages are stable heap objects, only the page table reallocates.
+// runMergeBatch records the views the reduce killed in dead; the merge
+// owner recycles their arena blocks after the batches join (cross-worker
+// batch executors never touch an arena).
 type mergeOp struct {
 	addr  spa.Addr
 	owner *Reducer
+	page  *spa.Map
+	slot  int32
 	cur   spa.Slot
 	dep   spa.Slot
 	dead  [2]spa.Slot
+}
+
+// mergeLocalitySortMin is the reduce-partition size at which Merge orders
+// the ops by (arena size class, current-view address) before batching.
+// Below it the ordering pass costs more than the contiguity buys; above it
+// each batch walks same-class views in address order — contiguous runs
+// through the arena chunks the views were carved from.
+const mergeLocalitySortMin = 512
+
+// mergeLocalityIdxBits bounds the partitions the locality sort handles: the
+// op index shares the packed sort key with the class and address, so
+// partitions of 2^20 ops or more skip the ordering (they are far past any
+// size where the key encoding is worth revisiting).
+const mergeLocalityIdxBits = 20
+
+// sortOpsByLocality computes the order in which a reduce partition's ops
+// should run so that views of one arena size class form contiguous
+// address-ordered runs.  The sort key packs (class+1, view address, op
+// index) into one uint64 — heap views (class -1) sort first, the
+// 8-byte-aligned address is kept to 36 significant bits (truncation only
+// perturbs ordering across 512 GiB strides, and the order is a locality
+// heuristic, never a correctness condition), and the index makes keys
+// unique and the permutation stable.  The ops themselves stay in place:
+// the result is an index permutation the batch loops walk, so the sort
+// moves 8-byte keys, never the ~100-byte ops (physically permuting them
+// measurably slowed large parallel merges).  Deposits usually arrive
+// already address-ordered — views are carved from bump chunks in slot
+// order — so the already-sorted check keeps the steady-state cost at one
+// linear scan; a nil result means "run in natural order".
+func sortOpsByLocality(ops []mergeOp) []uint32 {
+	keys := make([]uint64, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		class := uint64(uint8(op.owner.arenaClass+1)) & 0xFF
+		view := uint64(uintptr(op.cur.View())) >> 3
+		keys[i] = class<<56 | (view&(1<<36-1))<<mergeLocalityIdxBits | uint64(i)
+	}
+	if slices.IsSorted(keys) {
+		return nil
+	}
+	slices.Sort(keys)
+	order := make([]uint32, len(ops))
+	for j, k := range keys {
+		order[j] = uint32(k & (1<<mergeLocalityIdxBits - 1))
+	}
+	return order
 }
 
 // runMergeBatch folds one batch of reduce pairs into the current trace's
@@ -740,44 +834,62 @@ type mergeOp struct {
 // view on the left, preserving the serial order of every reducer's view
 // chain.  The interface values handed to the monoid are assembled from the
 // slot words (BoxView: word pairing, no allocation), and the combined
-// result is unboxed back into the slot.
-func runMergeBatch(cur *spa.MapSet, ops []mergeOp) {
+// result is unboxed back into the op's pre-resolved (page, slot) position —
+// no address decomposition anywhere in the loop.
+func runMergeBatch(ops []mergeOp) {
 	for i := range ops {
-		op := &ops[i]
-		// Chaos point for a monoid whose Reduce blows up mid-hypermerge:
-		// fired before the op's slots are touched, so this op's dead records
-		// stay empty and the cleanup path treats it as never run.
-		faultinject.Check(faultinject.MonoidReduce)
-		left := op.owner.BoxView(op.cur.View())
-		right := op.owner.BoxView(op.dep.View())
-		combined := op.owner.UnboxView(op.owner.monoid.Reduce(left, right))
-		switch combined {
-		case op.cur.View():
-			// The usual in-place reduction: the current view survives and
-			// the deposited view dies.  The surviving slot now carries the
-			// deposit's (written) contribution even if the current trace
-			// only ever read it, so its written bit must be set — otherwise
-			// the trace-end elision would drop the merged value.
-			if !op.cur.Written() {
-				cur.MarkWritten(op.addr)
-			}
-			op.dead[0] = op.dep
-		case op.dep.View():
-			// The monoid returned its right argument: the deposited view
-			// (flags included) replaces the current one, which dies.
-			if err := cur.Update(op.addr, combined, op.dep.Flags()|spa.FlagWritten); err != nil {
-				panic(fmt.Sprintf("core: hypermerge update: %v", err))
-			}
-			op.dead[0] = op.cur
-		default:
-			// A fresh combined view of unknown provenance: no arena flag,
-			// and both inputs die.
-			if err := cur.Update(op.addr, combined, spa.FlagWritten); err != nil {
-				panic(fmt.Sprintf("core: hypermerge update: %v", err))
-			}
-			op.dead[0] = op.cur
-			op.dead[1] = op.dep
+		runMergeOp(&ops[i])
+	}
+}
+
+// runMergeBatchOrdered is runMergeBatch through an index permutation: the
+// batch is a slice of the locality order computed by sortOpsByLocality, and
+// the ops stay at their partition positions (the panic-cleanup and
+// dead-view sweeps iterate them positionally).  Slices of one permutation
+// are disjoint index sets, so ordered batches parallelise exactly like
+// positional ones.
+func runMergeBatchOrdered(ops []mergeOp, order []uint32) {
+	for _, j := range order {
+		runMergeOp(&ops[j])
+	}
+}
+
+// runMergeOp folds one reduce pair into its pre-resolved current-trace
+// slot.
+func runMergeOp(op *mergeOp) {
+	// Chaos point for a monoid whose Reduce blows up mid-hypermerge:
+	// fired before the op's slots are touched, so this op's dead records
+	// stay empty and the cleanup path treats it as never run.
+	faultinject.Check(faultinject.MonoidReduce)
+	left := op.owner.BoxView(op.cur.View())
+	right := op.owner.BoxView(op.dep.View())
+	combined := op.owner.UnboxView(op.owner.monoid.Reduce(left, right))
+	switch combined {
+	case op.cur.View():
+		// The usual in-place reduction: the current view survives and
+		// the deposited view dies.  The surviving slot now carries the
+		// deposit's (written) contribution even if the current trace
+		// only ever read it, so its written bit must be set — otherwise
+		// the trace-end elision would drop the merged value.
+		if !op.cur.Written() {
+			op.page.MarkWritten(int(op.slot))
 		}
+		op.dead[0] = op.dep
+	case op.dep.View():
+		// The monoid returned its right argument: the deposited view
+		// (flags included) replaces the current one, which dies.
+		if err := op.page.Update(int(op.slot), combined, op.dep.Flags()|spa.FlagWritten); err != nil {
+			panic(fmt.Sprintf("core: hypermerge update: %v", err))
+		}
+		op.dead[0] = op.cur
+	default:
+		// A fresh combined view of unknown provenance: no arena flag,
+		// and both inputs die.
+		if err := op.page.Update(int(op.slot), combined, spa.FlagWritten); err != nil {
+			panic(fmt.Sprintf("core: hypermerge update: %v", err))
+		}
+		op.dead[0] = op.cur
+		op.dead[1] = op.dep
 	}
 }
 
@@ -789,7 +901,12 @@ func runMergeBatch(cur *spa.MapSet, ops []mergeOp) {
 // correct), views with no matching current view are adopted wholesale (a
 // slot insertion, flags preserved, done serially because it mutates the map
 // structure), and matched pairs are gathered into batches of MergeBatchSize
-// reduce operations.  Small merges fold their batches serially; once the
+// reduce operations with their target (page, slot) position pre-resolved —
+// the partition walks deposit and current pages in lockstep, and the reduce
+// loops never decompose an address again.  Large partitions are first
+// ordered by (arena size class, view address) so each batch works through
+// contiguous runs of the arena chunks (see sortOpsByLocality).  Small
+// merges fold their batches serially; once the
 // pair count crosses ParallelMergeThreshold the batches are fanned out
 // through the scheduler as forked merge tasks, which is sound because
 // distinct reducers' Reduce calls are independent and each reducer still
@@ -811,8 +928,9 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	start := e.rec.Start()
 	// Capture the merging trace's map set once: if the fan-out below
 	// stalls and this worker helps with other stolen work, ws.private is
-	// temporarily swapped, but every batch must keep targeting the trace
-	// that owns the join.
+	// temporarily swapped, but the partition (and the page pointers it
+	// resolves into the ops) must keep targeting the trace that owns the
+	// join.
 	cur := ws.private
 	var ops []mergeOp
 	// If a reduce panics mid-hypermerge (a buggy — or fault-injected —
@@ -865,64 +983,97 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	adopts := int64(0)
 	staleDrops := int64(0)
 	elisions := int64(0)
-	dep.views.Range(func(addr spa.Addr, s spa.Slot) bool {
-		owner := (*Reducer)(s.Owner())
-		if !s.Written() {
-			// The view was looked up but never written: it still equals the
-			// monoid identity, and current ⊗ e = current.  Recycle it with
-			// no reduce call and no slot traffic.  The slot is removed from
-			// the deposit as it is freed so the panic-cleanup sweep above can
-			// never see (and double-free) it.
-			if _, err := dep.views.Remove(addr); err == nil {
-				ws.freeSlotView(s)
-			}
-			elisions++
-			return true
+	// The partition walks the deposit's pages directly, pairing each with
+	// the current trace's page of the same index, so the per-slot work is
+	// one array index on each side — no address recomposition in the loop
+	// and no division to split it back apart.  The Addr is still assembled
+	// (one add against the page base) for the removal paths and the
+	// panic-cleanup records, which stay address-keyed.
+	for pi, depPages := 0, dep.views.Pages(); pi < depPages; pi++ {
+		dp := dep.views.Page(pi)
+		if dp == nil || dp.IsEmpty() {
+			continue
 		}
-		if curSlot := cur.SlotAt(addr); curSlot.View() != nil {
-			if curSlot.Owner() == unsafe.Pointer(owner) {
-				if ops == nil {
-					ops = make([]mergeOp, 0, dep.count)
-				}
-				ops = append(ops, mergeOp{addr: addr, owner: owner, cur: curSlot, dep: s})
-				return true
-			}
-			// The owner stamps differ, so the address was recycled while
-			// one of the views was in flight; the directory holds at most
-			// one live registration per address, so at most one side can
-			// still be valid.  Drop the stale side (recycling its block).
-			if owner == nil || !e.dir.Valid(owner) {
+		// curPage is resolved once per page.  An adopt below may create the
+		// page in cur after this lookup returned nil; the cached nil stays
+		// correct for the rest of this page's slots — a just-created page
+		// holds only slots this loop adopted, and each slot index is
+		// visited exactly once.
+		curPage := cur.Page(pi)
+		pageBase := spa.MakeAddr(pi, 0)
+		dp.Range(func(si int, s spa.Slot) bool {
+			addr := pageBase + spa.Addr(si)
+			owner := (*Reducer)(s.Owner())
+			if !s.Written() {
+				// The view was looked up but never written: it still equals the
+				// monoid identity, and current ⊗ e = current.  Recycle it with
+				// no reduce call and no slot traffic.  The slot is removed from
+				// the deposit as it is freed so the panic-cleanup sweep above can
+				// never see (and double-free) it.
 				if _, err := dep.views.Remove(addr); err == nil {
 					ws.freeSlotView(s)
 				}
-				staleDrops++
+				elisions++
 				return true
 			}
-			old, err := cur.Remove(addr)
-			if err != nil {
-				panic(fmt.Sprintf("core: hypermerge stale removal: %v", err))
+			var curSlot spa.Slot
+			if curPage != nil {
+				curSlot = curPage.SlotAt(si)
 			}
-			ws.freeSlotView(old)
-			staleDrops++
-			// Fall through to adopt the deposited (live) view.
-		}
-		if ws.vm != nil {
-			ws.ensureMapped(addr.Page())
-		}
-		if err := cur.InsertSlot(addr, s); err != nil {
-			panic(fmt.Sprintf("core: hypermerge insert: %v", err))
-		}
-		// The view now lives in cur; clear the deposit's reference so the
-		// panic-cleanup sweep cannot free a view another map owns.
-		dep.views.Remove(addr)
-		adopts++
-		return true
-	})
+			if curSlot.View() != nil {
+				if curSlot.Owner() == unsafe.Pointer(owner) {
+					if ops == nil {
+						ops = ws.getOpsBuf(dep.count)
+					}
+					ops = append(ops, mergeOp{
+						addr: addr, owner: owner,
+						page: curPage, slot: int32(si),
+						cur: curSlot, dep: s,
+					})
+					return true
+				}
+				// The owner stamps differ, so the address was recycled while
+				// one of the views was in flight; the directory holds at most
+				// one live registration per address, so at most one side can
+				// still be valid.  Drop the stale side (recycling its block).
+				if owner == nil || !e.dir.Valid(owner) {
+					if _, err := dep.views.Remove(addr); err == nil {
+						ws.freeSlotView(s)
+					}
+					staleDrops++
+					return true
+				}
+				old, err := cur.Remove(addr)
+				if err != nil {
+					panic(fmt.Sprintf("core: hypermerge stale removal: %v", err))
+				}
+				ws.freeSlotView(old)
+				staleDrops++
+				// Fall through to adopt the deposited (live) view.
+			}
+			if ws.vm != nil {
+				ws.ensureMapped(pi)
+			}
+			if err := cur.InsertSlot(addr, s); err != nil {
+				panic(fmt.Sprintf("core: hypermerge insert: %v", err))
+			}
+			// The view now lives in cur; clear the deposit's reference so the
+			// panic-cleanup sweep cannot free a view another map owns.
+			dep.views.Remove(addr)
+			adopts++
+			return true
+		})
+	}
 	// Load the batching knobs once per hypermerge: the adaptive tuner may
 	// retune them concurrently, and one merge must partition consistently.
 	mergeBatch := int(e.mergeBatch.Load())
 	parallelThreshold := int(e.parallelThreshold.Load())
 	reduces := int64(len(ops))
+	var order []uint32
+	if len(ops) >= mergeLocalitySortMin && len(ops) < 1<<mergeLocalityIdxBits {
+		order = sortOpsByLocality(ops)
+		e.mergePipe.LocalitySorts.Add(1)
+	}
 	batches := 0
 	if len(ops) > 0 {
 		batches = (len(ops) + mergeBatch - 1) / mergeBatch
@@ -930,13 +1081,21 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	if len(ops) >= parallelThreshold && batches > 1 {
 		fns := make([]func(), 0, batches)
 		for lo := 0; lo < len(ops); lo += mergeBatch {
-			batch := ops[lo:min(lo+mergeBatch, len(ops))]
-			fns = append(fns, func() { runMergeBatch(cur, batch) })
+			hi := min(lo+mergeBatch, len(ops))
+			if order != nil {
+				batch := order[lo:hi]
+				fns = append(fns, func() { runMergeBatchOrdered(ops, batch) })
+			} else {
+				batch := ops[lo:hi]
+				fns = append(fns, func() { runMergeBatch(batch) })
+			}
 		}
 		e.mergePipe.ParallelMerges.Add(1)
 		w.ForkMergeTasks(fns)
+	} else if order != nil {
+		runMergeBatchOrdered(ops, order)
 	} else if len(ops) > 0 {
-		runMergeBatch(cur, ops)
+		runMergeBatch(ops)
 	}
 	// The batches have joined (ForkMergeTasks blocks), so the dead-view
 	// records are visible here; return their arena blocks to this worker's
@@ -949,6 +1108,7 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 			}
 		}
 	}
+	ws.putOpsBuf(ops)
 	w.InvalidateLookupCache()
 	e.rec.Stop(w.ID(), metrics.Hypermerge, start)
 	if reduces > 1 {
@@ -1120,6 +1280,9 @@ func (e *MM) ResetOverheads() {
 	for i := range e.cacheHits {
 		e.cacheHits[i].Store(0)
 	}
+	e.fastHits.Store(0)
+	e.fastMisses.Store(0)
+	e.fastCold.Store(0)
 	e.mergePipe.Reset()
 }
 

@@ -73,6 +73,21 @@ func (t *hashTable) lookup(key spa.Addr) *entry {
 	return nil
 }
 
+// probeHead returns the entry for key only when it sits at the head of its
+// bucket chain, or nil.  Unlike lookup it never walks the chain, so it has
+// no loop and the compiler inlines it into the engine's devirtualized
+// lookup fast path; a hit is one hash (the baseline's characteristic
+// modulo), one load and one compare.  Chains are short at steady state —
+// the table grows at load factor 1 — and a below-head entry is still found
+// by the outlined miss path's full lookup, so probeHead trades a rare
+// second probe for an inlinable first one.
+func (t *hashTable) probeHead(key spa.Addr) *entry {
+	if e := t.buckets[t.hash(key)]; e != nil && e.key == key {
+		return &e.ent
+	}
+	return nil
+}
+
 // insert adds an entry for key, which must not already be present, growing
 // the table when the load factor reaches 1.
 func (t *hashTable) insert(key spa.Addr, ent entry) {

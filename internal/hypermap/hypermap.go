@@ -32,8 +32,12 @@ type Config struct {
 	DirectoryShards int
 }
 
-// Engine is the hypermap reducer engine.
-type Engine struct {
+// HM is the hypermap reducer engine (the Cilk Plus baseline mechanism).
+// The concrete name matters to the typed reducer handles: they capture *HM
+// at construction and call its LookupWordFast directly, mirroring the
+// memory-mapped engine's *core.MM, so neither mechanism pays an interface
+// dispatch on a handle-cache miss.
+type HM struct {
 	cfg Config
 	rec *metrics.Recorder
 
@@ -67,6 +71,13 @@ type Engine struct {
 	// hypermap counterpart of metrics.MergePipeline.IdentityElisions.
 	elisions metrics.PaddedCounter
 
+	// fastHits, fastMisses and fastCold count the devirtualized typed-lookup
+	// fast path's outcomes (see lookupfast.go); they tick only on
+	// handle-cache misses, mirroring the memory-mapped engine's counters.
+	fastHits   metrics.PaddedCounter
+	fastMisses metrics.PaddedCounter
+	fastCold   metrics.PaddedCounter
+
 	// mergeInflight counts hypermerges (Merge and MergeRootDeposit calls)
 	// currently executing; part of the engine's quiescence invariant.
 	mergeInflight atomic.Int64
@@ -75,7 +86,7 @@ type Engine struct {
 // hmWorker is the per-worker state: the user hypermap of the trace the
 // worker is currently executing.
 type hmWorker struct {
-	eng *Engine
+	eng *HM
 	w   *sched.Worker
 	// user is the user hypermap: reducer address → local view.
 	user *hashTable
@@ -112,6 +123,10 @@ type hmTrace struct {
 	ended bool
 }
 
+// Engine is the name this engine was originally exported under; HM is the
+// canonical name.  The alias keeps existing callers compiling.
+type Engine = HM
+
 // Deposit is a deposited hypermap: view transferal in the hypermap scheme
 // simply hands over the map.
 type Deposit struct {
@@ -127,11 +142,11 @@ func (d *Deposit) Len() int {
 }
 
 // New creates a hypermap engine.
-func New(cfg Config) *Engine {
+func New(cfg Config) *HM {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	e := &Engine{
+	e := &HM{
 		cfg:       cfg,
 		rec:       metrics.NewRecorder(cfg.Workers),
 		lookups:   make([]metrics.PaddedCounter, cfg.Workers),
@@ -148,7 +163,7 @@ func New(cfg Config) *Engine {
 
 // publishViewInvalidation bumps every attached worker's view epoch so no
 // context keeps serving a cached view after its reducer is unregistered.
-func (e *Engine) publishViewInvalidation() {
+func (e *HM) publishViewInvalidation() {
 	if ws := e.workers.Load(); ws != nil {
 		for _, s := range *ws {
 			s.w.PublishViewInvalidation()
@@ -157,10 +172,10 @@ func (e *Engine) publishViewInvalidation() {
 }
 
 // Name implements core.Engine.
-func (e *Engine) Name() string { return "Cilk Plus (hypermap)" }
+func (e *HM) Name() string { return "Cilk Plus (hypermap)" }
 
 // newHypermap allocates an empty user hypermap.
-func (e *Engine) newHypermap() *hashTable {
+func (e *HM) newHypermap() *hashTable {
 	return newHashTable(e.cfg.InitialBuckets)
 }
 
@@ -168,7 +183,7 @@ func (e *Engine) newHypermap() *hashTable {
 
 // Register implements core.Engine: a lock-free slot allocation in the
 // sharded directory.
-func (e *Engine) Register(m core.Monoid) (*core.Reducer, error) {
+func (e *HM) Register(m core.Monoid) (*core.Reducer, error) {
 	if m == nil {
 		return nil, errors.New("hypermap: nil monoid")
 	}
@@ -184,7 +199,7 @@ func (e *Engine) Register(m core.Monoid) (*core.Reducer, error) {
 // hypermap entry for the current trace keeps reading that (doomed) view
 // until the trace ends; the owner stamp keeps it invisible to every other
 // reducer.
-func (e *Engine) Unregister(r *core.Reducer) {
+func (e *HM) Unregister(r *core.Reducer) {
 	if r == nil || r.Engine() != core.Engine(e) {
 		return
 	}
@@ -195,15 +210,15 @@ func (e *Engine) Unregister(r *core.Reducer) {
 }
 
 // Registered returns the number of live reducers.  Lock-free.
-func (e *Engine) Registered() int { return e.dir.Live() }
+func (e *HM) Registered() int { return e.dir.Live() }
 
 // Directory exposes the sharded reducer directory (for tests and
 // diagnostics).
-func (e *Engine) Directory() *core.Directory { return e.dir }
+func (e *HM) Directory() *core.Directory { return e.dir }
 
 // DirectoryStats returns a snapshot of the directory's shard layout and
 // contention counters.
-func (e *Engine) DirectoryStats() metrics.DirectoryStats { return e.dir.Stats() }
+func (e *HM) DirectoryStats() metrics.DirectoryStats { return e.dir.Stats() }
 
 // Lookup implements core.Engine: a hash-table lookup keyed by the reducer's
 // address, creating and inserting an identity view on a miss.  The same
@@ -212,7 +227,7 @@ func (e *Engine) DirectoryStats() metrics.DirectoryStats { return e.dir.Stats() 
 // the hashing entirely and the Figure comparisons stay apples-to-apples.
 // Like the memory-mapped engine, Lookup hands out a mutable view, so it
 // stamps the entry's written bit.
-func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
+func (e *HM) Lookup(c *sched.Context, r *core.Reducer) any {
 	if c == nil {
 		return r.Value()
 	}
@@ -248,7 +263,7 @@ func (e *Engine) Lookup(c *sched.Context, r *core.Reducer) any {
 // lookup (a racing invalidation only forces a harmless re-resolution); a
 // zero epoch tells the caller not to cache — returned for nil contexts and
 // retired handles, whose frozen leftmost value must be re-read every time.
-func (e *Engine) LookupCached(c *sched.Context, r *core.Reducer, prevEpoch uint64) (any, uint64) {
+func (e *HM) LookupCached(c *sched.Context, r *core.Reducer, prevEpoch uint64) (any, uint64) {
 	_ = prevEpoch
 	if c == nil {
 		return r.Value(), 0
@@ -265,7 +280,7 @@ func (e *Engine) LookupCached(c *sched.Context, r *core.Reducer, prevEpoch uint6
 // handles, mirroring the memory-mapped engine so the typed API is
 // mechanism-agnostic.  Only mutable accesses stamp the entry's written bit;
 // read-only accesses leave identity views elidable by the hypermerge.
-func (e *Engine) LookupWord(c *sched.Context, r *core.Reducer, prevEpoch uint64, mutable bool) (unsafe.Pointer, uint64) {
+func (e *HM) LookupWord(c *sched.Context, r *core.Reducer, prevEpoch uint64, mutable bool) (unsafe.Pointer, uint64) {
 	_ = prevEpoch
 	if c == nil {
 		return r.UnboxView(r.Value()), 0
@@ -297,13 +312,13 @@ func (e *Engine) LookupWord(c *sched.Context, r *core.Reducer, prevEpoch uint64,
 // Workers implements core.Engine: the number of per-worker structures
 // currently maintained (construction size, grown when a larger runtime
 // attaches).
-func (e *Engine) Workers() int {
+func (e *HM) Workers() int {
 	e.initMu.Lock()
 	defer e.initMu.Unlock()
 	return len(e.lookups)
 }
 
-func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *core.Reducer, mutable bool) any {
+func (e *HM) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *core.Reducer, mutable bool) any {
 	if !e.dir.Valid(r) {
 		// A retired handle: serve the frozen leftmost value, matching a
 		// serial lookup after unregistration.
@@ -347,7 +362,7 @@ func (e *Engine) lookupSlow(c *sched.Context, w *sched.Worker, ws *hmWorker, r *
 // executing: the resize would race with that runtime's lock-free Lookup
 // reads.  (Sessions couple one engine to one runtime, so no current
 // caller does this.)
-func (e *Engine) WorkerInit(w *sched.Worker) {
+func (e *HM) WorkerInit(w *sched.Worker) {
 	ws := &hmWorker{eng: e, w: w, user: e.newHypermap()}
 	w.SetLocal(ws)
 	e.initMu.Lock()
@@ -370,7 +385,7 @@ func (e *Engine) WorkerInit(w *sched.Worker) {
 // BeginTrace implements sched.ReducerRuntime.  A stolen frame starts with
 // an empty user hypermap; the suspended trace's hypermap (non-empty when
 // the worker is helping at a stalled join) is saved in the trace token.
-func (e *Engine) BeginTrace(w *sched.Worker) sched.Trace {
+func (e *HM) BeginTrace(w *sched.Worker) sched.Trace {
 	ws, _ := w.Local().(*hmWorker)
 	if ws == nil {
 		return &hmTrace{}
@@ -384,7 +399,7 @@ func (e *Engine) BeginTrace(w *sched.Worker) sched.Trace {
 // EndTrace implements sched.ReducerRuntime.  View transferal in the
 // hypermap scheme deposits the user hypermap itself, then restores the
 // suspended outer trace's hypermap.
-func (e *Engine) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
+func (e *HM) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 	ws, _ := w.Local().(*hmWorker)
 	if ws == nil {
 		return nil
@@ -421,7 +436,7 @@ func (e *Engine) EndTrace(w *sched.Worker, tr sched.Trace) sched.Deposit {
 // reduce call, no insertion); for every other element it looks up the
 // corresponding view in its own user hypermap and either reduces the pair
 // (current ⊗ deposited) or inserts the deposited entry wholesale.
-func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
+func (e *HM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 	dep, _ := d.(*Deposit)
 	if dep == nil {
 		return
@@ -485,7 +500,7 @@ func (e *Engine) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 // directory's epoch-stamped Valid check drops views whose reducer was
 // unregistered while they were in flight.  Never-written entries are
 // elided exactly as in Merge.
-func (e *Engine) MergeRootDeposit(d sched.Deposit) {
+func (e *HM) MergeRootDeposit(d sched.Deposit) {
 	dep, _ := d.(*Deposit)
 	if dep == nil || dep.views == nil {
 		return
@@ -511,7 +526,7 @@ func (e *Engine) MergeRootDeposit(d sched.Deposit) {
 // heap-backed and the deposit is the hash table itself, so dropping the
 // reference is the whole release; the garbage collector reclaims the views.
 // A nil or already-consumed deposit is a no-op.
-func (e *Engine) Discard(w *sched.Worker, d sched.Deposit) {
+func (e *HM) Discard(w *sched.Worker, d sched.Deposit) {
 	dep, _ := d.(*Deposit)
 	if dep == nil {
 		return
@@ -523,7 +538,7 @@ func (e *Engine) Discard(w *sched.Worker, d sched.Deposit) {
 // flight.  The hypermap engine holds no pooled resources, so quiescence is
 // just "no hypermerge executing and every worker's user hypermap empty".
 // It must only be called between jobs; the hypermaps are owner-local.
-func (e *Engine) Quiescent() error {
+func (e *HM) Quiescent() error {
 	if n := e.mergeInflight.Load(); n != 0 {
 		return fmt.Errorf("hypermap: %d hypermerges still in flight", n)
 	}
@@ -540,15 +555,15 @@ func (e *Engine) Quiescent() error {
 // IdentityElisions reports the number of never-written views the
 // hypermerge elided since the last reset (the hypermap counterpart of the
 // memory-mapped engine's MergePipeline.IdentityElisions).
-func (e *Engine) IdentityElisions() int64 { return e.elisions.Load() }
+func (e *HM) IdentityElisions() int64 { return e.elisions.Load() }
 
 // --- instrumentation ---
 
 // Overheads implements core.Engine.
-func (e *Engine) Overheads() metrics.Breakdown { return e.rec.Snapshot() }
+func (e *HM) Overheads() metrics.Breakdown { return e.rec.Snapshot() }
 
 // ResetOverheads implements core.Engine.
-func (e *Engine) ResetOverheads() {
+func (e *HM) ResetOverheads() {
 	e.rec.Reset()
 	for i := range e.lookups {
 		e.lookups[i].Store(0)
@@ -557,12 +572,15 @@ func (e *Engine) ResetOverheads() {
 		e.cacheHits[i].Store(0)
 	}
 	e.elisions.Store(0)
+	e.fastHits.Store(0)
+	e.fastMisses.Store(0)
+	e.fastCold.Store(0)
 }
 
 // CacheHits reports the number of lookups served by the per-context cache
 // since the last reset.  Like Lookups it only counts while lookup counting
 // is enabled.
-func (e *Engine) CacheHits() int64 {
+func (e *HM) CacheHits() int64 {
 	var n int64
 	for i := range e.cacheHits {
 		n += e.cacheHits[i].Load()
@@ -571,16 +589,16 @@ func (e *Engine) CacheHits() int64 {
 }
 
 // SetTiming implements core.Engine.
-func (e *Engine) SetTiming(on bool) { e.rec.SetTiming(on) }
+func (e *HM) SetTiming(on bool) { e.rec.SetTiming(on) }
 
 // SetCountLookups implements core.Engine.
-func (e *Engine) SetCountLookups(on bool) { e.countLookups = on }
+func (e *HM) SetCountLookups(on bool) { e.countLookups = on }
 
 // CountingLookups implements core.Engine.
-func (e *Engine) CountingLookups() bool { return e.countLookups }
+func (e *HM) CountingLookups() bool { return e.countLookups }
 
 // Lookups implements core.Engine.
-func (e *Engine) Lookups() int64 {
+func (e *HM) Lookups() int64 {
 	var n int64
 	for i := range e.lookups {
 		n += e.lookups[i].Load()
@@ -590,7 +608,7 @@ func (e *Engine) Lookups() int64 {
 
 // WorkerViewCount reports the number of views in worker i's user hypermap
 // (diagnostic; it should be zero between runs).
-func (e *Engine) WorkerViewCount(i int) int {
+func (e *HM) WorkerViewCount(i int) int {
 	ws := e.workers.Load()
 	if ws == nil || i < 0 || i >= len(*ws) {
 		return 0
@@ -598,4 +616,4 @@ func (e *Engine) WorkerViewCount(i int) int {
 	return (*ws)[i].user.len()
 }
 
-var _ core.Engine = (*Engine)(nil)
+var _ core.Engine = (*HM)(nil)

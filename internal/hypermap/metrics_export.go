@@ -10,7 +10,7 @@ const engineLabel = "hypermap"
 // metric names it actually tracks: identity elisions, lookup counters and
 // the reducer-directory aggregate.  All values are atomic loads, safe to
 // sample mid-run.
-func (e *Engine) SampleMetrics(emit func(metrics.MetricSample)) {
+func (e *HM) SampleMetrics(emit func(metrics.MetricSample)) {
 	emit(metrics.MetricSample{
 		Name:     "cilkm_identity_elisions_total",
 		Help:     "Never-written identity views elided instead of merged.",
@@ -19,5 +19,6 @@ func (e *Engine) SampleMetrics(emit func(metrics.MetricSample)) {
 		Value: float64(e.IdentityElisions()),
 	})
 	metrics.EmitLookups(emit, engineLabel, e.Lookups(), e.CacheHits())
+	metrics.EmitLookupFastPath(emit, engineLabel, e.FastPathStats())
 	metrics.EmitDirectory(emit, engineLabel, e.DirectoryStats())
 }

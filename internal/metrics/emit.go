@@ -42,6 +42,7 @@ func EmitMergePipeline(emit func(MetricSample), engine string, s MergePipelineSt
 	counter(emit, engine, "cilkm_bulk_page_fetches_total", "Bulk page-pool fetches issued by view transferal.", s.BulkPageFetches)
 	counter(emit, engine, "cilkm_bulk_page_returns_total", "Bulk page-pool returns issued by the merge pipeline.", s.BulkPageReturns)
 	counter(emit, engine, "cilkm_stale_view_drops_total", "Invalidated views dropped instead of merged.", s.StaleViewDrops)
+	counter(emit, engine, "cilkm_merge_locality_sorts_total", "Hypermerges whose reduce partition was ordered by (arena class, view address) before batching.", s.LocalitySorts)
 	gauge(emit, engine, "cilkm_merge_batch_occupancy", "Reduce pairs per merge batch (cumulative average).", ratio(s.Reduces, s.Batches))
 }
 
@@ -60,6 +61,19 @@ func EmitLookups(emit func(MetricSample), engine string, lookups, cacheHits int6
 	counter(emit, engine, "cilkm_lookups_total", "Reducer lookups (counted only while lookup counting is enabled).", lookups)
 	counter(emit, engine, "cilkm_lookup_cache_hits_total", "Lookups served by the per-context cache.", cacheHits)
 	gauge(emit, engine, "cilkm_lookup_cache_hit_rate", "Cache hits as a fraction of lookups.", ratio(cacheHits, lookups))
+}
+
+// EmitLookupFastPath emits the devirtualized typed-lookup fast-path
+// counters shared by both engines, plus the derived hit rate (fast probes
+// answered in place as a fraction of all fast probes).  These are always
+// maintained — unlike the cilkm_lookups_total family they do not depend on
+// lookup counting being enabled — because they only tick on handle-cache
+// misses, off the single-deref hit path.
+func EmitLookupFastPath(emit func(MetricSample), engine string, s LookupFastPathStats) {
+	counter(emit, engine, "cilkm_fastpath_hits_total", "Typed-lookup fast probes answered by the precomputed slot index.", s.Hits)
+	counter(emit, engine, "cilkm_fastpath_misses_total", "Typed-lookup fast probes that took the outlined miss path.", s.Misses)
+	counter(emit, engine, "cilkm_fastpath_cold_misses_total", "Fast-path misses that created or re-resolved a view in lookupSlow.", s.ColdMisses)
+	gauge(emit, engine, "cilkm_fastpath_hit_rate", "Fast probes answered in place, as a fraction of all fast probes.", ratio(s.Hits, s.Hits+s.Misses))
 }
 
 // EmitArena emits the per-worker view-arena aggregate, including the arena

@@ -138,6 +138,10 @@ type MergePipeline struct {
 	// pipeline recycled them without a reduce call or a page round-trip:
 	// reducing with the monoid identity is a no-op.
 	IdentityElisions PaddedCounter
+	// LocalitySorts counts merges whose reduce partition was large enough
+	// to be sorted by (arena size class, view address) before batching, so
+	// each batch walks its views in contiguous runs.
+	LocalitySorts PaddedCounter
 }
 
 // MergePipelineStats is a point-in-time snapshot of MergePipeline.
@@ -155,6 +159,7 @@ type MergePipelineStats struct {
 	BulkPageReturns  int64
 	StaleViewDrops   int64
 	IdentityElisions int64
+	LocalitySorts    int64
 	CacheHits        int64
 }
 
@@ -171,6 +176,7 @@ func (m *MergePipeline) Snapshot() MergePipelineStats {
 		BulkPageReturns:  m.BulkPageReturns.Load(),
 		StaleViewDrops:   m.StaleViewDrops.Load(),
 		IdentityElisions: m.IdentityElisions.Load(),
+		LocalitySorts:    m.LocalitySorts.Load(),
 	}
 }
 
@@ -186,6 +192,29 @@ func (m *MergePipeline) Reset() {
 	m.BulkPageReturns.Store(0)
 	m.StaleViewDrops.Store(0)
 	m.IdentityElisions.Store(0)
+	m.LocalitySorts.Store(0)
+}
+
+// LookupFastPathStats is a point-in-time snapshot of the devirtualized
+// typed-lookup fast path's outcome counters.  The single-deref hit inside
+// reducers.Handle is deliberately counter-free (a counter there would cost
+// as much as the lookup it measures); these counters start one layer down,
+// at the engines' concrete LookupWordFast entry points, which run only when
+// a handle's per-worker cache slot misses — a per-trace event, not a
+// per-update one, so an atomic increment is affordable there.
+type LookupFastPathStats struct {
+	// Hits counts fast probes answered by the precomputed (page, slot)
+	// index — or, on the hypermap engine, the bucket-head probe — with no
+	// slow-path work.
+	Hits int64
+	// Misses counts fast probes that fell through to the outlined miss
+	// path (written-bit stamping, non-worker contexts, first touches,
+	// recycled slots, retired handles).
+	Misses int64
+	// ColdMisses counts the subset of Misses that reached the engines'
+	// lookupSlow — view creation, stale-slot recovery, or a retired
+	// handle's frozen leftmost read.
+	ColdMisses int64
 }
 
 // ArenaStats is a point-in-time aggregate of the per-worker view arenas:

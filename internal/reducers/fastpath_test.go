@@ -1,0 +1,74 @@
+package reducers
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hypermap"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+func fastPathStats(t *testing.T, eng core.Engine) metrics.LookupFastPathStats {
+	t.Helper()
+	switch e := eng.(type) {
+	case *core.MM:
+		return e.FastPathStats()
+	case *hypermap.HM:
+		return e.FastPathStats()
+	}
+	t.Fatalf("engine %T exposes no fast-path stats", eng)
+	return metrics.LookupFastPathStats{}
+}
+
+// TestFastPathCounters pins when the devirtualized lookup's outcome
+// counters tick on both engines: a first touch is a miss plus a cold miss,
+// a steady-state handle-cache hit never reaches the engine at all, and an
+// epoch invalidation turns exactly one re-resolution into an engine-side
+// fast hit (the view still exists; only the handle's stamp went stale).
+func TestFastPathCounters(t *testing.T) {
+	for _, m := range Mechanisms() {
+		t.Run(m.String(), func(t *testing.T) {
+			s := NewSession(m, 2, EngineOptions{})
+			defer s.Close()
+			eng := s.Engine()
+			sum := NewAdd[int64](eng)
+			if err := s.Run(func(c *sched.Context) {
+				sum.Add(c, 1)
+				s0 := fastPathStats(t, eng)
+				if s0.Misses < 1 || s0.ColdMisses < 1 {
+					t.Errorf("first touch not counted as cold: %+v", s0)
+				}
+				sum.Add(c, 1)
+				if s1 := fastPathStats(t, eng); s1 != s0 {
+					t.Errorf("handle-cache hit reached the engine: %+v -> %+v", s0, s1)
+				}
+				// Invalidate the handle's epoch stamp without touching the
+				// view: the re-resolution must be an engine fast hit, not a
+				// cold one.
+				c.Worker().InvalidateLookupCache()
+				sum.Add(c, 1)
+				s2 := fastPathStats(t, eng)
+				if s2.Hits != s0.Hits+1 {
+					t.Errorf("epoch miss took no engine fast hit: %+v -> %+v", s0, s2)
+				}
+				if s2.ColdMisses != s0.ColdMisses {
+					t.Errorf("epoch miss went cold: %+v -> %+v", s0, s2)
+				}
+			}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := sum.Value(); got != 3 {
+				t.Fatalf("sum = %d, want 3", got)
+			}
+
+			// ResetOverheads must clear the family along with the other
+			// lookup instrumentation.
+			type resetter interface{ ResetOverheads() }
+			eng.(resetter).ResetOverheads()
+			if got := fastPathStats(t, eng); got != (metrics.LookupFastPathStats{}) {
+				t.Fatalf("ResetOverheads left fast-path counters: %+v", got)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"unsafe"
 
 	"repro/internal/core"
+	"repro/internal/hypermap"
 	"repro/internal/sched"
 )
 
@@ -111,19 +112,24 @@ func (f TypedFuncMonoid[V]) Identity() *V { return f.IdentityFn() }
 func (f TypedFuncMonoid[V]) Reduce(left, right *V) *V { return f.ReduceFn(left, right) }
 
 // viewSlot is one worker's entry in a handle's typed view cache: the
-// context the view was resolved for, the worker view epoch the resolution
-// is valid for, the typed view pointer, and whether the cached resolution
-// already stamped the engine-side written bit (a View after a ReadView must
-// revisit the engine once to stamp it).  The entry is padded to a cache
-// line so adjacent workers' slots never share one.  Each slot is read and
-// written only by its worker's goroutine; cross-goroutine invalidation
-// happens purely through the worker's atomic view epoch.
+// context the view was resolved for, the typed view pointer, and two
+// worker-view-epoch stamps — wepoch marks the epoch the resolution is valid
+// for writing (the engine-side written bit is stamped), repoch the epoch it
+// is valid for reading.  A mutable resolution sets both; a read-only one
+// sets repoch alone, so a View after a ReadView still revisits the engine
+// once to stamp the written bit.  Encoding writability as its own epoch
+// rather than a bool keeps the View hit check to one epoch load and two
+// compares — no separate written-flag load on the hottest path.  The entry
+// is padded to a cache line so adjacent workers' slots never share one.
+// Each slot is read and written only by its worker's goroutine;
+// cross-goroutine invalidation happens purely through the worker's atomic
+// view epoch.
 type viewSlot[V any] struct {
-	ctx     *sched.Context
-	epoch   uint64
-	view    *V
-	written bool
-	_       [39]byte
+	ctx    *sched.Context
+	wepoch uint64
+	repoch uint64
+	view   *V
+	_      [32]byte
 }
 
 // Handle is the generic core every typed reducer embeds: a registered
@@ -152,6 +158,14 @@ type Handle[V any] struct {
 	// counted records, at construction, that the engine counts lookups;
 	// see the type comment.
 	counted bool
+	// mm and hm are the devirtualized miss paths, captured by a type switch
+	// at construction: at most one is non-nil, and a cache miss on it calls
+	// the engine's concrete LookupWordFast directly instead of dispatching
+	// through the Engine interface.  A third-party engine leaves both nil
+	// and misses resolve through the interface LookupWord, the retained
+	// slow/fallback path.
+	mm *core.MM
+	hm *hypermap.HM
 	// slots is the typed view cache, indexed by worker ID.  A worker of a
 	// larger runtime attached after construction falls back to the
 	// uncached typed lookup.
@@ -176,12 +190,19 @@ func TryNewHandle[V any](eng core.Engine, m TypedMonoid[V]) (Handle[V], error) {
 	if err != nil {
 		return Handle[V]{}, err
 	}
-	return Handle[V]{
+	h := Handle[V]{
 		eng:     eng,
 		r:       r,
 		counted: eng.CountingLookups(),
 		slots:   make([]viewSlot[V], eng.Workers()),
-	}, nil
+	}
+	switch conc := eng.(type) {
+	case *core.MM:
+		h.mm = conc
+	case *hypermap.HM:
+		h.hm = conc
+	}
+	return h, nil
 }
 
 func newHandle[V any](eng core.Engine, m TypedMonoid[V]) Handle[V] {
@@ -197,12 +218,37 @@ func newHandle[V any](eng core.Engine, m TypedMonoid[V]) Handle[V] {
 // outside the scheduler) it returns the leftmost view, so typed reducers
 // degrade to ordinary variables exactly like the untyped Lookup path.
 //
-// The cache-miss path resolves through Engine.LookupWord — the packed slot
-// word converted straight to *V, with no interface value constructed
-// anywhere — and, being a mutable access, stamps the slot's written bit,
-// which exempts the view from the merge pipeline's identity-view elision.
-// The steady-state hit is one padded epoch load and three compares.
+// The steady-state hit is an epoch load, two compares and the typed
+// deref — nothing else.  Everything that is not that shape (nil contexts,
+// counted handles, cache misses, written-bit stamping) lives in the
+// outlined viewMiss, keeping View itself under the compiler's inlining
+// budget so the hit path inlines into the caller's loop body; `make
+// inline-check` pins that.  A counted handle can never take the hit path
+// because it never populates its slots, so the hit check needs no counted
+// test.
+//
+// The miss path resolves the packed slot word through the engine's
+// concrete LookupWordFast (captured at construction, no interface
+// dispatch; see Handle.mm) and, being a mutable access, stamps the slot's
+// written bit, which exempts the view from the merge pipeline's
+// identity-view elision.
 func (h *Handle[V]) View(c *sched.Context) *V {
+	if c != nil {
+		// The id comes off the context, not the worker, so the slot fetch
+		// does not wait on the c.w load the epoch compare needs.
+		if id := c.WorkerID(); uint(id) < uint(len(h.slots)) {
+			if s := &h.slots[id]; s.ctx == c && s.wepoch == c.ViewEpoch() {
+				return s.view
+			}
+		}
+	}
+	return h.viewMiss(c)
+}
+
+// viewMiss is the outlined slow half of View: a cache miss, or a hit that
+// was resolved read-only and must revisit the engine once so the slot's
+// written bit gets stamped.
+func (h *Handle[V]) viewMiss(c *sched.Context) *V {
 	if c == nil {
 		return h.r.Value().(*V)
 	}
@@ -210,25 +256,33 @@ func (h *Handle[V]) View(c *sched.Context) *V {
 		return h.eng.Lookup(c, h.r).(*V)
 	}
 	w := c.Worker()
-	if id := w.ID(); id < len(h.slots) {
-		s := &h.slots[id]
-		if s.ctx == c && s.written && s.epoch == w.ViewEpoch() {
-			return s.view
-		}
-		// Cache miss — or a hit resolved read-only, which must revisit the
-		// engine once so the slot's written bit gets stamped.
-		word, epoch := h.eng.LookupWord(c, h.r, s.epoch, true)
-		tv := (*V)(word)
-		if epoch != 0 {
-			// Engines return epoch zero for "do not cache" (retired
-			// handles); a worker running a context has passed BeginTrace,
-			// so its real epoch is never zero and the sentinel can never
-			// collide with a valid stamp.
-			s.ctx, s.epoch, s.view, s.written = c, epoch, tv, true
-		}
-		return tv
+	id := w.ID()
+	if id >= len(h.slots) {
+		// A worker of a larger runtime attached after construction: no
+		// cache slot, fall back to the uncached typed lookup.
+		return h.eng.Lookup(c, h.r).(*V)
 	}
-	return h.eng.Lookup(c, h.r).(*V)
+	s := &h.slots[id]
+	var word unsafe.Pointer
+	var epoch uint64
+	switch {
+	case h.mm != nil:
+		word, epoch = h.mm.LookupWordFast(c, h.r, true)
+	case h.hm != nil:
+		word, epoch = h.hm.LookupWordFast(c, h.r, true)
+	default:
+		word, epoch = h.eng.LookupWord(c, h.r, s.wepoch, true)
+	}
+	tv := (*V)(word)
+	if epoch != 0 {
+		// Engines return epoch zero for "do not cache" (retired
+		// handles); a worker running a context has passed BeginTrace,
+		// so its real epoch is never zero and the sentinel can never
+		// collide with a valid stamp.  A mutable resolution is readable
+		// too, so both stamps take the epoch.
+		s.ctx, s.wepoch, s.repoch, s.view = c, epoch, epoch, tv
+	}
+	return tv
 }
 
 // ReadView returns the local view for reading only.  It resolves exactly
@@ -238,6 +292,23 @@ func (h *Handle[V]) View(c *sched.Context) *V {
 // memory-mapped engine) its arena block is recycled at trace end.  Do not
 // write through the returned pointer; use View for that.
 func (h *Handle[V]) ReadView(c *sched.Context) *V {
+	if c != nil {
+		if id := c.WorkerID(); uint(id) < uint(len(h.slots)) {
+			// A cached view serves reads regardless of how it was resolved:
+			// repoch is stamped by both resolution modes.
+			if s := &h.slots[id]; s.ctx == c && s.repoch == c.ViewEpoch() {
+				return s.view
+			}
+		}
+	}
+	return h.readViewMiss(c)
+}
+
+// readViewMiss is the outlined slow half of ReadView, mirroring viewMiss
+// with a read-only resolution: the written bit stays clear and the cache
+// slot records the view as unwritten, so a later View still revisits the
+// engine once to stamp it.
+func (h *Handle[V]) readViewMiss(c *sched.Context) *V {
 	if c == nil {
 		return h.r.Value().(*V)
 	}
@@ -250,20 +321,30 @@ func (h *Handle[V]) ReadView(c *sched.Context) *V {
 		return (*V)(word)
 	}
 	w := c.Worker()
-	if id := w.ID(); id < len(h.slots) {
-		s := &h.slots[id]
-		if s.ctx == c && s.epoch == w.ViewEpoch() {
-			// A cached view serves reads regardless of how it was resolved.
-			return s.view
-		}
-		word, epoch := h.eng.LookupWord(c, h.r, s.epoch, false)
-		tv := (*V)(word)
-		if epoch != 0 {
-			s.ctx, s.epoch, s.view, s.written = c, epoch, tv, false
-		}
-		return tv
+	id := w.ID()
+	if id >= len(h.slots) {
+		return h.eng.Lookup(c, h.r).(*V)
 	}
-	return h.eng.Lookup(c, h.r).(*V)
+	s := &h.slots[id]
+	var word unsafe.Pointer
+	var epoch uint64
+	switch {
+	case h.mm != nil:
+		word, epoch = h.mm.LookupWordFast(c, h.r, false)
+	case h.hm != nil:
+		word, epoch = h.hm.LookupWordFast(c, h.r, false)
+	default:
+		word, epoch = h.eng.LookupWord(c, h.r, s.repoch, false)
+	}
+	tv := (*V)(word)
+	if epoch != 0 {
+		// The resolution did not stamp the written bit, so it must not
+		// satisfy a later View hit: clear the write stamp (a still-valid
+		// wepoch would imply ctx == c and repoch == epoch, which would
+		// have hit above — so nothing valid is ever discarded here).
+		s.ctx, s.wepoch, s.repoch, s.view = c, 0, epoch, tv
+	}
+	return tv
 }
 
 // Peek returns the reducer's current leftmost view as a typed pointer:

@@ -150,6 +150,74 @@ func BenchmarkBoxedList(b *testing.B) {
 	})
 }
 
+// BenchmarkTypedLookupSteadyState measures View(c) alone in the steady
+// state — the handle's per-worker slot stays valid for the whole loop, so
+// every iteration is the single-deref hit path: worker id, slot fetch,
+// context/epoch compare, typed pointer.  The acceptance bar for the fast
+// path is this number against BenchmarkRawSliceIndexBaseline: the hit must
+// land within 1.5x of a raw array index.  The view pointer is accumulated
+// into a sink so the compiler cannot hoist or elide the lookup.
+func BenchmarkTypedLookupSteadyState(b *testing.B) {
+	benchEachMechanism(b, func(b *testing.B, s *core.Session) {
+		sum := NewAdd[int64](s.Engine())
+		b.ReportAllocs()
+		_ = s.Run(func(c *sched.Context) {
+			sum.Add(c, 1) // fault the slot in: the loop measures hits only
+			b.ResetTimer()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += *sum.View(c)
+			}
+			b.StopTimer()
+			if sink == 0 {
+				b.Fatal("lookup sink is zero; the view was never read")
+			}
+		})
+	})
+}
+
+// rawViewArray is the shape of the comparison floor: the simplest possible
+// per-worker view store, a plain []V indexed by the executing worker's id.
+// Any flat-array stand-in for a reducer has to resolve that id from the
+// context, so the baseline resolves it too — leaving it out would compare
+// the fast path against a loop the compiler folds to a constant load.  The
+// accessor is noinline for the same reason: inlined, the loop-invariant
+// index and load hoist out of the benchmark loop entirely.  The resulting
+// code shape is one direct call, the context→worker→id loads, one
+// bounds-checked index and one load — so the delta between the two
+// benchmarks is exactly what the fast path adds (the slot fetch and the
+// context and epoch compares).
+type rawViewArray struct {
+	views []int64
+}
+
+//go:noinline
+func (r *rawViewArray) view(c *sched.Context) *int64 {
+	return &r.views[c.Worker().ID()]
+}
+
+// BenchmarkRawSliceIndexBaseline is the floor BenchmarkTypedLookupSteadyState
+// is judged against: the same accumulate loop reading through a raw []V
+// array index per worker — no reducer machinery at all.
+func BenchmarkRawSliceIndexBaseline(b *testing.B) {
+	s := NewSession(MemoryMapped, 1, EngineOptions{})
+	defer s.Close()
+	raw := &rawViewArray{views: make([]int64, 8)}
+	b.ReportAllocs()
+	_ = s.Run(func(c *sched.Context) {
+		raw.views[c.Worker().ID()] = 1
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += *raw.view(c)
+		}
+		b.StopTimer()
+		if sink == 0 {
+			b.Fatal("baseline sink is zero")
+		}
+	})
+}
+
 // BenchmarkTypedAddRotating rotates over four reducers.  The engines'
 // single-entry per-context caches thrash under rotation, but every typed
 // handle keeps its own per-worker slot, so the typed path still serves

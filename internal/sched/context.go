@@ -6,6 +6,11 @@ package sched
 // goroutine that received it.
 type Context struct {
 	w *Worker
+	// wid mirrors w.id.  Typed reducer handles index their per-worker view
+	// caches on every steady-state hit; reading the id off the context
+	// keeps that index off the c.w load's dependency chain, so the slot
+	// fetch and the view-epoch load issue in parallel.
+	wid int32
 
 	// Single-entry reducer-lookup cache: the last (key, view) pair a
 	// reducer engine resolved through this context, valid only while
@@ -23,6 +28,17 @@ type Context struct {
 
 // Worker returns the worker executing this context.
 func (c *Context) Worker() *Worker { return c.w }
+
+// WorkerID returns the executing worker's id without touching the worker
+// struct; see the wid field comment.
+func (c *Context) WorkerID() int { return int(c.wid) }
+
+// ViewEpoch returns the executing worker's current view epoch — the
+// context-level twin of Worker().ViewEpoch(), for callers that hold only
+// the context.  Typed reducer handles and the engines' devirtualized
+// lookup fast paths compare cached epochs against it on every hit, so it
+// must stay a single inlinable atomic load.
+func (c *Context) ViewEpoch() uint64 { return c.w.viewEpoch.Load() }
 
 // CachedView returns the view this context last cached for key, if the
 // cache is still valid (same key, same worker view epoch).  Reducer engines

@@ -394,7 +394,7 @@ func (w *Worker) runRoot(root *rootTask) {
 				root.err <- p
 			}
 		}()
-		ctx := &Context{w: w}
+		ctx := &Context{w: w, wid: int32(w.id)}
 		root.fn(ctx)
 		w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
 		d := w.rt.reducers.EndTrace(w, w.curTrace)
@@ -440,7 +440,7 @@ func (w *Worker) runTask(t *task) {
 					panicked = wrapPanic(p)
 				}
 			}()
-			ctx := &Context{w: w}
+			ctx := &Context{w: w, wid: int32(w.id)}
 			t.fn(ctx)
 		}()
 	}

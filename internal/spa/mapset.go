@@ -83,6 +83,20 @@ func (ms *MapSet) SlotAt(addr Addr) Slot {
 	return ms.pages[pi].SlotAt(addr.Slot())
 }
 
+// Probe returns the slot at page index pi, slot index si, or the zero Slot
+// when the page does not exist.  It is SlotAt with the address already
+// decomposed: reducers precompute their (page, slot) pair at registration
+// (SlotsPerMap is not a power of two, so Addr.Page and Addr.Slot each cost
+// an integer division), leaving the lookup fast path one bounds check and
+// two indexed loads.  si must be in [0, SlotsPerMap); Probe is small enough
+// for the compiler to inline into the engines' lookup fast paths.
+func (ms *MapSet) Probe(pi, si int) Slot {
+	if uint(pi) >= uint(len(ms.pages)) {
+		return Slot{}
+	}
+	return ms.pages[pi].views[si]
+}
+
 // Insert stores a (view, owner) pair with flags at addr, growing the set as
 // needed.
 func (ms *MapSet) Insert(addr Addr, view, owner unsafe.Pointer, flags uintptr) error {

@@ -100,6 +100,18 @@ func (s Slot) Flags() uintptr { return uintptr(s.owner) & FlagMask }
 // Written reports whether the slot's view has been handed out for mutation.
 func (s Slot) Written() bool { return uintptr(s.owner)&FlagWritten != 0 }
 
+// FastHit reports whether the slot serves a lookup by owner with no
+// slow-path work at all: the slot is occupied and stamped by owner, and a
+// mutable access additionally finds the written bit already set (a clear
+// bit must take the slow path once to stamp it).  The whole test is two
+// masked compares on the packed stamp word — an empty slot has a nil stamp
+// and can never equal a real owner pointer — so it inlines into the
+// engines' devirtualized lookup fast paths.
+func (s Slot) FastHit(owner unsafe.Pointer, mutable bool) bool {
+	tag := uintptr(s.owner)
+	return tag&^FlagMask == uintptr(owner) && (!mutable || tag&FlagWritten != 0)
+}
+
 // Arena reports whether the slot's view memory is arena-recyclable.
 func (s Slot) Arena() bool { return uintptr(s.owner)&FlagArena != 0 }
 

@@ -1,0 +1,85 @@
+#!/bin/sh
+# inline-check: pin the compiler's inlining decisions for the typed-lookup
+# fast path.
+#
+# The steady-state lookup contract (docs/ARCHITECTURE.md, "Lookup fast
+# path") depends on the Go inliner flattening the hit shape at every layer:
+# the slot probe and owner-stamp check into the memory-mapped engine's
+# LookupWordFast, the bucket-head probe into the hypermap engine's
+# LookupWordFast, and the worker-id/epoch accessors into the handle's View
+# and ReadView.  None of that is visible in a test — a regression (say, a
+# helper growing past the 80-node inlining budget) silently turns a
+# single-deref hit into a call chain.  This script greps the compiler's
+# -gcflags=-m diagnostics for the exact decisions the fast path relies on
+# and fails when any is gone.  The build cache replays diagnostics, so the
+# check is stable across warm runs.
+#
+# Deliberately NOT asserted: `can inline (*Handle[go.shape.*]).View` — the
+# generic View body cannot inline (the outlined miss call alone costs 57 of
+# the 80-node budget), so the steady state is one direct monomorphized call
+# whose interior is fully flattened.  The dictionary wrappers for concrete
+# instantiations do inline, and that is asserted.
+set -u
+
+GO=${GO:-go}
+
+out=$("$GO" build -gcflags=-m \
+	./internal/spa ./internal/sched ./internal/core \
+	./internal/hypermap ./internal/reducers 2>&1) || {
+	printf '%s\n' "$out"
+	echo "inline-check: build failed" >&2
+	exit 1
+}
+
+fail=0
+
+# require FILE-FRAGMENT DIAGNOSTIC: assert the -m output holds a line from
+# a file matching FILE-FRAGMENT that contains DIAGNOSTIC verbatim.
+require() {
+	if ! printf '%s\n' "$out" | grep "$1" | grep -qF "$2"; then
+		echo "inline-check: missing in $1: $2" >&2
+		fail=1
+	fi
+}
+
+# Layer 1: the SPA slot helpers themselves are inlinable.
+require 'internal/spa/' 'can inline (*MapSet).Probe'
+require 'internal/spa/' 'can inline Slot.FastHit'
+require 'internal/spa/' 'can inline Slot.View'
+
+# Layer 1 (baseline engine): the loop-free bucket-head probe is inlinable.
+require 'internal/hypermap/hashtable.go' 'can inline (*hashTable).probeHead'
+
+# Layer 1 (scheduler): the epoch and worker-id accessors are inlinable.
+require 'internal/sched/context.go' 'can inline (*Context).ViewEpoch'
+require 'internal/sched/context.go' 'can inline (*Context).WorkerID'
+require 'internal/sched/worker.go' 'can inline (*Worker).ViewEpoch'
+
+# Layer 2: the memory-mapped engine's LookupWordFast hit shape is fully
+# flattened — probe, owner-stamp check, view word and epoch all inline.
+require 'internal/core/lookupfast.go' 'inlining call to spa.(*MapSet).Probe'
+require 'internal/core/lookupfast.go' 'inlining call to spa.Slot.FastHit'
+require 'internal/core/lookupfast.go' 'inlining call to spa.Slot.View'
+require 'internal/core/lookupfast.go' 'inlining call to sched.(*Worker).ViewEpoch'
+
+# Layer 2 (baseline engine): the hypermap LookupWordFast hit shape —
+# bucket-head probe (hash included) and epoch inline.
+require 'internal/hypermap/lookupfast.go' 'inlining call to (*hashTable).probeHead'
+require 'internal/hypermap/lookupfast.go' 'inlining call to (*hashTable).hash'
+require 'internal/hypermap/lookupfast.go' 'inlining call to sched.(*Worker).ViewEpoch'
+
+# Layer 3: the handle's View/ReadView hit checks use the inlined context
+# accessors (no call, no worker-struct detour on the id), and the concrete
+# dictionary wrappers callers bind to are themselves inlinable.
+require 'internal/reducers/handle.go' 'inlining call to sched.(*Context).WorkerID'
+require 'internal/reducers/handle.go' 'inlining call to sched.(*Context).ViewEpoch'
+require 'internal/reducers/handle.go' 'can inline (*Handle[bool]).View'
+require 'internal/reducers/handle.go' 'can inline (*Handle[bool]).ReadView'
+
+if [ "$fail" -ne 0 ]; then
+	echo "inline-check: the lookup fast path is no longer fully inlined;" >&2
+	echo "inline-check: relevant compiler output follows" >&2
+	printf '%s\n' "$out" | grep -E 'lookupfast|Probe|FastHit|probeHead|ViewEpoch|WorkerID|Handle' >&2 || true
+	exit 1
+fi
+echo "inline-check: all fast-path inlining decisions hold"
