@@ -1,0 +1,49 @@
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	dist []int32
+	name string
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) get() int64 { return atomic.LoadInt64(&c.n) }
+
+func (c *counter) bad() int64 { return c.n } // want `field counter\.n is accessed with sync/atomic`
+
+func (c *counter) badStore() { c.n = 0 } // want `field counter\.n is accessed with sync/atomic`
+
+func (c *counter) reset() {
+	c.n = 0 //cilkvet:allow atomicfield -- fixture: counter not yet published to other goroutines
+}
+
+func (c *counter) relax(i int) { atomic.StoreInt32(&c.dist[i], 1) }
+
+func (c *counter) read(i int) bool {
+	return atomic.CompareAndSwapInt32(&c.dist[i], 0, 1)
+}
+
+func (c *counter) badElem(i int) int32 { return c.dist[i] } // want `elements of field counter\.dist are accessed with sync/atomic`
+
+func (c *counter) size() int { return len(c.dist) } // header use: not flagged
+
+func (c *counter) share() []int32 { return c.dist } // header use: not flagged
+
+func (c *counter) badRange() (s int32) {
+	for _, v := range c.dist { // want `elements of field counter\.dist are accessed with sync/atomic`
+		s += v
+	}
+	return
+}
+
+func (c *counter) okIndexRange() (n int) {
+	for i := range c.dist { // index-only range: not flagged
+		n += i
+	}
+	return
+}
+
+func (c *counter) okName() string { return c.name } // untracked field

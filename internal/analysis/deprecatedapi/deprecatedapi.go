@@ -1,0 +1,138 @@
+// Package deprecatedapi reports uses of declarations whose doc comment
+// carries a "Deprecated:" paragraph, staticcheck-SA1019 style.
+//
+// It replaces the old `make lint-deprecated` grep, which pattern-matched a
+// hard-coded list of cilkm shim names and had to be edited every time a
+// shim was added.  This analyzer instead reads the convention the shims
+// already follow: any exported declaration — function, method, type, var
+// or const, in any package of the module — whose doc comment contains a
+// standard "Deprecated:" paragraph is off-limits outside its own package.
+//
+// Matching the grep's semantics, uses inside _test.go files are ignored by
+// default (the shim tests must keep calling the shims); -includetests
+// turns them back on.  Uses inside other deprecated declarations are
+// always ignored so a deprecated shim may be implemented in terms of
+// another without tripping the checker.
+package deprecatedapi
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the deprecatedapi analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "deprecatedapi",
+	Doc:  "report uses of declarations with a Deprecated: doc paragraph",
+	Run:  run,
+}
+
+var includeTests bool
+
+func init() {
+	Analyzer.Flags.BoolVar(&includeTests, "includetests", false, "also report deprecated uses inside _test.go files")
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if !includeTests && strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if declIsDeprecated(pass, decl) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+					// Same-package uses are allowed: the deprecated shim
+					// still has to implement itself.
+					return true
+				}
+				key := objKey(obj)
+				if key == nil {
+					return true
+				}
+				msg, ok := pass.Module.Deprecated[*key]
+				if !ok {
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s.%s is deprecated: %s", obj.Pkg().Name(), key.Name, msg)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// declIsDeprecated reports whether the declaration itself carries a
+// Deprecated: paragraph, in which case its body may use other deprecated
+// API freely.
+func declIsDeprecated(pass *framework.Pass, decl ast.Decl) bool {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+		if !ok {
+			return false
+		}
+		key := objKey(obj)
+		if key == nil {
+			return false
+		}
+		_, dep := pass.Module.Deprecated[*key]
+		return dep
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			var names []*ast.Ident
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				names = []*ast.Ident{s.Name}
+			case *ast.ValueSpec:
+				names = s.Names
+			}
+			for _, name := range names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if key := objKey(obj); key != nil {
+					if _, dep := pass.Module.Deprecated[*key]; dep {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// objKey maps a types.Object to its module-index key: "Name" for
+// package-level declarations, "Recv.Name" for methods.
+func objKey(obj types.Object) *framework.ObjKey {
+	if obj.Pkg() == nil {
+		return nil
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Signature().Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := types.Unalias(t).(*types.Named)
+			if !ok {
+				return nil
+			}
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return &framework.ObjKey{Pkg: obj.Pkg().Path(), Name: name}
+}

@@ -1,0 +1,12 @@
+package deprecatedapi_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deprecatedapi"
+)
+
+func TestDeprecatedAPI(t *testing.T) {
+	analysistest.Run(t, "testdata/src", deprecatedapi.Analyzer, "a")
+}

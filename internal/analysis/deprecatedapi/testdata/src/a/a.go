@@ -1,0 +1,17 @@
+package a
+
+import "old"
+
+func use() int {
+	var s old.Session
+	s.Close()               // want `old\.Session\.Close is deprecated: sessions close themselves\.`
+	var o old.LegacyOptions // want `old\.LegacyOptions is deprecated: use Options\.`
+	o.N = old.DefaultBudget // want `old\.DefaultBudget is deprecated: set Options\.N\.`
+	o.N += old.NewEngine()  // current API: not flagged
+	return old.NewSession() // want `old\.NewSession is deprecated: use NewEngine instead\.`
+}
+
+// wrapper adapts the old entry point during the migration.
+//
+// Deprecated: call old.NewEngine directly.
+func wrapper() int { return old.NewSession() } // deprecated decl may use deprecated API

@@ -1,0 +1,7 @@
+package a
+
+import "old"
+
+// Test files keep exercising deprecated shims; the analyzer skips them
+// unless -includetests is set.
+func testOnly() int { return old.NewSession() }

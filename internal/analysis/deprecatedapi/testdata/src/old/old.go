@@ -1,0 +1,38 @@
+// Package old is the fixture's shim package: part of its API carries
+// Deprecated: paragraphs.
+package old
+
+// NewSession opens a session.
+//
+// Deprecated: use NewEngine instead.
+func NewSession() int { return 1 }
+
+// NewEngine is the current constructor.
+func NewEngine() int { return 2 }
+
+// Options configures an engine.
+type Options struct{ N int }
+
+// LegacyOptions mirrors Options.
+//
+// Deprecated: use Options.
+type LegacyOptions = Options
+
+// Session is current, but one of its methods is not.
+type Session struct{}
+
+// Close tears a session down.
+//
+// Deprecated: sessions close themselves.
+func (s *Session) Close() {}
+
+// DefaultBudget is a tunable that moved.
+//
+// Deprecated: set Options.N.
+var DefaultBudget = 8
+
+// NewCustom builds on NewSession; a deprecated declaration may keep using
+// other deprecated API.
+//
+// Deprecated: use NewEngine.
+func NewCustom() int { return NewSession() }

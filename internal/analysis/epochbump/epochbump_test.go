@@ -1,0 +1,12 @@
+package epochbump_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochbump"
+)
+
+func TestEpochBump(t *testing.T) {
+	analysistest.Run(t, "testdata/src", epochbump.Analyzer, "a")
+}

@@ -1,0 +1,72 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const indexSrc = `package p
+
+// Old does things.
+//
+// Deprecated: use New instead.
+// Second line is not part of the message.
+func Old() {}
+
+// New does things.
+func New() {}
+
+// T is a type with a deprecated method.
+type T struct{}
+
+// M is going away.
+//
+// Deprecated: call T.N.
+func (t *T) M() {}
+
+// Page must not move.
+//
+//cilkvet:nocopy
+type Page struct{}
+
+// Free is unconstrained.
+type Free struct{}
+
+// B is deprecated at the decl group level.
+//
+// Deprecated: gone.
+var (
+	B = 1
+)
+`
+
+func TestModuleIndex(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", indexSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewModuleIndex()
+	idx.IndexFiles("example/p", []*ast.File{f})
+
+	if got := idx.Deprecated[ObjKey{"example/p", "Old"}]; got != "use New instead." {
+		t.Errorf("Old deprecation = %q, want first line only", got)
+	}
+	if _, ok := idx.Deprecated[ObjKey{"example/p", "New"}]; ok {
+		t.Error("New wrongly indexed as deprecated")
+	}
+	if got := idx.Deprecated[ObjKey{"example/p", "T.M"}]; got != "call T.N." {
+		t.Errorf("T.M deprecation = %q", got)
+	}
+	if got := idx.Deprecated[ObjKey{"example/p", "B"}]; got != "gone." {
+		t.Errorf("B deprecation = %q", got)
+	}
+	if !idx.NoCopy[ObjKey{"example/p", "Page"}] {
+		t.Error("Page //cilkvet:nocopy directive not indexed")
+	}
+	if idx.NoCopy[ObjKey{"example/p", "Free"}] {
+		t.Error("Free wrongly indexed as nocopy")
+	}
+}

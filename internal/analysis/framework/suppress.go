@@ -1,0 +1,100 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions records, per file line, which analyzers the code has
+// explicitly silenced and why.  The syntax is
+//
+//	//cilkvet:allow name1,name2 -- justification
+//
+// placed on the offending line or on the line directly above it.  The
+// justification after the "--" separator is mandatory: cilkvet's findings
+// encode concurrency invariants, so every exception must say why it is
+// safe.  A malformed or justification-free suppression is reported as a
+// finding in its own right and suppresses nothing.
+type Suppressions struct {
+	// byLine maps a file line to the set of analyzer names allowed there.
+	// The magic name "*" allows every analyzer.
+	byLine map[suppressLine]map[string]bool
+
+	// Malformed lists allow-comments missing names or a justification.
+	Malformed []Diagnostic
+}
+
+type suppressLine struct {
+	file string
+	line int
+}
+
+// CollectSuppressions scans the comments of the given files.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[suppressLine]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//cilkvet:allow")
+				if !ok {
+					continue
+				}
+				names, just := splitAllow(rest)
+				if len(names) == 0 || just == "" {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed suppression: want //cilkvet:allow <analyzers> -- <justification>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := suppressLine{file: pos.Filename, line: pos.Line}
+				set := s.byLine[key]
+				if set == nil {
+					set = make(map[string]bool)
+					s.byLine[key] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// splitAllow parses the remainder of an allow-comment into analyzer names
+// and a justification.  The separator may be "--" or an em dash.
+func splitAllow(rest string) (names []string, justification string) {
+	rest = strings.TrimSpace(rest)
+	var namePart string
+	switch {
+	case strings.Contains(rest, "--"):
+		parts := strings.SplitN(rest, "--", 2)
+		namePart, justification = parts[0], strings.TrimSpace(parts[1])
+	case strings.Contains(rest, "—"):
+		parts := strings.SplitN(rest, "—", 2)
+		namePart, justification = parts[0], strings.TrimSpace(parts[1])
+	default:
+		namePart = rest
+	}
+	for _, n := range strings.FieldsFunc(namePart, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		names = append(names, n)
+	}
+	return names, justification
+}
+
+// Allows reports whether a diagnostic from the named analyzer at the given
+// resolved position is suppressed: an allow-comment for that analyzer (or
+// "*") sits on the same line or the line above.
+func (s *Suppressions) Allows(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set, ok := s.byLine[suppressLine{file: pos.Filename, line: line}]; ok {
+			if set[analyzer] || set["*"] {
+				return true
+			}
+		}
+	}
+	return false
+}

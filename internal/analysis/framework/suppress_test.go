@@ -1,0 +1,62 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() {
+	_ = 1 //cilkvet:allow atomicfield -- init happens before publication
+}
+
+func b() {
+	//cilkvet:allow nocopy,unsafeword -- quiesced snapshot
+	_ = 2
+}
+
+func c() {
+	_ = 3 //cilkvet:allow * — wildcard with an em dash
+}
+
+func d() {
+	_ = 4 //cilkvet:allow atomicfield
+}
+`
+
+func TestSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CollectSuppressions(fset, []*ast.File{f})
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	if !s.Allows("atomicfield", at(4)) {
+		t.Error("same-line suppression not honoured")
+	}
+	if s.Allows("nocopy", at(4)) {
+		t.Error("suppression leaked to an analyzer it does not name")
+	}
+	if !s.Allows("nocopy", at(9)) || !s.Allows("unsafeword", at(9)) {
+		t.Error("line-above suppression with a name list not honoured")
+	}
+	if !s.Allows("epochbump", at(13)) {
+		t.Error("wildcard suppression with em-dash separator not honoured")
+	}
+	if s.Allows("atomicfield", at(17)) {
+		t.Error("justification-free suppression must suppress nothing")
+	}
+	if len(s.Malformed) != 1 {
+		t.Fatalf("want exactly one malformed suppression, got %d", len(s.Malformed))
+	}
+	if got := fset.Position(s.Malformed[0].Pos).Line; got != 17 {
+		t.Errorf("malformed suppression reported at line %d, want 17", got)
+	}
+}

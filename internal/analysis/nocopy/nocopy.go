@@ -1,0 +1,215 @@
+// Package nocopy reports by-value copies of types that must stay put.
+//
+// The runtime is full of structs whose address is their identity: SPA map
+// pages (4 KB of view slots aliased by lookup fast paths), cache-line
+// padded counters and view-cache slots, intrusive free-stack nodes, and
+// per-worker arenas.  Copying one by value silently forks its state — a
+// copied SPA page double-frees its views, a copied padded counter loses
+// updates — and nothing crashes until much later.
+//
+// `go vet`'s copylocks only understands types that transitively contain a
+// Lock method (sync.Mutex, sync/atomic's typed values).  This analyzer
+// extends the same discipline to plain-data types: a type declared with a
+// `//cilkvet:nocopy` directive in its doc comment — or any type that
+// transitively contains one as a field or array element — must not be
+// copied.  Flagged copy contexts:
+//
+//   - assignments whose right-hand side reads an existing value
+//     (x = y, x := *p, x := s.field)
+//   - function call arguments passed by value
+//   - range statements whose value variable copies the element
+//   - return statements returning an existing value
+//   - function signatures declaring a no-copy parameter or result by value
+//
+// Fresh values being moved into place — composite literals, function call
+// results — are not copies of shared state and are not flagged.
+package nocopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the nocopy analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "nocopy",
+	Doc:  "report by-value copies of //cilkvet:nocopy types",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{pass: pass, cache: make(map[types.Type]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to the blank identifier discards the value
+					// rather than forking it.
+					if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					c.checkRead(rhs, "assignment copies")
+				}
+			case *ast.CallExpr:
+				if isConversion(pass, n) || isBuiltinCall(pass, n) {
+					break
+				}
+				for _, arg := range n.Args {
+					c.checkRead(arg, "call passes")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					c.checkRead(res, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.TypesInfo.TypeOf(n.Value); t != nil && c.isNoCopy(t) {
+						pass.Reportf(n.Value.Pos(), "range value copies %s; iterate by index or pointer instead", typeString(t))
+					}
+				}
+			case *ast.FuncType:
+				c.checkSignature(n)
+			case *ast.GenDecl:
+				// Variable declarations with initialisers: var x = y.
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							c.checkRead(v, "assignment copies")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *framework.Pass
+	cache map[types.Type]bool
+}
+
+// checkRead reports expr when it reads an existing value of a no-copy type
+// (as opposed to constructing a fresh one).
+func (c *checker) checkRead(expr ast.Expr, what string) {
+	if !readsExisting(expr) {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(expr)
+	if t == nil || !c.isNoCopy(t) {
+		return
+	}
+	c.pass.Reportf(expr.Pos(), "%s %s by value; use a pointer (type is marked //cilkvet:nocopy)", what, typeString(t))
+}
+
+// checkSignature reports parameters and results declared with a no-copy
+// value type: every call through such a signature copies.
+func (c *checker) checkSignature(ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := c.pass.TypesInfo.TypeOf(field.Type)
+			if t == nil || !c.isNoCopy(t) {
+				continue
+			}
+			c.pass.Reportf(field.Type.Pos(), "%s declared with no-copy type %s by value; use a pointer", kind, typeString(t))
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// isBlank reports whether expr is the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// readsExisting reports whether expr denotes an existing value (whose copy
+// would alias live state) rather than a freshly constructed one.
+func readsExisting(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return readsExisting(e.X)
+	default:
+		return false
+	}
+}
+
+// isConversion reports whether call is a type conversion, not a function
+// call (conversions of no-copy types are still copies, but the operand
+// check on the conversion result's uses covers them without double
+// reporting).
+func isConversion(pass *framework.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isBuiltinCall reports whether call invokes a builtin (len, cap,
+// unsafe.Sizeof, ...), none of which copy their operand at run time.
+func isBuiltinCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		_, ok := pass.TypesInfo.Uses[fun].(*types.Builtin)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Builtin)
+		return ok
+	}
+	return false
+}
+
+// isNoCopy reports whether t is, or transitively contains, a type marked
+// //cilkvet:nocopy.
+func (c *checker) isNoCopy(t types.Type) bool {
+	if v, ok := c.cache[t]; ok {
+		return v
+	}
+	c.cache[t] = false // cut recursive types
+	v := c.computeNoCopy(t)
+	c.cache[t] = v
+	return v
+}
+
+func (c *checker) computeNoCopy(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Alias:
+		return c.isNoCopy(types.Unalias(t))
+	case *types.Named:
+		o := t.Origin().Obj()
+		if o.Pkg() != nil {
+			if c.pass.Module.NoCopy[framework.ObjKey{Pkg: o.Pkg().Path(), Name: o.Name()}] {
+				return true
+			}
+		}
+		return c.isNoCopy(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if c.isNoCopy(t.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.isNoCopy(t.Elem())
+	}
+	return false
+}
+
+// typeString renders t compactly for diagnostics.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,12 @@
+package nocopy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nocopy"
+)
+
+func TestNoCopy(t *testing.T) {
+	analysistest.Run(t, "testdata/src", nocopy.Analyzer, "a")
+}

@@ -1,0 +1,69 @@
+package a
+
+import "unsafe"
+
+// page stands in for an SPA map page: its address is its identity.
+//
+//cilkvet:nocopy
+type page struct {
+	n int
+}
+
+// wrapper contains a page, so it inherits the no-copy constraint.
+type wrapper struct {
+	p page
+}
+
+// bank embeds pages as array elements; still no-copy.
+type bank struct {
+	pages [4]page
+}
+
+// handle only points at a page and copies freely.
+type handle struct {
+	p *page
+}
+
+func use(p page) {} // want `parameter declared with no-copy type a\.page by value`
+
+func produce(p *page) page { // want `result declared with no-copy type a\.page by value`
+	return *p // want `return copies a\.page by value`
+}
+
+func copies(p *page, pages []page, w *wrapper, b *bank) {
+	x := *p // want `assignment copies a\.page by value`
+	x.n++
+	y := pages[0] // want `assignment copies a\.page by value`
+	y.n++
+	z := *w // want `assignment copies a\.wrapper by value`
+	z.p.n++
+	v := b.pages // want `assignment copies \[4\]a\.page by value`
+	v[0].n++
+	fresh := page{n: 1} // composite literal: a fresh value, not a copy
+	fresh.n++
+	use(*p)                   // want `call passes a\.page by value`
+	for _, e := range pages { // want `range value copies a\.page`
+		_ = e.n
+	}
+	for i := range pages { // index-only range: not flagged
+		_ = i
+	}
+}
+
+func pointers(p *page, h handle) *page {
+	q := p // copying the pointer is fine
+	h2 := h
+	_ = h2
+	return q
+}
+
+func suppressed(p *page) {
+	x := *p //cilkvet:allow nocopy -- fixture: snapshot read on a quiesced page
+	x.n++
+}
+
+func size(p *page) uintptr {
+	return unsafe.Sizeof(*p) // builtins do not copy their operand: not flagged
+}
+
+var global = page{} // fresh value into a variable: not flagged

@@ -1,0 +1,26 @@
+// Package suite registers the cilkvet analyzers.
+//
+// The list is the single source of truth shared by the standalone driver,
+// the go vet -vettool mode and the module smoke test, so a new analyzer
+// added here is automatically wired into all three.
+package suite
+
+import (
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/deprecatedapi"
+	"repro/internal/analysis/epochbump"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/nocopy"
+	"repro/internal/analysis/unsafeword"
+)
+
+// Analyzers returns the full cilkvet suite in stable order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		atomicfield.Analyzer,
+		deprecatedapi.Analyzer,
+		epochbump.Analyzer,
+		nocopy.Analyzer,
+		unsafeword.Analyzer,
+	}
+}

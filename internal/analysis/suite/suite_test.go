@@ -1,0 +1,46 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+// moduleRoot walks up from the working directory to the go.mod directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteCleanOnModule runs every cilkvet analyzer over the real module
+// and requires zero findings: the tree must stay lint-clean, with every
+// exception carried by an explicit, justified //cilkvet:allow comment.
+// This is the same check `make lint` runs in CI.
+func TestSuiteCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module and stdlib closure from source")
+	}
+	findings, err := load.Run(moduleRoot(t), []string{"./..."}, suite.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}

@@ -1,0 +1,38 @@
+package a
+
+import "unsafe"
+
+type slot struct {
+	word unsafe.Pointer
+	n    int64
+}
+
+func toUnsafe(p *int) unsafe.Pointer {
+	return unsafe.Pointer(p) // want `conversion to unsafe\.Pointer outside the blessed view-word helpers`
+}
+
+func fromUnsafe(w unsafe.Pointer) *int {
+	return (*int)(w) // want `conversion from unsafe\.Pointer to \*int outside the blessed view-word helpers`
+}
+
+func escape(w unsafe.Pointer) uintptr {
+	return uintptr(w) // want `unsafe\.Pointer escaping to uintptr outside the blessed view-word helpers`
+}
+
+func add(w unsafe.Pointer) unsafe.Pointer {
+	return unsafe.Add(w, 8) // want `unsafe\.Add call outside the blessed view-word helpers`
+}
+
+func slice(w unsafe.Pointer) []byte {
+	return unsafe.Slice((*byte)(w), 8) // want `unsafe\.Slice call outside` `conversion from unsafe\.Pointer to \*byte outside`
+}
+
+func integral(x uintptr) uintptr { return x + 8 } // integer arithmetic: not flagged
+
+func sizes(s *slot) uintptr { return unsafe.Sizeof(*s) } // Sizeof does not convert: not flagged
+
+func store(s *slot, w unsafe.Pointer) { s.word = w } // moving a word without converting: not flagged
+
+func suppressed(p *int) unsafe.Pointer {
+	return unsafe.Pointer(p) //cilkvet:allow unsafeword -- fixture: audited one-off conversion
+}

@@ -1,0 +1,15 @@
+package b
+
+import "unsafe"
+
+type ring struct{}
+
+// blessed is added to the allowlist by the unit test.
+func blessed(p *int) unsafe.Pointer { return unsafe.Pointer(p) }
+
+// Enter is allowlisted as the method pattern b.ring.* by the unit test.
+func (r *ring) Enter(p *int) unsafe.Pointer { return unsafe.Pointer(p) }
+
+func other(p *int) unsafe.Pointer {
+	return unsafe.Pointer(p) // want `conversion to unsafe\.Pointer outside the blessed view-word helpers`
+}

@@ -1,0 +1,27 @@
+package unsafeword_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unsafeword"
+)
+
+func TestUnsafeWord(t *testing.T) {
+	analysistest.Run(t, "testdata/src", unsafeword.Analyzer, "a")
+}
+
+// TestAllowlist checks that -allow patterns exempt both plain functions and
+// Type.* method patterns.
+func TestAllowlist(t *testing.T) {
+	flags := &unsafeword.Analyzer.Flags
+	if err := flags.Set("allow", unsafeword.DefaultAllow+",b.blessed,b.ring.*"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := flags.Set("allow", unsafeword.DefaultAllow); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	analysistest.Run(t, "testdata/src", unsafeword.Analyzer, "b")
+}

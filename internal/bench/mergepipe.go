@@ -138,7 +138,9 @@ func (addMonoid) Reduce(l, r any) any {
 	lv.v += r.(*addView).v
 	return lv
 }
-func (addMonoid) ViewBytes() uintptr        { return unsafe.Sizeof(addView{}) }
+func (addMonoid) ViewBytes() uintptr { return unsafe.Sizeof(addView{}) }
+
+//cilkvet:allow unsafeword -- ArenaMonoid.InitView contract: p is a fresh ViewBytes-sized arena block
 func (addMonoid) InitView(p unsafe.Pointer) { *(*addView)(p) = addView{} }
 
 var _ core.ArenaMonoid = addMonoid{}

@@ -41,7 +41,7 @@ import (
 func (e *MM) LookupWordFast(c *sched.Context, r *Reducer, mutable bool) (unsafe.Pointer, uint64) {
 	w := c.Worker()
 	if ws, ok := w.Local().(*mmWorker); ok {
-		if s := ws.private.Probe(int(r.page), int(r.slot)); s.FastHit(unsafe.Pointer(r), mutable) {
+		if s := ws.private.Probe(int(r.page), int(r.slot)); s.FastHit(ownerWord(r), mutable) {
 			e.fastHits.Add(1)
 			return s.View(), w.ViewEpoch()
 		}
@@ -70,7 +70,7 @@ func (e *MM) lookupWordMiss(c *sched.Context, w *sched.Worker, r *Reducer, mutab
 		e.lookups[w.ID()].Add(1)
 	}
 	epoch := w.ViewEpoch()
-	if s := ws.private.SlotAt(r.addr); s.View() != nil && s.Owner() == unsafe.Pointer(r) {
+	if s := ws.private.SlotAt(r.addr); s.View() != nil && s.Owner() == ownerWord(r) {
 		if mutable && !s.Written() {
 			ws.private.MarkWritten(r.addr)
 		}

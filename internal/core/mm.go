@@ -199,7 +199,7 @@ func (ws *mmWorker) freeSlotView(s spa.Slot) {
 	if !s.Arena() {
 		return
 	}
-	r := (*Reducer)(s.Owner())
+	r := reducerOf(s.Owner())
 	ws.arena.free(int(r.arenaClass), s.View())
 }
 
@@ -440,7 +440,7 @@ func (e *MM) Lookup(c *sched.Context, r *Reducer) any {
 		// matching it against r guarantees a recycled address never serves
 		// a stale view.  This keeps the fast path independent of the
 		// number of live reducers: one array index and one compare.
-		if s.Owner() == unsafe.Pointer(r) {
+		if s.Owner() == ownerWord(r) {
 			if !s.Written() {
 				ws.private.MarkWritten(r.addr)
 			}
@@ -496,7 +496,7 @@ func (e *MM) LookupWord(c *sched.Context, r *Reducer, prevEpoch uint64, mutable 
 		e.lookups[w.ID()].Add(1)
 	}
 	epoch := w.ViewEpoch()
-	if s := ws.private.SlotAt(r.addr); s.View() != nil && s.Owner() == unsafe.Pointer(r) {
+	if s := ws.private.SlotAt(r.addr); s.View() != nil && s.Owner() == ownerWord(r) {
 		if mutable && !s.Written() {
 			ws.private.MarkWritten(r.addr)
 		}
@@ -571,7 +571,7 @@ func (e *MM) lookupSlow(c *sched.Context, w *sched.Worker, ws *mmWorker, r *Redu
 	start = e.rec.Start()
 	// The slot's second word is the owner stamp (the reducer handle, which
 	// carries the monoid), not the bare monoid: see Lookup.
-	if err := ws.private.Insert(r.addr, word, unsafe.Pointer(r), flags); err != nil {
+	if err := ws.private.Insert(r.addr, word, ownerWord(r), flags); err != nil {
 		// The slot was cleared of any stale occupant above, so an occupied
 		// slot here is a programming error.
 		panic(fmt.Sprintf("core: SPA slot %d unexpectedly occupied: %v", r.addr, err))
@@ -1003,7 +1003,7 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 		pageBase := spa.MakeAddr(pi, 0)
 		dp.Range(func(si int, s spa.Slot) bool {
 			addr := pageBase + spa.Addr(si)
-			owner := (*Reducer)(s.Owner())
+			owner := reducerOf(s.Owner())
 			if !s.Written() {
 				// The view was looked up but never written: it still equals the
 				// monoid identity, and current ⊗ e = current.  Recycle it with
@@ -1021,7 +1021,7 @@ func (e *MM) Merge(w *sched.Worker, tr sched.Trace, d sched.Deposit) {
 				curSlot = curPage.SlotAt(si)
 			}
 			if curSlot.View() != nil {
-				if curSlot.Owner() == unsafe.Pointer(owner) {
+				if curSlot.Owner() == ownerWord(owner) {
 					if ops == nil {
 						ops = ws.getOpsBuf(dep.count)
 					}
@@ -1168,7 +1168,7 @@ func (e *MM) MergeRootDeposit(d sched.Deposit) {
 		if s.Arena() {
 			e.arenaRootReleased.Add(1)
 		}
-		owner := (*Reducer)(s.Owner())
+		owner := reducerOf(s.Owner())
 		if owner == nil || !e.dir.Valid(owner) {
 			// The reducer was unregistered while views for it were still
 			// in flight; fold into nothing (drop), mirroring a view whose

@@ -91,3 +91,20 @@ func (r *Reducer) UnboxView(v any) unsafe.Pointer {
 func (r *Reducer) BoxView(word unsafe.Pointer) any {
 	return packEface(r.viewType, word)
 }
+
+// ownerWord encodes r as the owner-stamp word stored in an SPA slot's
+// second word (package spa tags its low bits with the slot flags).  The
+// stamp is an ordinary pointer to the Reducer, so slots keep their owners
+// alive and the collector relocates nothing behind our back.  Every
+// stamping site must use this helper: it is the one audited conversion of
+// a reducer into its word form, and reducerOf is its only inverse.
+func ownerWord(r *Reducer) unsafe.Pointer {
+	return unsafe.Pointer(r)
+}
+
+// reducerOf decodes an owner-stamp word produced by ownerWord.  The spa
+// accessors strip the flag bits before the word gets here, so the result
+// is the exact pointer ownerWord stored (or nil for an empty slot).
+func reducerOf(word unsafe.Pointer) *Reducer {
+	return (*Reducer)(word)
+}

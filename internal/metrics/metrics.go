@@ -92,6 +92,8 @@ type cacheLinePad [64]byte
 // that slices of per-worker counters (scheduler statistics, the reducer
 // engines' lookup counters) do not false-share.  The zero value is ready
 // to use.
+//
+//cilkvet:nocopy
 type PaddedCounter struct {
 	n atomic.Int64
 	_ [56]byte

@@ -86,10 +86,14 @@ func Parallel(s *core.Session, g *graph.Graph, cfg Config) (*Result, error) {
 		dist:  make([]int32, n),
 		grain: grain,
 	}
+	// dist is claimed concurrently with CompareAndSwapInt32 during layer
+	// processing; keep every access atomic — including this init, which is
+	// only safe plainly while no worker has started — so the access
+	// discipline is uniform (and cilkvet's atomicfield check stays clean).
 	for i := range r.dist {
-		r.dist[i] = -1
+		atomic.StoreInt32(&r.dist[i], -1)
 	}
-	r.dist[cfg.Source] = 0
+	atomic.StoreInt32(&r.dist[cfg.Source], 0)
 
 	// The next-layer frontier is a typed bag reducer handle; the current
 	// layer is a plain bag owned by the coordinating goroutine.

@@ -124,6 +124,8 @@ func (f TypedFuncMonoid[V]) Reduce(left, right *V) *V { return f.ReduceFn(left, 
 // Each slot is read and written only by its worker's goroutine;
 // cross-goroutine invalidation happens purely through the worker's atomic
 // view epoch.
+//
+//cilkvet:nocopy
 type viewSlot[V any] struct {
 	ctx    *sched.Context
 	wepoch uint64

@@ -115,7 +115,11 @@ func (s Slot) FastHit(owner unsafe.Pointer, mutable bool) bool {
 // Arena reports whether the slot's view memory is arena-recyclable.
 func (s Slot) Arena() bool { return uintptr(s.owner)&FlagArena != 0 }
 
-// Map is one SPA map page.
+// Map is one SPA map page.  Its address is its identity: lookup fast
+// paths alias slots by page pointer, so a by-value copy would fork the
+// view array and double-free its arena views.
+//
+//cilkvet:nocopy
 type Map struct {
 	views [SlotsPerMap]Slot
 	log   [LogCapacity]uint8

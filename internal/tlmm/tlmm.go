@@ -72,7 +72,11 @@ var (
 	ErrCrossesPage    = errors.New("tlmm: access crosses a page boundary")
 )
 
-// Page is one physical page of memory.
+// Page is one physical page of memory.  Thread mappings hold its address
+// and refs is maintained atomically through that shared identity, so the
+// struct must never be copied by value.
+//
+//cilkvet:nocopy
 type Page struct {
 	pd   PD
 	data [PageSize]byte
