@@ -1,10 +1,10 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr8.json
-BENCH_BASE ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr10.json
+BENCH_BASE ?= BENCH_pr8.json
 CHAOS_SEEDS ?= 6
 CILKVET ?= bin/cilkvet
 
-.PHONY: build vet vet-unsafe lint lint-deprecated cilkvet check-binaries inline-check test race chaos bench bench-directory bench-typed bench-spa bench-lookup bench-json bench-diff docs-check fmt-check ci
+.PHONY: build vet vet-unsafe lint lint-deprecated cilkvet check-binaries inline-check test race chaos chaos-service bench bench-directory bench-typed bench-spa bench-lookup bench-json bench-diff docs-check fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -71,8 +71,19 @@ race:
 # CHAOS_SEEDS=n.
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
-		-run 'TestChaosSweep|TestReducePanicConservesResources|TestRunContextCancelSettles' .
+		-run 'TestChaosSweep$$|TestReducePanicConservesResources|TestRunContextCancelSettles' .
 	$(GO) test -race -count=1 -run 'TestCloseRacingRun' ./internal/sched/
+
+# chaos-service runs the multi-tenant sweep under the race detector: N
+# concurrent submitters × the service failpoints (admission, dispatch,
+# deadline, drain) plus engine faults re-run under concurrent submission,
+# asserting per-job containment and pool-wide quiescence after drain, with
+# the Close-vs-Submit race alongside.  Widened seeds by default: the
+# interesting interleavings here come from the seed × submitter product.
+chaos-service:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -timeout 20m \
+		-run 'TestChaosServiceSweep' .
+	$(GO) test -race -count=1 -run 'TestServiceCloseRacingSubmit' ./internal/sched/
 
 # bench runs the scheduler microbenchmarks: the allocation-free fork fast
 # path (expect 0 allocs/op on BenchmarkForkNoSteal), steal throughput, and
@@ -124,8 +135,8 @@ bench-lookup:
 
 # bench-json runs the sched, core and typed-reducer microbenchmarks
 # (fork/steal, lookup, merge pipeline, directory registration, typed vs
-# boxed update paths) and records them as a machine-readable
-# perf-trajectory artifact.  Numbers are advisory — the target fails only
+# boxed update paths) plus the open-loop service-latency experiment and
+# records them as a machine-readable perf-trajectory artifact.  Numbers are advisory — the target fails only
 # on build or run errors, never on regressions.  The go test output goes
 # through a file rather than a pipe so its exit status is checked (a plain
 # pipe would let a broken benchmark build slip through with the converter's
@@ -143,6 +154,9 @@ bench-json:
 	@$(GO) test -run NONE -bench 'TypedAdd|BoxedAdd|TypedList|BoxedList|TypedLookupSteadyState|RawSliceIndexBaseline' \
 		-benchmem -benchtime=0.5s -count=3 \
 		./internal/reducers/ >> $(BENCH_OUT).txt 2>&1 \
+		|| { cat $(BENCH_OUT).txt; rm -f $(BENCH_OUT).txt; exit 1; }
+	@$(GO) run ./cmd/cilkbench -experiment service -quick \
+		>> $(BENCH_OUT).txt 2>&1 \
 		|| { cat $(BENCH_OUT).txt; rm -f $(BENCH_OUT).txt; exit 1; }
 	@$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $(BENCH_OUT).txt
 	@rm -f $(BENCH_OUT).txt

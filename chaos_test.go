@@ -19,9 +19,11 @@
 package cilkm_test
 
 import (
+	"context"
 	"errors"
 	"os"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -233,6 +235,177 @@ func chaosStorm(t *testing.T, s *cilkm.Session) {
 	}
 	if qerr := s.Quiescent(); qerr != nil {
 		t.Fatalf("registration storm left the engine non-quiescent (injected=%d): %v", injected, qerr)
+	}
+}
+
+// chaosServicePoints lists the failpoints the multi-tenant service sweep
+// drives: the four service-surface failpoints added with the resident
+// runtime, plus two engine fault points re-run under concurrent multi-job
+// submission (their containment contract must hold per tenant, not just per
+// process).
+var chaosServicePoints = []chaosPoint{
+	{id: faultinject.ServiceAdmit, rule: faultinject.Rule{Prob: 0.15, Limit: 4}},
+	{id: faultinject.ServiceDispatch, rule: faultinject.Rule{Prob: 0.5}},
+	{id: faultinject.ServiceDeadline, rule: faultinject.Rule{Prob: 0.5}},
+	{id: faultinject.ServiceDrain, rule: faultinject.Rule{Prob: 0.9}},
+	{id: faultinject.MonoidReduce, rule: faultinject.Rule{Prob: 0.1, Limit: 4}},
+	{id: faultinject.EndTraceTransfer, rule: faultinject.Rule{Prob: 0.1, Limit: 4}},
+}
+
+// assertServiceContained accepts the errors a service job may legitimately
+// report under chaos — success, a contained injected fault, its own
+// cancellation or deadline, overload shedding, or the service closing — and
+// fails on anything else (in particular any non-injected panic).
+func assertServiceContained(t *testing.T, err error) {
+	t.Helper()
+	if err == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, cilkm.ErrOverloaded) || errors.Is(err, cilkm.ErrClosed) {
+		return
+	}
+	assertContained(t, err)
+}
+
+// chaosServiceRun drives one (mechanism, failpoint, seed) leg of the
+// multi-tenant sweep: concurrent submitters × injected faults, asserting
+// per-job containment (a tenant's fault, cancellation, or shed never
+// perturbs another tenant's successful result) and pool-wide quiescence
+// after drain.  Returns how many times the armed failpoint was evaluated.
+func chaosServiceRun(t *testing.T, mech cilkm.Mechanism, pt chaosPoint, seed uint64) uint64 {
+	t.Helper()
+	drain := cilkm.DrainFinish
+	if seed%2 == 1 {
+		drain = cilkm.DrainCancel
+	}
+	svc := cilkm.NewService(
+		cilkm.WithMechanism(mech),
+		cilkm.WithWorkers(4),
+		cilkm.WithModelAddressSpace(),
+		cilkm.WithDirectoryShards(1),
+		cilkm.WithMergeBatchSize(2),
+		cilkm.WithParallelMergeThreshold(2),
+		cilkm.WithQueueBound(4),
+		cilkm.WithDrainPolicy(drain),
+	)
+
+	plan := faultinject.NewPlan(seed).Arm(pt.id, pt.rule)
+	deactivate := faultinject.Activate(plan)
+	deactivated := false
+	defer func() {
+		if !deactivated {
+			deactivate()
+		}
+	}()
+
+	const tenants = 4
+	const jobsPerTenant = 3
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		tn := tn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < jobsPerTenant; j++ {
+				iters := 60 + 17*j + 5*tn
+				var sum *reducers.Add[int]
+				var opts []cilkm.JobOption
+				if (tn+j)%3 == 0 {
+					// Some jobs race a tight deadline, so cancellation paths
+					// (and the deadline failpoint) are exercised every leg.
+					opts = append(opts, cilkm.WithTimeout(2*time.Millisecond))
+				}
+				h, err := svc.Submit(context.Background(), func(c *cilkm.Context, js *cilkm.JobSession) {
+					sum = cilkm.NewAdd[int](js)
+					c.ParallelForGrain(0, iters, 1, func(c *cilkm.Context, i int) {
+						time.Sleep(10 * time.Microsecond)
+						sum.Add(c, 1)
+					})
+				}, opts...)
+				if err != nil {
+					// Admission may fail only for injected or policy reasons.
+					if !errors.Is(err, faultinject.ErrInjected) &&
+						!errors.Is(err, cilkm.ErrOverloaded) && !errors.Is(err, cilkm.ErrClosed) {
+						t.Errorf("tenant %d job %d: unexpected Submit error: %v", tn, j, err)
+					}
+					continue
+				}
+				if (tn+j)%4 == 1 {
+					h.Cancel() // explicit cancellation keeps that path hot too
+				}
+				werr := h.Wait()
+				assertServiceContained(t, werr)
+				if werr == nil {
+					// Per-tenant containment: a successful job's reducer holds
+					// exactly its own contribution, whatever the other tenants'
+					// faults and cancellations did concurrently.
+					if got := sum.Value(); got != iters {
+						t.Errorf("tenant %d job %d: sum = %d, want %d (foreign contribution leaked in)",
+							tn, j, got, iters)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Chaos still active for Close on the drain leg; for the others,
+	// deactivate first so the clean job is genuinely clean.
+	if pt.id != faultinject.ServiceDrain {
+		deactivate()
+		deactivated = true
+		var sum *reducers.Add[int]
+		h, err := svc.Submit(context.Background(), func(c *cilkm.Context, js *cilkm.JobSession) {
+			sum = cilkm.NewAdd[int](js)
+			c.ParallelForGrain(0, 100, 1, func(c *cilkm.Context, i int) { sum.Add(c, 1) })
+		})
+		if err != nil {
+			t.Fatalf("seed %#x: clean Submit after chaos failed: %v", seed, err)
+		}
+		if werr := h.Wait(); werr != nil {
+			t.Fatalf("seed %#x: clean job after chaos failed: %v", seed, werr)
+		}
+		if got := sum.Value(); got != 100 {
+			t.Errorf("seed %#x: clean job sum = %d, want 100", seed, got)
+		}
+	}
+
+	// Drain: admission stops, in-flight jobs settle by policy, and the pool
+	// plus engine verify quiescent — zero leaked pages/arenas/views.
+	if err := svc.Close(); err != nil {
+		t.Fatalf("seed %#x: Close after multi-tenant chaos: %v", seed, err)
+	}
+	if _, err := svc.Submit(context.Background(), func(c *cilkm.Context, js *cilkm.JobSession) {}); !errors.Is(err, cilkm.ErrClosed) {
+		t.Fatalf("seed %#x: Submit after Close = %v, want ErrClosed", seed, err)
+	}
+	return plan.Hits(pt.id)
+}
+
+// TestChaosServiceSweep is the multi-tenant sweep: concurrent submitters ×
+// injected faults × seeds × both engines.  On the memory-mapped engine each
+// of the four service failpoints must actually be reached (summed across
+// seeds), so the sweep cannot silently decay into testing nothing.
+func TestChaosServiceSweep(t *testing.T) {
+	for _, mech := range cilkm.Mechanisms() {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			reached := make(map[faultinject.ID]uint64)
+			for _, pt := range chaosServicePoints {
+				pt := pt
+				t.Run(pt.id.String(), func(t *testing.T) {
+					for _, seed := range chaosSeeds(t) {
+						reached[pt.id] += chaosServiceRun(t, mech, pt, seed)
+					}
+				})
+			}
+			if t.Failed() || mech != cilkm.MemoryMapped {
+				return
+			}
+			for _, pt := range chaosServicePoints {
+				if reached[pt.id] == 0 {
+					t.Errorf("service failpoint %v was never reached by the sweep workload", pt.id)
+				}
+			}
+		})
 	}
 }
 

@@ -128,6 +128,9 @@ type options struct {
 	workers  int
 	eng      reducers.EngineOptions
 	exporter *Exporter
+	// svc carries the resident-service knobs; only NewService reads it
+	// (see service.go).
+	svc sched.ServiceConfig
 }
 
 // WithMechanism selects the reducer implementation (default MemoryMapped).

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestRunServiceLatencySmoke runs the open-loop service experiment at a
+// tiny scale and checks its accounting invariants: every arrival is
+// classified exactly once, nothing fails, and completed jobs produce a
+// coherent latency distribution.
+func TestRunServiceLatencySmoke(t *testing.T) {
+	res, err := RunServiceLatency(QuickConfig(), []int{2000})
+	if err != nil {
+		t.Fatalf("RunServiceLatency: %v", err)
+	}
+	if len(res.Rows) != 2 { // one rate × both mechanisms
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Failed != 0 {
+			t.Errorf("%s rate=%d: %d jobs failed", row.Mechanism, row.Rate, row.Failed)
+		}
+		if row.Completed == 0 {
+			t.Errorf("%s rate=%d: no jobs completed", row.Mechanism, row.Rate)
+		}
+		if row.P50 > row.P90 || row.P90 > row.P99 || row.P99 > row.Max {
+			t.Errorf("%s rate=%d: percentiles not monotone: p50=%v p90=%v p99=%v max=%v",
+				row.Mechanism, row.Rate, row.P50, row.P90, row.P99, row.Max)
+		}
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+	if res.BenchLines() == "" {
+		t.Error("empty bench lines")
+	}
+}

@@ -237,6 +237,18 @@ func (r *Reducer) markRetired() {
 	r.mu.Unlock()
 }
 
+// WithLeftmost runs f with the reducer's leftmost view while holding the
+// reducer's lock.  It is the defined read path for non-worker goroutines
+// into a live session: merges mutate the leftmost view in place under the
+// same lock, so a value Value() returns could change under the caller,
+// while a copy taken inside f is a consistent snapshot.  f must return
+// without blocking and must not call back into the reducer or the engine.
+func (r *Reducer) WithLeftmost(f func(view any)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(r.leftmost)
+}
+
 // AbsorbView folds a deposited view into the reducer's leftmost view in
 // serial order (leftmost ⊗ view).  It is exported for Engine
 // implementations outside this package.

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// JobSession is a per-job registration scope over a shared Engine: the
+// multi-tenant resident service hands each submitted job one, so reducers a
+// tenant registers live exactly as long as the job and are retired in one
+// sweep when it completes — a tenant cannot leak slots into the shared
+// directory, and the directory's epoch-stamped slot recycling guarantees
+// that a stale handle from a finished job never resolves a view belonging
+// to whichever job the slot was recycled to.
+//
+// JobSession implements Engine by delegation, so typed reducer handles and
+// experiment code written against Engine work unchanged inside a job; the
+// scheduler hooks (BeginTrace, Merge, ...) still run against the shared
+// engine the runtime was built with — a JobSession is a registration facade,
+// not a second mechanism.
+type JobSession struct {
+	// Engine is the shared engine every delegated call lands on.
+	Engine
+
+	mu      sync.Mutex
+	live    map[*Reducer]struct{}
+	retired bool
+}
+
+// NewJobSession creates a registration scope over eng.
+func NewJobSession(eng Engine) *JobSession {
+	return &JobSession{Engine: eng, live: make(map[*Reducer]struct{})}
+}
+
+// Underlying returns the shared engine behind the session.  Typed reducer
+// handles unwrap it to reach their devirtualized fast paths.
+func (js *JobSession) Underlying() Engine { return js.Engine }
+
+// Register registers a reducer on the shared engine and scopes it to this
+// session: Retire (or the service's job-completion hook) unregisters it.
+// After Retire, Register fails — the job is over.
+func (js *JobSession) Register(m Monoid) (*Reducer, error) {
+	js.mu.Lock()
+	if js.retired {
+		js.mu.Unlock()
+		return nil, fmt.Errorf("core: Register on retired job session")
+	}
+	js.mu.Unlock()
+	r, err := js.Engine.Register(m)
+	if err != nil {
+		return nil, err
+	}
+	js.mu.Lock()
+	if js.retired {
+		// Retire raced the registration: honour the scope by retiring the
+		// newcomer immediately.
+		js.mu.Unlock()
+		js.Engine.Unregister(r)
+		return nil, fmt.Errorf("core: Register on retired job session")
+	}
+	js.live[r] = struct{}{}
+	js.mu.Unlock()
+	return r, nil
+}
+
+// Unregister retires one session-scoped reducer early.  Unregistering a
+// reducer that belongs to another session is forwarded unchanged (the
+// shared engine makes double-unregister a no-op).
+func (js *JobSession) Unregister(r *Reducer) {
+	js.mu.Lock()
+	delete(js.live, r)
+	js.mu.Unlock()
+	js.Engine.Unregister(r)
+}
+
+// Live reports the number of reducers currently scoped to the session.
+func (js *JobSession) Live() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return len(js.live)
+}
+
+// Retire unregisters every reducer still scoped to the session and closes
+// it to further registration.  Retired reducers keep their final leftmost
+// values readable (Engine.Unregister semantics), so a submitter holding the
+// job's handles can still read results after the job — and its session —
+// are gone.  Retire is idempotent and safe to call concurrently with late
+// Register calls from a straggler branch.
+func (js *JobSession) Retire() {
+	js.mu.Lock()
+	if js.retired {
+		js.mu.Unlock()
+		return
+	}
+	js.retired = true
+	rs := make([]*Reducer, 0, len(js.live))
+	for r := range js.live {
+		rs = append(rs, r)
+	}
+	js.live = nil
+	js.mu.Unlock()
+	for _, r := range rs {
+		js.Engine.Unregister(r)
+	}
+}

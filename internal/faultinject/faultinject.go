@@ -44,6 +44,23 @@ const (
 	// a deposit: the engine must hand the fetched pages straight back, drop
 	// the trace's private views, and unwind.
 	EndTraceTransfer
+	// ServiceAdmit fails admission into the resident service's bounded
+	// queue (sched.Service.Submit), modelling an enqueue-time resource
+	// failure: Submit returns the injected *Fault and the job is never
+	// queued.
+	ServiceAdmit
+	// ServiceDispatch perturbs the moment an idle worker takes a queued job
+	// off the service's admission queue, skewing dispatch order and the
+	// dispatch/cancellation race without changing any result.
+	ServiceDispatch
+	// ServiceDeadline perturbs deadline/cancellation firing for a service
+	// job: the window between a deadline (or caller cancellation) marking
+	// the job cancelled and the handle completing is stretched, widening
+	// the cancel-vs-finish race.
+	ServiceDeadline
+	// ServiceDrain perturbs Service.Close between the stop-admission
+	// barrier and the drain wait, widening the Submit-racing-Close window.
+	ServiceDrain
 	numIDs
 )
 
@@ -72,6 +89,14 @@ func (id ID) String() string {
 		return "monoid/reduce"
 	case EndTraceTransfer:
 		return "endtrace/transfer"
+	case ServiceAdmit:
+		return "service/admit"
+	case ServiceDispatch:
+		return "service/dispatch"
+	case ServiceDeadline:
+		return "service/deadline"
+	case ServiceDrain:
+		return "service/drain"
 	default:
 		return fmt.Sprintf("failpoint(%d)", uint32(id))
 	}

@@ -198,7 +198,20 @@ func TryNewHandle[V any](eng core.Engine, m TypedMonoid[V]) (Handle[V], error) {
 		counted: eng.CountingLookups(),
 		slots:   make([]viewSlot[V], eng.Workers()),
 	}
-	switch conc := eng.(type) {
+	// Peel registration facades (core.JobSession and anything else exposing
+	// Underlying) before the type switch, so a handle registered through a
+	// per-job session still captures the concrete engine's devirtualized
+	// miss path.  Registration itself already went through the facade, which
+	// is where its scoping lives; lookups are facade-free by design.
+	conc := eng
+	for {
+		u, ok := conc.(interface{ Underlying() core.Engine })
+		if !ok {
+			break
+		}
+		conc = u.Underlying()
+	}
+	switch conc := conc.(type) {
 	case *core.MM:
 		h.mm = conc
 	case *hypermap.HM:
@@ -352,6 +365,25 @@ func (h *Handle[V]) readViewMiss(c *sched.Context) *V {
 // Peek returns the reducer's current leftmost view as a typed pointer:
 // outside a parallel region this is the reducer's final value.
 func (h *Handle[V]) Peek() *V { return h.r.Value().(*V) }
+
+// Snapshot copies the reducer's current leftmost view and returns the copy.
+// It is the defined fast read path into a live session for non-worker
+// goroutines (an HTTP handler sampling a counter mid-job): the copy is taken
+// under the reducer's lock, the same lock every merge into the leftmost view
+// holds, so the returned value is a consistent snapshot of some prefix of
+// the merges — never a half-merged torn read, which a Peek dereferenced
+// outside the lock could observe while a hypermerge runs Reduce in place.
+// Deposits a running job has not yet merged are not included.  The copy is
+// shallow: for view types holding pointers or slices (List reducers), the
+// referenced cells are shared with the live view and may still be appended
+// to — snapshot-read such reducers only between jobs, or keep V flat.
+func (h *Handle[V]) Snapshot() V {
+	var out V
+	h.r.WithLeftmost(func(view any) {
+		out = *view.(*V)
+	})
+	return out
+}
 
 // SetView replaces the leftmost view.  Use it only outside parallel
 // regions.

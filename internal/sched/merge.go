@@ -16,6 +16,9 @@ import "repro/internal/faultinject"
 // concurrent batches never touch the same slot.
 func (w *Worker) runMergeTask(t *task) {
 	w.nMergeTasks.Add(1)
+	if j := t.job; j != nil {
+		j.progress.Add(1) // a merge ran on the job's behalf: it is alive
+	}
 	var panicked any
 	func() {
 		defer func() {

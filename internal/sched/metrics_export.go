@@ -22,6 +22,8 @@ func (rt *Runtime) SampleMetrics(emit func(metrics.MetricSample)) {
 	counter("cilkm_sched_merge_tasks_total", "Runtime-internal merge tasks run by thieves.", s.MergeTasks)
 	counter("cilkm_sched_root_tasks_total", "Run invocations.", s.RootTasks)
 	counter("cilkm_sched_parallel_for_splits_total", "Splits performed by ParallelFor.", s.ParallelForSpl)
+	counter("cilkm_sched_worker_parks_total", "Worker park transitions (a registration that backs out at the recheck is not counted).", rt.parks.Load())
+	counter("cilkm_sched_worker_unparks_total", "Worker unpark transitions.", rt.unparks.Load())
 	emit(metrics.MetricSample{
 		Name:  "cilkm_sched_max_deque_depth",
 		Help:  "High-water mark of any worker deque.",
@@ -34,4 +36,27 @@ func (rt *Runtime) SampleMetrics(emit func(metrics.MetricSample)) {
 		Kind:  metrics.KindGauge,
 		Value: float64(len(rt.workers)),
 	})
+}
+
+// SampleMetrics implements metrics.Source for the resident service: the
+// admission, load and degradation signals the observability docs describe.
+// All counters are plain atomics, so sampling never touches the admission
+// lock and is safe at any point of a run.
+func (s *Service) SampleMetrics(emit func(metrics.MetricSample)) {
+	st := s.Stats()
+	counter := func(name, help string, v int64) {
+		emit(metrics.MetricSample{Name: name, Help: help, Kind: metrics.KindCounter, Value: float64(v)})
+	}
+	gauge := func(name, help string, v int64) {
+		emit(metrics.MetricSample{Name: name, Help: help, Kind: metrics.KindGauge, Value: float64(v)})
+	}
+	counter("cilkm_service_jobs_admitted_total", "Jobs accepted into the admission queue.", st.Admitted)
+	counter("cilkm_service_jobs_rejected_total", "Submissions failed with ErrOverloaded under the reject policy.", st.Rejected)
+	counter("cilkm_service_jobs_shed_total", "Queued jobs evicted by the shed-oldest policy.", st.Shed)
+	counter("cilkm_service_jobs_settled_total", "Jobs fully settled (success, failure, or cancellation).", st.Settled)
+	counter("cilkm_service_deadline_misses_total", "Jobs cancelled by deadline expiry.", st.DeadlineMisses)
+	counter("cilkm_service_watchdog_cancels_total", "Jobs cancelled by the stall watchdog.", st.WatchdogCancels)
+	gauge("cilkm_service_queue_depth", "Jobs currently waiting in the admission queue.", st.QueueDepth)
+	gauge("cilkm_service_jobs_running", "Jobs currently executing on the worker pool.", st.Running)
+	gauge("cilkm_service_queue_capacity", "Configured admission queue bound.", st.QueueCapacity)
 }

@@ -65,10 +65,17 @@ func wrapPanic(p any) any {
 }
 
 // job is the per-submission state shared by every task a Run spawns: the
-// cancellation flag checkpoints poll.  A nil *job (legacy Run) never
-// cancels.
+// cancellation flag checkpoints poll, and a progress counter the service
+// watchdog samples.  A nil *job (legacy Run) never cancels.
 type job struct {
 	cancelled atomic.Bool
+	// progress counts scheduler-visible progress events for this job:
+	// dispatch, every stolen/helped task executed, and every merge task run
+	// on its behalf.  The service watchdog declares a job stalled when the
+	// counter stops moving for a whole window — exactly the "no steal or
+	// merge progress" criterion, so a long serial section that never forks
+	// is indistinguishable from a stall (see ServiceConfig.Watchdog).
+	progress atomic.Uint64
 }
 
 // checkCancelled panics with the cancellation token when the worker's

@@ -55,6 +55,24 @@ type Runtime struct {
 	closed   atomic.Bool
 	inflight atomic.Int64
 
+	// service is the resident service attached by NewService, nil for a
+	// plain batch runtime.  Idle workers poll its admission queue after an
+	// empty steal sweep, so job dispatch rides the existing scheduling loop
+	// instead of a dedicated dispatcher goroutine.
+	service atomic.Pointer[Service]
+
+	// spin is the adaptive park threshold: how many empty sweeps a worker
+	// tolerates before parking.  It starts at StealAttemptsBeforePark; a
+	// service with AdaptiveParking steers it with the live load (hot while
+	// jobs are in flight, 1 when idle so an embedding server gets its CPUs
+	// back).
+	spin atomic.Int32
+
+	// parks and unparks count actual worker park/unpark transitions (a
+	// registration that backs out at the recheck is not a park).
+	parks   atomic.Int64
+	unparks atomic.Int64
+
 	stats struct {
 		rootTasks atomic.Int64
 	}
@@ -93,6 +111,7 @@ func New(cfg Config) *Runtime {
 		quit:     make(chan struct{}),
 		wake:     make(chan struct{}, cfg.Workers),
 	}
+	rt.spin.Store(int32(cfg.StealAttemptsBeforePark))
 	rt.workers = make([]*Worker, cfg.Workers)
 	for i := range rt.workers {
 		rt.workers[i] = newWorker(rt, i, cfg.Seed+uint64(i)*0x9E3779B97F4A7C15+1)
@@ -335,6 +354,36 @@ func (rt *Runtime) signalWork() {
 		// The buffer already holds one token per worker; every parked
 		// worker is guaranteed a wakeup, so dropping this one is safe.
 	}
+}
+
+// setSpinAttempts adjusts the adaptive park threshold (minimum 1 sweep).
+func (rt *Runtime) setSpinAttempts(n int32) {
+	if n < 1 {
+		n = 1
+	}
+	rt.spin.Store(n)
+}
+
+// spinAttempts returns the current park threshold.
+func (rt *Runtime) spinAttempts() int { return int(rt.spin.Load()) }
+
+// takeServiceRoot polls the attached service's admission queue for the next
+// runnable job.  The no-service and empty-queue fast paths are one atomic
+// load each, so a batch runtime pays nothing for the serving machinery.
+func (rt *Runtime) takeServiceRoot() *JobHandle {
+	s := rt.service.Load()
+	if s == nil {
+		return nil
+	}
+	return s.pop()
+}
+
+// serviceReady reports whether the attached service has a queued job;
+// parking workers include it in their registered recheck so a Submit racing
+// a park is never lost.
+func (rt *Runtime) serviceReady() bool {
+	s := rt.service.Load()
+	return s != nil && s.ready()
 }
 
 // workAvailable reports whether any worker other than except holds a

@@ -1,0 +1,924 @@
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// This file turns the batch fork-join runtime into a resident multi-tenant
+// service.  A Service wraps a Runtime with the serving machinery the
+// one-job-at-a-time Run API lacks: a bounded admission queue with a
+// configurable overload policy, per-job priorities and deadlines enforced at
+// the existing fork/steal/merge cancellation checkpoints, a watchdog that
+// cancels jobs whose steal/merge progress stops, adaptive worker parking
+// driven by the live load, and a graceful drain on Close that stops
+// admission, settles every in-flight job by policy, and verifies pool-wide
+// quiescence.  Jobs are dispatched by the pool's own workers: an idle worker
+// polls the admission queue after its steal sweep, so dispatch needs no
+// extra goroutine and scales with idle capacity.
+
+// AdmitPolicy selects what Submit does when the admission queue is full.
+type AdmitPolicy uint8
+
+const (
+	// AdmitBlock blocks the submitter until queue space frees up, the
+	// submission context is cancelled, or the service closes.  This is the
+	// classic backpressure policy and the default.
+	AdmitBlock AdmitPolicy = iota
+	// AdmitReject fails the submission immediately with ErrOverloaded.
+	AdmitReject
+	// AdmitShedOldest admits the new job and sheds the oldest queued job of
+	// the lowest priority class, completing the shed job's handle with
+	// ErrOverloaded.  The submitter of a fresher request wins over a stale
+	// queued one, which suits deadline-bound request serving.
+	AdmitShedOldest
+)
+
+// String returns the policy name.
+func (p AdmitPolicy) String() string {
+	switch p {
+	case AdmitBlock:
+		return "block"
+	case AdmitReject:
+		return "reject"
+	case AdmitShedOldest:
+		return "shed-oldest"
+	default:
+		return fmt.Sprintf("admit-policy(%d)", uint8(p))
+	}
+}
+
+// DrainPolicy selects what Close does with jobs admitted before the close.
+type DrainPolicy uint8
+
+const (
+	// DrainFinish runs every queued and running job to completion before
+	// shutting the workers down (new submissions still fail immediately).
+	DrainFinish DrainPolicy = iota
+	// DrainCancel cancels queued jobs (their handles complete with
+	// ErrClosed without ever running) and asks running jobs to stop at
+	// their next cancellation checkpoint, then waits for them to settle.
+	DrainCancel
+)
+
+// String returns the policy name.
+func (p DrainPolicy) String() string {
+	switch p {
+	case DrainFinish:
+		return "finish"
+	case DrainCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("drain-policy(%d)", uint8(p))
+	}
+}
+
+// ErrOverloaded is returned by Submit under AdmitReject when the admission
+// queue is full, and delivered to a shed job's handle under AdmitShedOldest.
+var ErrOverloaded = errors.New("sched: service overloaded")
+
+// ErrStalled is the sentinel every watchdog cancellation wraps; classify a
+// job error with errors.Is(err, ErrStalled).
+var ErrStalled = errors.New("sched: job stalled")
+
+// StallError is the error a watchdog-cancelled job completes with: the
+// stall window that elapsed without scheduler-visible progress and a stack
+// dump of every goroutine captured at detection time (the diagnostic for
+// "where is my job stuck").
+type StallError struct {
+	// Window is the configured watchdog window the job exceeded.
+	Window time.Duration
+	// Stack is a runtime.Stack(..., true) capture taken when the stall was
+	// detected.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("sched: job made no steal/merge progress for %v", e.Window)
+}
+
+// Unwrap links every StallError to ErrStalled.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// ServiceConfig configures NewService.
+type ServiceConfig struct {
+	// Queue bounds the admission queue (jobs admitted but not yet taken by
+	// a worker).  Zero selects 4× the worker count.
+	Queue int
+	// Admit selects the overload policy (default AdmitBlock).
+	Admit AdmitPolicy
+	// Drain selects what Close does with in-flight jobs (default
+	// DrainFinish).
+	Drain DrainPolicy
+	// Watchdog, when positive, enables the stall watchdog: a job whose
+	// progress counter (dispatch, stolen/helped tasks, merge tasks) does
+	// not move for a whole window is cancelled with a *StallError carrying
+	// an all-goroutine stack dump.  The criterion is scheduler progress, so
+	// a legitimate serial section longer than the window is flagged too —
+	// size the window for request-shaped fork-join jobs.  Zero disables.
+	Watchdog time.Duration
+	// AdaptiveParking lets the service steer how long idle workers spin
+	// before parking: while jobs are queued or running workers stay hot
+	// (longer steal sweeps before parking, lower dispatch latency), and
+	// when the service goes idle workers park after a single failed sweep
+	// so an embedding server gets its CPUs back.
+	AdaptiveParking bool
+	// RootMerge, when non-nil, is called by the finishing worker with a
+	// successful job's root deposit (the engine's MergeRootDeposit).  When
+	// nil the deposit is discarded through the runtime's reducer hooks.
+	RootMerge func(Deposit)
+	// Quiesce, when non-nil, is the engine-side leak check Close runs after
+	// the pool has drained and stopped (the engine's Quiescent).
+	Quiesce func() error
+}
+
+// JobSpec describes one submission.
+type JobSpec struct {
+	// Fn is the job's root closure, executed on the worker pool exactly
+	// like a Run root.  Required.
+	Fn func(*Context)
+	// Priority orders the admission queue: higher runs first, ties run in
+	// submission order.  Zero is the normal priority.
+	Priority int
+	// Timeout, when positive, bounds the job's total latency — queue wait
+	// included.  It is implemented as a context deadline, so expiry
+	// completes the handle with context.DeadlineExceeded and cancels the
+	// job at its next checkpoint.
+	Timeout time.Duration
+	// OnDone, when non-nil, runs exactly once when the handle completes —
+	// after the result (or error) is recorded, before Done unblocks — on
+	// whichever goroutine completed the job.  It must not block or call
+	// back into the handle's Wait.
+	OnDone func(err error)
+	// OnSettle, when non-nil, runs exactly once when the job settles: when
+	// no strand of the job can execute again — the worker has fully
+	// unwound (for dispatched jobs) or the job was evicted before dispatch.
+	// For a cancelled job this is later than OnDone: the handle completes
+	// the moment the cancellation is delivered, while branches already on
+	// workers keep unwinding to their next checkpoint.  Resources the job's
+	// code itself uses — the cilkm facade's per-job reducer session above
+	// all — must be released here, not in OnDone, or a straggling strand
+	// could observe another tenant's reuse of them.  It must not block.
+	OnSettle func()
+}
+
+// Job handle states.
+const (
+	jobStateNew int32 = iota
+	jobStateQueued
+	jobStateRunning
+	jobStateSettled
+	jobStateEvicted // cancelled or shed before a worker took it
+)
+
+// JobHandle tracks one submitted job.  The submitter keeps it to wait for
+// (or cancel) the job; the service and the finishing worker complete it.
+//
+// Completion and settlement are distinct: the handle completes when its
+// outcome is decided (result merged, or a cancellation/deadline/stall
+// delivered), which is when Wait unblocks; a cancelled job settles slightly
+// later, once every branch it spawned has unwound and its views are
+// discarded.  Drain and quiescence wait for settlement, so a Close after
+// Wait never races a job's teardown.
+type JobHandle struct {
+	svc      *Service
+	fn       func(*Context)
+	job      *job
+	priority int
+	seq      uint64
+
+	// state is the queue-lifecycle state (jobState*), advanced by CAS so
+	// the dispatch/cancel race has exactly one winner.
+	state atomic.Int32
+	// completed is the once-only completion claim: whoever wins the CAS
+	// delivers the outcome.
+	completed atomic.Bool
+	// cause records the first cancellation cause (deadline, caller cancel,
+	// stall, shed, close) for the settle path to report.
+	cause atomic.Pointer[causeBox]
+
+	// err is written exactly once before done is closed; read it only
+	// after Done is closed (Wait and Err do this).
+	err  error
+	done chan struct{}
+
+	// ctxCancel releases the Timeout-derived context; stopWatch detaches
+	// the context watcher.  Both are set before the handle is published to
+	// the queue and called once at completion.
+	ctxCancel context.CancelFunc
+	stopWatch func() bool
+	onDone    func(error)
+	onSettle  func()
+	// settleOnce guards onSettle: cancellation racing dispatch means two
+	// paths can each believe they retired the job.
+	settleOnce atomic.Bool
+
+	// stall holds the watchdog's all-goroutine stack dump when the job was
+	// cancelled for stalling; written before the handle completes.
+	stall []byte
+
+	// lastProgress and lastActive are watchdog-goroutine-only bookkeeping.
+	lastProgress uint64
+	lastActive   time.Time
+}
+
+type causeBox struct{ err error }
+
+// Done returns a channel closed when the job's outcome is decided.
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job completes and returns its error: nil on
+// success, ErrOverloaded if shed, context.DeadlineExceeded on a missed
+// deadline, the submission context's error on caller cancellation, a
+// *StallError on watchdog cancellation, ErrClosed when the service was
+// closed under DrainCancel before the job ran, or a *PanicError when the
+// job's code panicked.
+func (h *JobHandle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Err returns the job's outcome error once Done is closed, and nil before.
+func (h *JobHandle) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// Cancel asks the job to stop: a queued job completes immediately with
+// context.Canceled and never runs; a running job is cancelled at its next
+// fork/steal/merge checkpoint.  Cancel after completion is a no-op.
+func (h *JobHandle) Cancel() { h.cancel(context.Canceled) }
+
+// StallDump returns the all-goroutine stack capture taken by the watchdog
+// when it cancelled this job, or nil if the job was not stall-cancelled.
+// Valid once Done is closed.
+func (h *JobHandle) StallDump() []byte {
+	select {
+	case <-h.done:
+		return h.stall
+	default:
+		return nil
+	}
+}
+
+// storeCause records the first cancellation cause; later causes lose.
+func (h *JobHandle) storeCause(err error) {
+	h.cause.CompareAndSwap(nil, &causeBox{err: err})
+}
+
+// causeErr returns the recorded cancellation cause, or nil.
+func (h *JobHandle) causeErr() error {
+	if b := h.cause.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// claimCompletion reserves the right to deliver the handle's outcome.
+func (h *JobHandle) claimCompletion() bool {
+	return h.completed.CompareAndSwap(false, true)
+}
+
+// deliver publishes the outcome and unblocks Wait.  It must be called
+// exactly once, by the claimCompletion winner.
+func (h *JobHandle) deliver(err error) {
+	h.err = err
+	if h.ctxCancel != nil {
+		h.ctxCancel()
+	}
+	if h.stopWatch != nil {
+		h.stopWatch()
+	}
+	if h.onDone != nil {
+		func() {
+			defer func() { _ = recover() }()
+			h.onDone(err)
+		}()
+	}
+	close(h.done)
+}
+
+// runOnSettle fires the settlement hook exactly once.  It must be called
+// only from a path that proves no strand of the job can run again: the
+// worker's settle (dispatched jobs) or an eviction that won the state CAS
+// against dispatch (never-dispatched jobs).
+func (h *JobHandle) runOnSettle() {
+	if h.onSettle == nil || !h.settleOnce.CompareAndSwap(false, true) {
+		return
+	}
+	func() {
+		defer func() { _ = recover() }()
+		h.onSettle()
+	}()
+}
+
+// cancel is the single entry point for every asynchronous cancellation:
+// caller Cancel, context expiry (deadline or cancellation), watchdog stall,
+// shed, and drain.  Exactly one of three things happens: the job is evicted
+// from the queue before ever running, the running job's handle completes
+// early (the job unwinds and settles in the background), or — if the
+// outcome was already delivered — nothing.
+func (h *JobHandle) cancel(cause error) {
+	h.storeCause(cause)
+	if faultinject.Enabled() {
+		faultinject.Perturb(faultinject.ServiceDeadline)
+	}
+	if h.state.CompareAndSwap(jobStateNew, jobStateEvicted) {
+		// Cancelled while Submit was still admitting: Submit observes the
+		// eviction and never queues the job.
+		h.job.cancelled.Store(true)
+		if h.claimCompletion() {
+			h.svc.countCancel(cause)
+			h.deliver(cause)
+		}
+		h.runOnSettle() // never dispatched, so eviction is settlement
+		return
+	}
+	if h.state.CompareAndSwap(jobStateQueued, jobStateEvicted) {
+		// Evicted from the queue: the job never ran.  The heap entry is
+		// dropped lazily at the next pop.
+		h.job.cancelled.Store(true)
+		if h.claimCompletion() {
+			h.svc.countCancel(cause)
+			h.deliver(cause)
+		}
+		h.runOnSettle() // won the CAS against dispatch: the job never runs
+		h.svc.queuedEvicted(h)
+		return
+	}
+	// Running (or settling): ask the checkpoints to unwind and complete the
+	// handle early so the submitter is unblocked now; the worker discards
+	// the deposit when the job settles.
+	h.job.cancelled.Store(true)
+	if h.claimCompletion() {
+		h.svc.countCancel(cause)
+		h.deliver(cause)
+	}
+}
+
+// settleFromWorker is called by the worker that finished executing the job
+// root (normally, by panic, or by cancellation unwind).  It delivers the
+// outcome if no cancellation got there first, settles the deposit (merge on
+// success, discard otherwise), and retires the job from the service's
+// in-flight accounting.
+func (h *JobHandle) settleFromWorker(w *Worker, d Deposit, p any) {
+	rt := w.rt
+	if p != nil {
+		// Failed or cancelled: the abort path already discarded the trace's
+		// views; d is nil.  Every strand has unwound (the root's joins
+		// resolved before the worker returned), so settle-time teardown can
+		// run before the outcome is published.
+		err := containedError(p, h.causeErr())
+		h.runOnSettle()
+		if h.claimCompletion() {
+			h.deliver(err)
+		}
+	} else if h.claimCompletion() {
+		// Success, and no cancellation raced ahead: fold the root deposit
+		// into the leftmost views before the outcome is visible, so a
+		// submitter that observes Done reads fully merged reducer values.
+		var mergeErr error
+		func() {
+			defer func() {
+				if mp := recover(); mp != nil {
+					mergeErr = containedError(wrapPanic(mp), nil)
+				}
+			}()
+			if h.svc.cfg.RootMerge != nil {
+				h.svc.cfg.RootMerge(d)
+			} else {
+				rt.reducers.Discard(w, d)
+			}
+		}()
+		// Merge before settle (teardown may unregister the job's reducers),
+		// settle before deliver (a submitter returning from Wait observes
+		// the job fully retired).
+		h.runOnSettle()
+		h.deliver(mergeErr)
+	} else {
+		// A cancellation outran the finish (the RunContext "outran its
+		// cancellation" contract): no result after Done, so the deposit is
+		// handed back to the mechanism instead of merged.
+		rt.reducers.Discard(w, d)
+		h.runOnSettle()
+	}
+	h.state.Store(jobStateSettled)
+	h.svc.jobSettled(h)
+}
+
+// jobQueue is the priority heap behind the admission queue: higher Priority
+// first, FIFO within a priority (by admission sequence).  Evicted entries
+// stay in the heap and are skipped at pop.
+type jobQueue []*JobHandle
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*JobHandle)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	h := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return h
+}
+func (q jobQueue) peekDead(i int) bool { return q[i].state.Load() != jobStateQueued }
+
+// ServiceStats is a point-in-time snapshot of the service counters.
+type ServiceStats struct {
+	Admitted        int64 // jobs accepted into the queue
+	Rejected        int64 // submissions failed with ErrOverloaded (AdmitReject)
+	Shed            int64 // queued jobs evicted by AdmitShedOldest
+	Settled         int64 // jobs fully settled (success, failure, or cancel)
+	DeadlineMisses  int64 // jobs cancelled by deadline expiry
+	WatchdogCancels int64 // jobs cancelled by the stall watchdog
+	QueueDepth      int64 // jobs currently queued
+	Running         int64 // jobs currently executing
+	QueueCapacity   int64 // configured bound
+}
+
+// Service is a resident multi-tenant runtime: a shared worker pool
+// accepting concurrent job submissions from many goroutines.  Create one
+// with NewService; submit with Submit; shut down with Close.
+type Service struct {
+	rt  *Runtime
+	cfg ServiceConfig
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     jobQueue
+	heapDead  int // evicted entries still in the heap
+	seq       uint64
+	running   map[*JobHandle]struct{}
+	unsettled int // admitted jobs not yet settled or evicted
+	closed    bool
+	closeErr  error
+	closeDone chan struct{}
+	closing   bool
+
+	// queuedLive mirrors the number of live (non-evicted) queued jobs so
+	// the workers' pre-park recheck and the pop fast path stay lock-free.
+	queuedLive atomic.Int64
+	runningCnt atomic.Int64
+
+	stopWatchdog chan struct{}
+
+	admitted        atomic.Int64
+	rejected        atomic.Int64
+	shed            atomic.Int64
+	settled         atomic.Int64
+	deadlineMisses  atomic.Int64
+	watchdogCancels atomic.Int64
+}
+
+// NewService attaches a resident service to the runtime.  At most one
+// service may be attached to a runtime; a second NewService panics.  The
+// runtime's plain Run/RunErr/RunContext API remains usable alongside the
+// service (legacy callers share the same pool).
+func NewService(rt *Runtime, cfg ServiceConfig) *Service {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * rt.Workers()
+	}
+	s := &Service{
+		rt:           rt,
+		cfg:          cfg,
+		running:      make(map[*JobHandle]struct{}),
+		closeDone:    make(chan struct{}),
+		stopWatchdog: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if !rt.service.CompareAndSwap(nil, s) {
+		panic("sched: runtime already has a service attached")
+	}
+	if cfg.Watchdog > 0 {
+		go s.watchdog()
+	}
+	return s
+}
+
+// Runtime returns the underlying scheduler runtime.
+func (s *Service) Runtime() *Runtime { return s.rt }
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Admitted:        s.admitted.Load(),
+		Rejected:        s.rejected.Load(),
+		Shed:            s.shed.Load(),
+		Settled:         s.settled.Load(),
+		DeadlineMisses:  s.deadlineMisses.Load(),
+		WatchdogCancels: s.watchdogCancels.Load(),
+		QueueDepth:      s.queuedLive.Load(),
+		Running:         s.runningCnt.Load(),
+		QueueCapacity:   int64(s.cfg.Queue),
+	}
+}
+
+// Submit admits a job for execution on the worker pool and returns a handle
+// to wait on.  It is safe to call from any number of goroutines.  The
+// submission context governs the job end to end: cancelling it (or its
+// deadline expiring) evicts a queued job immediately and cancels a running
+// one at its next checkpoint; spec.Timeout additionally bounds the job when
+// the caller's context has no deadline of its own.
+//
+// Submit's error reports an admission failure only: ErrClosed after (or
+// racing) Close, ErrOverloaded under AdmitReject with a full queue, the
+// context's error when ctx died while blocked for space, or an injected
+// admission fault.  A handle returned with a nil error always completes —
+// job execution errors are reported by Wait.
+func (s *Service) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error) {
+	if spec.Fn == nil {
+		return nil, errors.New("sched: Submit with nil JobSpec.Fn")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if faultinject.Enabled() {
+		if err := faultinject.Error(faultinject.ServiceAdmit); err != nil {
+			s.rejected.Add(1)
+			return nil, err
+		}
+	}
+	h := &JobHandle{
+		svc:      s,
+		fn:       spec.Fn,
+		job:      &job{},
+		priority: spec.Priority,
+		done:     make(chan struct{}),
+		onDone:   spec.OnDone,
+		onSettle: spec.OnSettle,
+	}
+	// Arm the deadline and the context watcher before the handle becomes
+	// reachable by any cancellation path, so deliver never races the field
+	// stores.
+	if spec.Timeout > 0 {
+		ctx, h.ctxCancel = context.WithTimeout(ctx, spec.Timeout)
+	}
+	if ctx.Done() != nil {
+		h.stopWatch = context.AfterFunc(ctx, func() {
+			h.cancel(ctx.Err())
+		})
+	}
+
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			h.abandonPreQueue(ErrClosed)
+			return nil, ErrClosed
+		}
+		if h.state.Load() == jobStateEvicted {
+			// The deadline or the caller's context fired while we were
+			// waiting for space: the handle already completed with the
+			// cause; report admission success so the caller reads the
+			// outcome from the handle, exactly as if eviction had won a
+			// moment after queueing.
+			s.mu.Unlock()
+			return h, nil
+		}
+		if int(s.queuedLive.Load()) < s.cfg.Queue {
+			break
+		}
+		switch s.cfg.Admit {
+		case AdmitReject:
+			s.rejected.Add(1)
+			s.mu.Unlock()
+			h.abandonPreQueue(ErrOverloaded)
+			return nil, ErrOverloaded
+		case AdmitShedOldest:
+			if !s.shedOldestLocked() {
+				// Nothing evictable (a race emptied the queue): re-check
+				// capacity on the next loop iteration.
+				continue
+			}
+		default: // AdmitBlock
+			stop := context.AfterFunc(ctx, func() {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
+			s.cond.Wait()
+			stop()
+			if err := ctx.Err(); err != nil {
+				if s.closed {
+					// Deterministic contract: a Submit that raced Close
+					// reports ErrClosed even if its context also died.
+					s.mu.Unlock()
+					h.abandonPreQueue(ErrClosed)
+					return nil, ErrClosed
+				}
+				s.mu.Unlock()
+				h.abandonPreQueue(err)
+				return nil, err
+			}
+		}
+	}
+	if !h.state.CompareAndSwap(jobStateNew, jobStateQueued) {
+		// Evicted in the instant before queueing (see above).
+		s.mu.Unlock()
+		return h, nil
+	}
+	s.seq++
+	h.seq = s.seq
+	heap.Push(&s.queue, h)
+	s.queuedLive.Add(1)
+	s.unsettled++
+	s.admitted.Add(1)
+	s.mu.Unlock()
+	s.updateSpin()
+	// Publish-then-signal: the queue store above happens-before this load
+	// of rt.parked (both sides use sequentially-consistent atomics), so a
+	// worker registering as parked either sees the queued job in its
+	// recheck or is woken here — no lost wakeup.
+	s.rt.signalWork()
+	return h, nil
+}
+
+// abandonPreQueue completes a handle whose submission failed before it was
+// ever queued, releasing its context resources.  The admission error is
+// reported by Submit itself; the handle just mirrors it for uniformity.
+func (h *JobHandle) abandonPreQueue(err error) {
+	h.state.Store(jobStateEvicted)
+	if h.claimCompletion() {
+		h.deliver(err)
+	}
+	h.runOnSettle()
+}
+
+// shedOldestLocked evicts the oldest queued job of the lowest priority
+// class, completing it with ErrOverloaded.  Caller holds s.mu.  Returns
+// false when no live queued job exists.
+func (s *Service) shedOldestLocked() bool {
+	var victim *JobHandle
+	for _, h := range s.queue {
+		if h.state.Load() != jobStateQueued {
+			continue
+		}
+		if victim == nil ||
+			h.priority < victim.priority ||
+			(h.priority == victim.priority && h.seq < victim.seq) {
+			victim = h
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if !victim.state.CompareAndSwap(jobStateQueued, jobStateEvicted) {
+		return false // lost a race to another eviction; retry from Submit
+	}
+	s.shed.Add(1)
+	victim.job.cancelled.Store(true)
+	victim.storeCause(ErrOverloaded)
+	if victim.claimCompletion() {
+		victim.deliver(ErrOverloaded)
+	}
+	victim.runOnSettle() // never dispatched
+	s.evictAccountingLocked()
+	return true
+}
+
+// queuedEvicted is the accounting hook for a queued handle evicted by an
+// asynchronous cancellation (deadline, caller cancel, drain).
+func (s *Service) queuedEvicted(h *JobHandle) {
+	s.mu.Lock()
+	s.evictAccountingLocked()
+	s.mu.Unlock()
+	s.updateSpin()
+}
+
+// evictAccountingLocked adjusts the queue counters after an eviction and
+// compacts the heap when dead entries dominate, so a long-lived service
+// under heavy shedding does not pin evicted handles.  Caller holds s.mu.
+func (s *Service) evictAccountingLocked() {
+	s.queuedLive.Add(-1)
+	s.heapDead++
+	s.unsettled--
+	if s.heapDead > 32 && s.heapDead > len(s.queue)/2 {
+		live := s.queue[:0]
+		for _, h := range s.queue {
+			if h.state.Load() == jobStateQueued {
+				live = append(live, h)
+			}
+		}
+		for i := len(live); i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = live
+		heap.Init(&s.queue)
+		s.heapDead = 0
+	}
+	s.cond.Broadcast()
+}
+
+// pop takes the highest-priority live queued job, transitioning it to
+// running.  Called by idle workers; the nil fast path is one atomic load.
+func (s *Service) pop() *JobHandle {
+	if s.queuedLive.Load() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	for s.queue.Len() > 0 {
+		h := heap.Pop(&s.queue).(*JobHandle)
+		if !h.state.CompareAndSwap(jobStateQueued, jobStateRunning) {
+			// Evicted entry surfacing at the top: drop it.
+			if s.heapDead > 0 {
+				s.heapDead--
+			}
+			continue
+		}
+		s.queuedLive.Add(-1)
+		s.running[h] = struct{}{}
+		s.runningCnt.Add(1)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if faultinject.Enabled() {
+			faultinject.Perturb(faultinject.ServiceDispatch)
+		}
+		h.job.progress.Add(1) // dispatch counts as progress
+		return h
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ready reports whether a live job is queued; parking workers use it in
+// their registered recheck.
+func (s *Service) ready() bool { return s.queuedLive.Load() > 0 }
+
+// jobSettled retires a job from the in-flight accounting once every branch
+// has unwound and its deposit is settled.
+func (s *Service) jobSettled(h *JobHandle) {
+	s.settled.Add(1)
+	s.mu.Lock()
+	if _, ok := s.running[h]; ok {
+		delete(s.running, h)
+		s.runningCnt.Add(-1)
+	}
+	s.unsettled--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.updateSpin()
+}
+
+// countCancel classifies a delivered cancellation for the metrics.
+func (s *Service) countCancel(cause error) {
+	switch {
+	case errors.Is(cause, context.DeadlineExceeded):
+		s.deadlineMisses.Add(1)
+	case errors.Is(cause, ErrStalled):
+		s.watchdogCancels.Add(1)
+	}
+}
+
+// updateSpin steers the adaptive parking level from the live load.
+func (s *Service) updateSpin() {
+	if !s.cfg.AdaptiveParking {
+		return
+	}
+	if s.queuedLive.Load() > 0 || s.runningCnt.Load() > 0 {
+		s.rt.setSpinAttempts(8 * int32(s.rt.cfg.StealAttemptsBeforePark))
+	} else {
+		s.rt.setSpinAttempts(1)
+	}
+}
+
+// watchdog periodically scans running jobs for stalled progress counters.
+func (s *Service) watchdog() {
+	period := s.cfg.Watchdog / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopWatchdog:
+			return
+		case <-ticker.C:
+			s.scanStalls(time.Now())
+		}
+	}
+}
+
+// scanStalls cancels every running job whose progress counter has not moved
+// for a full watchdog window, attaching an all-goroutine stack dump.
+func (s *Service) scanStalls(now time.Time) {
+	s.mu.Lock()
+	snapshot := make([]*JobHandle, 0, len(s.running))
+	for h := range s.running {
+		snapshot = append(snapshot, h)
+	}
+	s.mu.Unlock()
+	for _, h := range snapshot {
+		p := h.job.progress.Load()
+		if h.lastActive.IsZero() || p != h.lastProgress {
+			h.lastProgress = p
+			h.lastActive = now
+			continue
+		}
+		if now.Sub(h.lastActive) < s.cfg.Watchdog || h.completed.Load() {
+			continue
+		}
+		// Stalled: capture the diagnostic before completing the handle so
+		// StallDump is populated by the time Done closes.
+		h.stall = allStacks()
+		h.cancel(&StallError{Window: s.cfg.Watchdog, Stack: h.stall})
+	}
+}
+
+// allStacks captures every goroutine's stack.
+func allStacks() []byte {
+	buf := make([]byte, 1<<16)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// Close drains and shuts the service down: admission stops first (every
+// Submit from this point deterministically returns ErrClosed, including
+// submitters blocked for queue space), in-flight jobs are finished or
+// cancelled per the drain policy, the worker pool is stopped once every job
+// has settled, and pool-wide quiescence is verified — the scheduler's own
+// accounting plus the engine check configured in ServiceConfig.Quiesce.
+// The first leak found (or a non-quiescent pool) is returned as an error.
+// Close is idempotent; concurrent calls all return the first close's
+// verdict.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.closeDone
+		return s.closeErr
+	}
+	s.closing = true
+	s.closed = true
+	s.cond.Broadcast()
+	var toCancel []*JobHandle
+	if s.cfg.Drain == DrainCancel {
+		for _, h := range s.queue {
+			if h.state.Load() == jobStateQueued {
+				toCancel = append(toCancel, h)
+			}
+		}
+		for h := range s.running {
+			toCancel = append(toCancel, h)
+		}
+	}
+	s.mu.Unlock()
+
+	if faultinject.Enabled() {
+		faultinject.Perturb(faultinject.ServiceDrain)
+	}
+	for _, h := range toCancel {
+		h.cancel(ErrClosed)
+	}
+
+	// Wait for every admitted job to settle.  Under DrainFinish the queued
+	// jobs are still being dispatched by the workers; under DrainCancel
+	// the evictions above have already retired the queued ones and the
+	// running ones unwind at their next checkpoint.
+	s.mu.Lock()
+	for s.unsettled > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+
+	close(s.stopWatchdog)
+	s.rt.Close()
+
+	err := s.rt.Quiescent()
+	if err == nil && s.cfg.Quiesce != nil {
+		err = s.cfg.Quiesce()
+	}
+	s.mu.Lock()
+	s.closeErr = err
+	s.mu.Unlock()
+	close(s.closeDone)
+	return err
+}

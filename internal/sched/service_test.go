@@ -1,0 +1,618 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestService builds a small service over a fresh runtime.
+func newTestService(t *testing.T, cfg ServiceConfig) *Service {
+	t.Helper()
+	rt := New(Config{Workers: 4})
+	return NewService(rt, cfg)
+}
+
+// TestServiceSubmitConcurrent drives many concurrent submitters through one
+// service and checks every job ran exactly once with a correct result.
+func TestServiceSubmitConcurrent(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Queue: 8})
+	const jobs = 64
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	handles := make([]*JobHandle, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+				var sum atomic.Int64
+				c.ParallelFor(0, 100, func(c *Context, j int) { sum.Add(1) })
+				total.Add(sum.Load())
+			}})
+			handles[i], errs[i] = h, err
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: Submit failed: %v", i, errs[i])
+		}
+		if err := handles[i].Wait(); err != nil {
+			t.Fatalf("job %d: Wait: %v", i, err)
+		}
+	}
+	if got := total.Load(); got != jobs*100 {
+		t.Fatalf("total = %d, want %d", got, jobs*100)
+	}
+	st := s.Stats()
+	if st.Admitted != jobs || st.Settled != jobs {
+		t.Fatalf("stats admitted=%d settled=%d, want %d/%d", st.Admitted, st.Settled, jobs, jobs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServicePanicContainment checks one tenant's panic surfaces as a
+// *PanicError on its own handle and perturbs nothing else.
+func TestServicePanicContainment(t *testing.T) {
+	s := newTestService(t, ServiceConfig{})
+	bad, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		c.Fork(func(c *Context) { panic("tenant blew up") }, func(c *Context) {})
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	var sum atomic.Int64
+	good, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		c.ParallelFor(0, 1000, func(c *Context, i int) { sum.Add(1) })
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	werr := bad.Wait()
+	var pe *PanicError
+	if !errors.As(werr, &pe) || pe.Value != "tenant blew up" {
+		t.Fatalf("bad job error = %v, want PanicError(tenant blew up)", werr)
+	}
+	if err := good.Wait(); err != nil {
+		t.Fatalf("good job: %v", err)
+	}
+	if sum.Load() != 1000 {
+		t.Fatalf("good job sum = %d, want 1000", sum.Load())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServiceAdmitReject saturates a 1-slot queue on a blocked pool and
+// checks the reject policy answers ErrOverloaded within bounded time while
+// the in-flight job still completes correctly.
+func TestServiceAdmitReject(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	s := NewService(rt, ServiceConfig{Queue: 1, Admit: AdmitReject})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-ran
+	queued, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {}})
+	if err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+	start := time.Now()
+	if _, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {}}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overload Submit error = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("reject took %v, want immediate", d)
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	close(release)
+	if err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if err := queued.Wait(); err != nil {
+		t.Fatalf("queued: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServiceAdmitShedOldest checks the shed policy evicts the oldest
+// lowest-priority queued job, completing its handle with ErrOverloaded,
+// and admits the newcomer.
+func TestServiceAdmitShedOldest(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	s := NewService(rt, ServiceConfig{Queue: 2, Admit: AdmitShedOldest})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-ran
+	var lowRan, highRan, newRan atomic.Bool
+	low, err := s.Submit(context.Background(), JobSpec{Priority: 0, Fn: func(c *Context) { lowRan.Store(true) }})
+	if err != nil {
+		t.Fatalf("Submit low: %v", err)
+	}
+	high, err := s.Submit(context.Background(), JobSpec{Priority: 5, Fn: func(c *Context) { highRan.Store(true) }})
+	if err != nil {
+		t.Fatalf("Submit high: %v", err)
+	}
+	// Queue full (low, high): the next submission sheds `low`, the oldest
+	// job of the lowest priority class.
+	newer, err := s.Submit(context.Background(), JobSpec{Priority: 0, Fn: func(c *Context) { newRan.Store(true) }})
+	if err != nil {
+		t.Fatalf("Submit newer: %v", err)
+	}
+	if werr := low.Wait(); !errors.Is(werr, ErrOverloaded) {
+		t.Fatalf("shed job error = %v, want ErrOverloaded", werr)
+	}
+	close(release)
+	if err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if err := high.Wait(); err != nil {
+		t.Fatalf("high: %v", err)
+	}
+	if err := newer.Wait(); err != nil {
+		t.Fatalf("newer: %v", err)
+	}
+	if lowRan.Load() {
+		t.Fatal("shed job ran")
+	}
+	if !highRan.Load() || !newRan.Load() {
+		t.Fatal("surviving jobs did not run")
+	}
+	if got := s.Stats().Shed; got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServiceAdmitBlock checks the block policy holds the submitter until
+// space frees, and that a blocked submitter's context cancellation fails
+// the submission with the context's error.
+func TestServiceAdmitBlock(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	s := NewService(rt, ServiceConfig{Queue: 1, Admit: AdmitBlock})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-ran
+	queued, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {}})
+	if err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+
+	// A submitter with a cancelled context must not block forever.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctx, JobSpec{Fn: func(c *Context) {}})
+		cancelled <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it block on the full queue
+	cancel()
+	select {
+	case err := <-cancelled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled blocked Submit error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Submit ignored its context cancellation")
+	}
+
+	// A patient submitter gets in once the queue drains.
+	blocked := make(chan *JobHandle, 1)
+	go func() {
+		h, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {}})
+		if err != nil {
+			t.Errorf("blocked Submit: %v", err)
+		}
+		blocked <- h
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if err := queued.Wait(); err != nil {
+		t.Fatalf("queued: %v", err)
+	}
+	select {
+	case h := <-blocked:
+		if err := h.Wait(); err != nil {
+			t.Fatalf("blocked job: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Submit never unblocked after space freed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServicePriorityOrder checks queued jobs dispatch in priority order,
+// FIFO within a class.
+func TestServicePriorityOrder(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	s := NewService(rt, ServiceConfig{Queue: 8})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-ran
+	var mu sync.Mutex
+	var order []int
+	submit := func(tag, prio int) *JobHandle {
+		h, err := s.Submit(context.Background(), JobSpec{Priority: prio, Fn: func(c *Context) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", tag, err)
+		}
+		return h
+	}
+	hs := []*JobHandle{submit(1, 0), submit(2, 5), submit(3, 0), submit(4, 5)}
+	close(release)
+	if err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	for i, h := range hs {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("job %d: %v", i+1, err)
+		}
+	}
+	want := []int{2, 4, 1, 3}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServiceDeadline checks a queued job whose Timeout expires before a
+// worker takes it completes with context.DeadlineExceeded and never runs.
+func TestServiceDeadline(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	s := NewService(rt, ServiceConfig{Queue: 4})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-ran
+	var doomedRan atomic.Bool
+	doomed, err := s.Submit(context.Background(), JobSpec{
+		Timeout: 20 * time.Millisecond,
+		Fn:      func(c *Context) { doomedRan.Store(true) },
+	})
+	if err != nil {
+		t.Fatalf("Submit doomed: %v", err)
+	}
+	if werr := doomed.Wait(); !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("doomed error = %v, want DeadlineExceeded", werr)
+	}
+	if doomedRan.Load() {
+		t.Fatal("expired job ran anyway")
+	}
+	close(release)
+	if err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if got := s.Stats().DeadlineMisses; got != 1 {
+		t.Fatalf("DeadlineMisses = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServiceRunningDeadline checks a deadline firing mid-execution unblocks
+// the waiter with DeadlineExceeded while the job unwinds at its checkpoints
+// and the pool settles to quiescence.
+func TestServiceRunningDeadline(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Queue: 4})
+	h, err := s.Submit(context.Background(), JobSpec{
+		Timeout: 20 * time.Millisecond,
+		Fn: func(c *Context) {
+			for i := 0; i < 1_000_000; i++ {
+				c.Fork(func(c *Context) { time.Sleep(50 * time.Microsecond) },
+					func(c *Context) { time.Sleep(50 * time.Microsecond) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if werr := h.Wait(); !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", werr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close (quiescence): %v", err)
+	}
+}
+
+// TestServiceCancelHandle checks JobHandle.Cancel evicts a queued job with
+// context.Canceled.
+func TestServiceCancelHandle(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	s := NewService(rt, ServiceConfig{Queue: 4})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-ran
+	var victimRan atomic.Bool
+	victim, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) { victimRan.Store(true) }})
+	if err != nil {
+		t.Fatalf("Submit victim: %v", err)
+	}
+	victim.Cancel()
+	if werr := victim.Wait(); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("cancelled error = %v, want context.Canceled", werr)
+	}
+	if victimRan.Load() {
+		t.Fatal("cancelled job ran")
+	}
+	close(release)
+	if err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServiceWatchdogStall submits a job that makes no scheduler-visible
+// progress (a serial poll loop, no forks) and checks the watchdog cancels
+// it with a *StallError carrying a stack dump, then the pool drains clean.
+func TestServiceWatchdogStall(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Queue: 4, Watchdog: 50 * time.Millisecond})
+	h, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		// A recoverable stall: spin until the watchdog's cancellation is
+		// visible through the polling API, making no steal/merge progress.
+		for !c.Cancelled() {
+			time.Sleep(time.Millisecond)
+		}
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	werr := h.Wait()
+	if !errors.Is(werr, ErrStalled) {
+		t.Fatalf("error = %v, want ErrStalled", werr)
+	}
+	var se *StallError
+	if !errors.As(werr, &se) {
+		t.Fatalf("error %v does not unwrap to *StallError", werr)
+	}
+	if se.Window != 50*time.Millisecond {
+		t.Fatalf("StallError.Window = %v, want 50ms", se.Window)
+	}
+	if len(h.StallDump()) == 0 {
+		t.Fatal("StallDump is empty, want goroutine stacks")
+	}
+	if got := s.Stats().WatchdogCancels; got != 1 {
+		t.Fatalf("WatchdogCancels = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close (quiescence): %v", err)
+	}
+}
+
+// TestServiceWatchdogSparesLiveJobs checks a job that keeps forking past
+// the watchdog window is NOT cancelled: progress resets the stall clock.
+func TestServiceWatchdogSparesLiveJobs(t *testing.T) {
+	s := newTestService(t, ServiceConfig{Queue: 4, Watchdog: 60 * time.Millisecond})
+	h, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		deadline := time.Now().Add(200 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			c.ParallelFor(0, 64, func(c *Context, i int) { time.Sleep(time.Millisecond) })
+		}
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if werr := h.Wait(); werr != nil {
+		t.Fatalf("live job cancelled: %v", werr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestServiceDrainCancel checks Close under DrainCancel completes queued
+// jobs with ErrClosed without running them, and drains to quiescence.
+func TestServiceDrainCancel(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	s := NewService(rt, ServiceConfig{Queue: 8, Drain: DrainCancel})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-ran
+	var queuedRan atomic.Bool
+	queued, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) { queuedRan.Store(true) }})
+	if err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	if werr := queued.Wait(); !errors.Is(werr, ErrClosed) {
+		t.Fatalf("queued job error = %v, want ErrClosed", werr)
+	}
+	if queuedRan.Load() {
+		t.Fatal("drain-cancelled job ran")
+	}
+	// The running blocker must still be waited for: release it.
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if werr := blocker.Wait(); werr != nil && !errors.Is(werr, ErrClosed) {
+		t.Fatalf("blocker error = %v, want nil or ErrClosed", werr)
+	}
+}
+
+// TestServiceSubmitAfterClose checks the deterministic ErrClosed contract.
+func TestServiceSubmitAfterClose(t *testing.T) {
+	s := newTestService(t, ServiceConfig{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	// Idempotent Close returns the first verdict.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestServiceCloseRacingSubmit is the multi-job twin of TestCloseRacingRun:
+// Close races a burst of concurrent Submit calls.  Every submission must
+// either be admitted (and its handle complete) or deterministically return
+// ErrClosed — never deadlock, never leak a queued job — and the drained
+// pool must verify quiescent.
+func TestServiceCloseRacingSubmit(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		rt := New(Config{Workers: 4})
+		drain := DrainFinish
+		if round%2 == 1 {
+			drain = DrainCancel
+		}
+		s := NewService(rt, ServiceConfig{Queue: 4, Drain: drain, AdaptiveParking: true})
+		const callers = 8
+		var wg sync.WaitGroup
+		handles := make([]*JobHandle, callers)
+		errs := make([]error, callers)
+		for g := 0; g < callers; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				handles[g], errs[g] = s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+					c.ParallelForGrain(0, 32, 1, func(c *Context, i int) {
+						time.Sleep(time.Microsecond)
+					})
+				}})
+			}()
+		}
+		time.Sleep(time.Duration(round%5) * 50 * time.Microsecond)
+		closed := make(chan error, 1)
+		go func() { closed <- s.Close() }()
+		wg.Wait()
+		select {
+		case err := <-closed:
+			if err != nil {
+				t.Fatalf("round %d: Close: %v", round, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: Close hung racing Submit", round)
+		}
+		for g := 0; g < callers; g++ {
+			if errs[g] != nil {
+				if !errors.Is(errs[g], ErrClosed) {
+					t.Fatalf("round %d: caller %d Submit error = %v, want ErrClosed", round, g, errs[g])
+				}
+				continue
+			}
+			werr := handles[g].Wait()
+			if werr != nil && !errors.Is(werr, ErrClosed) {
+				t.Fatalf("round %d: caller %d Wait = %v, want nil or ErrClosed", round, g, werr)
+			}
+		}
+		if _, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {}}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: Submit after Close = %v, want ErrClosed", round, err)
+		}
+		if err := rt.Quiescent(); err != nil {
+			t.Fatalf("round %d: pool not quiescent after drain: %v", round, err)
+		}
+	}
+}
+
+// TestServiceAdaptiveParking checks the spin threshold rises while jobs are
+// in flight and falls back to 1 when the service idles.
+func TestServiceAdaptiveParking(t *testing.T) {
+	rt := New(Config{Workers: 2, StealAttemptsBeforePark: 4})
+	s := NewService(rt, ServiceConfig{Queue: 4, AdaptiveParking: true})
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	h, err := s.Submit(context.Background(), JobSpec{Fn: func(c *Context) {
+		close(ran)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-ran
+	if got := rt.spinAttempts(); got <= 4 {
+		t.Fatalf("spinAttempts under load = %d, want > 4", got)
+	}
+	close(release)
+	if err := h.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := rt.spinAttempts(); got != 1 {
+		t.Fatalf("spinAttempts idle = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

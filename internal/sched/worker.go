@@ -335,35 +335,53 @@ func (w *Worker) loop() {
 	rt := w.rt
 	rt.started.Done()
 	defer rt.stopped.Done()
+	attempts := 0
 	for {
 		if t := w.trySteal(); t != nil {
 			w.runTask(t)
+			attempts = 0
 			continue
 		}
 		select {
 		case root := <-rt.inbox:
 			w.runRoot(root)
+			attempts = 0
 			continue
 		default:
 		}
-		// Nothing found: register as parked, then re-check for work that
-		// raced with the registration before actually sleeping.
+		if h := rt.takeServiceRoot(); h != nil {
+			w.runServiceJob(h)
+			attempts = 0
+			continue
+		}
+		// Nothing found: spin up to the adaptive threshold (a service under
+		// load keeps idle workers sweeping so dispatch latency stays low),
+		// then register as parked and re-check for work that raced with the
+		// registration before actually sleeping.
+		attempts++
+		if attempts < rt.spinAttempts() {
+			continue
+		}
+		attempts = 0
 		if faultinject.Enabled() && faultinject.Perturb(faultinject.SchedPark) {
 			continue // chaos: delay the park decision by one extra sweep
 		}
 		rt.parked.Add(1)
-		if rt.workAvailable(w) {
+		if rt.workAvailable(w) || rt.serviceReady() {
 			rt.parked.Add(-1)
 			continue
 		}
+		rt.parks.Add(1)
 		select {
 		case <-rt.quit:
 			rt.parked.Add(-1)
 			return
 		case root := <-rt.inbox:
+			rt.unparks.Add(1)
 			rt.parked.Add(-1)
 			w.runRoot(root)
 		case <-rt.wake:
+			rt.unparks.Add(1)
 			rt.parked.Add(-1)
 		}
 	}
@@ -405,6 +423,58 @@ func (w *Worker) runRoot(root *rootTask) {
 	}()
 }
 
+// runServiceJob executes one admitted service job as a fresh root trace —
+// exactly runRoot's shape, but the outcome is delivered through the job's
+// handle (completion claim + settle) instead of the rootTask channels, so a
+// deadline or watchdog cancellation that already completed the handle just
+// sees its deposit discarded here.
+func (w *Worker) runServiceJob(h *JobHandle) {
+	w.nTasks.Add(1)
+	if h.job.cancelled.Load() {
+		// Cancelled between dispatch and execution: never begin the trace.
+		h.settleFromWorker(w, nil, errJobCancelled)
+		return
+	}
+	prev, prevJob := w.curTrace, w.curJob
+	w.curTrace = w.rt.reducers.BeginTrace(w)
+	w.curJob = h.job
+	mark := len(w.liveForks)
+	var panicked any
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = wrapPanic(p)
+			}
+		}()
+		ctx := &Context{w: w, wid: int32(w.id)}
+		h.fn(ctx)
+	}()
+	if panicked != nil {
+		w.abortScope(mark)
+		w.endTraceAbort()
+		w.curTrace = prev
+		w.curJob = prevJob
+		w.flushCounters()
+		h.settleFromWorker(w, nil, panicked)
+		return
+	}
+	w.liveForks = w.liveForks[:min(mark, len(w.liveForks))]
+	var d Deposit
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				d = nil
+				panicked = wrapPanic(p)
+			}
+		}()
+		d = w.rt.reducers.EndTrace(w, w.curTrace)
+	}()
+	w.curTrace = prev
+	w.curJob = prevJob
+	w.flushCounters()
+	h.settleFromWorker(w, d, panicked)
+}
+
 // endTraceAbort performs view transferal for a scope that is already
 // panicking: the deposit is discarded (its merge will never run), and a
 // secondary panic from the reducer mechanism itself is contained so the
@@ -422,6 +492,9 @@ func (w *Worker) runTask(t *task) {
 		return
 	}
 	w.nTasks.Add(1)
+	if j := t.job; j != nil {
+		j.progress.Add(1) // a stolen/helped branch ran: the job is alive
+	}
 	prev, prevJob := w.curTrace, w.curJob
 	w.curTrace = w.rt.reducers.BeginTrace(w)
 	w.curJob = t.job
@@ -554,7 +627,7 @@ func (w *Worker) waitJoin(j *join) {
 			continue
 		}
 		attempts++
-		if attempts < rt.cfg.StealAttemptsBeforePark {
+		if attempts < rt.spinAttempts() {
 			continue
 		}
 		attempts = 0
@@ -570,19 +643,22 @@ func (w *Worker) waitJoin(j *join) {
 			rt.parked.Add(-1)
 			continue
 		}
+		rt.parks.Add(1)
 		select {
 		case <-ch:
 		case <-rt.wake:
 			// The token may have been meant for stealable work anywhere —
 			// including this worker's own deque, whose tasks other
-			// workers can take.  If the join happens to have completed
-			// too, the loop exits without a steal sweep, so pass the
-			// token on rather than swallow it; a spurious extra wake
+			// workers can take, or a queued service job this worker (busy
+			// at a join) cannot dispatch.  If the join happens to have
+			// completed too, the loop exits without a steal sweep, so pass
+			// the token on rather than swallow it; a spurious extra wake
 			// just re-parks.
-			if rt.workAvailable(nil) {
+			if rt.workAvailable(nil) || rt.serviceReady() {
 				rt.signalWork()
 			}
 		}
+		rt.unparks.Add(1)
 		rt.parked.Add(-1)
 	}
 }
